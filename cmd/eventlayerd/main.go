@@ -1,0 +1,58 @@
+// Command eventlayerd runs a standalone event-layer broker — the Redis
+// stand-in of a multi-process InvaliDB deployment (paper Figure 1).
+// Application servers and the InvaliDB cluster connect to it with
+// invalidb.DialBroker / the internal tcp client.
+//
+// Usage:
+//
+//	eventlayerd -addr 127.0.0.1:7587
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"invalidb/internal/eventlayer/tcp"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7587", "listen address")
+		stats = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	)
+	flag.Parse()
+
+	srv, err := tcp.Serve(*addr, tcp.ServerOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eventlayerd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("eventlayerd: listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p, d, drop := srv.Stats()
+				fmt.Printf("eventlayerd: published=%d delivered=%d dropped=%d\n", p, d, drop)
+			case <-stop:
+				_ = srv.Close()
+				return
+			}
+		}
+	}
+	<-stop
+	_ = srv.Close()
+}

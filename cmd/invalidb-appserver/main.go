@@ -1,0 +1,94 @@
+// Command invalidb-appserver runs an application server with its client
+// gateway: the middle tier of the paper's architecture (Figure 1). It owns
+// a document database (optionally journaled for durability), connects to
+// the event-layer broker, and accepts end-user connections on the gateway
+// port using the newline-delimited JSON protocol of internal/gateway.
+//
+// A full multi-process deployment:
+//
+//	eventlayerd        -addr 127.0.0.1:7587 &
+//	invalidb-server    -broker 127.0.0.1:7587 -qp 4 -wp 4 &
+//	invalidb-appserver -broker 127.0.0.1:7587 -listen 127.0.0.1:7588 -journal /tmp/app.wal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/eventlayer/tcp"
+	"invalidb/internal/gateway"
+	"invalidb/internal/storage"
+)
+
+func main() {
+	var (
+		broker  = flag.String("broker", "127.0.0.1:7587", "event-layer broker address")
+		listen  = flag.String("listen", "127.0.0.1:7588", "gateway listen address for end-user clients")
+		tenant  = flag.String("tenant", "default", "tenant id within the multi-tenant cluster")
+		ns      = flag.String("namespace", "invalidb", "event-layer topic namespace")
+		journal = flag.String("journal", "", "write-ahead log path (empty = volatile database)")
+		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	)
+	flag.Parse()
+
+	db := storage.Open(storage.Options{})
+	if *journal != "" {
+		if _, err := os.Stat(*journal); err == nil {
+			applied, err := db.Recover(*journal)
+			if err != nil {
+				fatal(fmt.Errorf("recover %s: %w", *journal, err))
+			}
+			fmt.Printf("invalidb-appserver: recovered %d journal records\n", applied)
+		}
+		j, err := storage.OpenJournal(*journal, storage.JournalOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		db.AttachJournal(j)
+	}
+
+	bus, err := tcp.Dial(*broker, tcp.ClientOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := appserver.New(db, bus, appserver.Options{Tenant: *tenant, Namespace: *ns})
+	if err != nil {
+		fatal(err)
+	}
+	gw, err := gateway.Serve(srv, *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("invalidb-appserver: tenant %q on broker %s, gateway %s\n", *tenant, *broker, gw.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *stats > 0 {
+		t := time.NewTicker(*stats)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			fmt.Printf("invalidb-appserver: clients=%d renewals=%d\n", gw.Clients(), srv.Renewals())
+		case <-stop:
+			_ = gw.Close()
+			_ = srv.Close()
+			_ = bus.Close()
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "invalidb-appserver:", err)
+	os.Exit(1)
+}

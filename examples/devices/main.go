@@ -1,0 +1,128 @@
+// Devices: the full multi-process architecture of paper Figure 1 inside one
+// program — a TCP event-layer broker (the Redis stand-in), an isolated
+// InvaliDB cluster connected to it, an application server with a journaled
+// database, a client gateway, and two end-user "devices" speaking the
+// gateway's JSON protocol over TCP.
+//
+// Every hop here is a real network connection on loopback, so this is the
+// deployment shape of the production system — just co-located.
+//
+//	go run ./examples/devices
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/eventlayer/tcp"
+	"invalidb/internal/gateway"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+
+	"invalidb"
+)
+
+func main() {
+	// 1. The event layer: a standalone broker process in production
+	//    (cmd/eventlayerd).
+	broker, err := tcp.Serve("127.0.0.1:0", tcp.ServerOptions{})
+	must(err)
+	defer broker.Close()
+	fmt.Println("event layer broker on", broker.Addr())
+
+	// 2. The InvaliDB cluster, reachable only through the broker
+	//    (cmd/invalidb-server).
+	clusterBus, err := tcp.Dial(broker.Addr(), tcp.ClientOptions{})
+	must(err)
+	defer clusterBus.Close()
+	cluster, err := core.NewCluster(clusterBus, core.Options{QueryPartitions: 2, WritePartitions: 2})
+	must(err)
+	must(cluster.Start())
+	defer cluster.Stop()
+	fmt.Println("InvaliDB cluster: 2x2 matching grid")
+
+	// 3. The application server with a journaled database and its client
+	//    gateway (cmd/invalidb-appserver).
+	wal := filepath.Join(os.TempDir(), fmt.Sprintf("invalidb-devices-%d.wal", os.Getpid()))
+	defer os.Remove(wal)
+	db := storage.Open(storage.Options{})
+	journal, err := invalidb.OpenJournal(wal)
+	must(err)
+	defer journal.Close()
+	db.AttachJournal(journal)
+
+	serverBus, err := tcp.Dial(broker.Addr(), tcp.ClientOptions{})
+	must(err)
+	defer serverBus.Close()
+	srv, err := appserver.New(db, serverBus, appserver.Options{})
+	must(err)
+	defer srv.Close()
+	gw, err := gateway.Serve(srv, "127.0.0.1:0")
+	must(err)
+	defer gw.Close()
+	fmt.Println("application server gateway on", gw.Addr())
+	time.Sleep(100 * time.Millisecond) // let broker subscriptions settle
+
+	// 4. Two end-user devices.
+	phone, err := gateway.DialClient(gw.Addr())
+	must(err)
+	defer phone.Close()
+	laptop, err := gateway.DialClient(gw.Addr())
+	must(err)
+	defer laptop.Close()
+
+	inbox := query.Spec{
+		Collection: "inbox",
+		Filter:     map[string]any{"to": "ada", "unread": true},
+	}
+	phoneSub, err := phone.Subscribe(inbox)
+	must(err)
+	laptopSub, err := laptop.Subscribe(inbox)
+	must(err)
+
+	watch := func(name string, sub *gateway.ClientSub, done chan<- struct{}) {
+		for frame := range sub.C() {
+			switch frame.Type {
+			case "initial":
+				fmt.Printf("[%s] inbox loaded: %d unread\n", name, len(frame.Docs))
+			case "add":
+				fmt.Printf("[%s] new mail: %v\n", name, frame.Doc["subject"])
+			case "remove":
+				fmt.Printf("[%s] mail %s left the unread list\n", name, frame.Key)
+				done <- struct{}{}
+				return
+			}
+		}
+	}
+	done := make(chan struct{}, 2)
+	go watch("phone ", phoneSub, done)
+	go watch("laptop", laptopSub, done)
+
+	// Mail arrives (through the laptop's connection, but any writer works).
+	must(laptop.Insert("inbox", invalidb.Document{
+		"_id": "m1", "to": "ada", "unread": true, "subject": "InvaliDB rocks",
+	}))
+	time.Sleep(80 * time.Millisecond)
+	// Ada reads it on her phone: the unread view updates on both devices.
+	must(phone.Update("inbox", "m1", map[string]any{"$set": map[string]any{"unread": false}}))
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			log.Fatal("timed out waiting for device events")
+		}
+	}
+	fmt.Printf("journal: %d records durable in %s\n", journal.Appended(), wal)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

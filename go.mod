@@ -1,0 +1,3 @@
+module invalidb
+
+go 1.22

@@ -1,0 +1,527 @@
+// Package appserver implements the InvaliDB client (paper Figure 1): the
+// lightweight process on the application server that brokers between end
+// users, the pull-based database, and the InvaliDB cluster. It executes
+// writes through FindAndModify and forwards the after-images to the cluster,
+// runs initial queries (rewriting sorted queries with slack, §5.2),
+// subscribes and renews real-time queries, extends TTLs, watches heartbeats,
+// and fans change notifications out to end-user subscriptions.
+package appserver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+)
+
+// Options configures an application server.
+type Options struct {
+	// Tenant identifies this application within the multi-tenant cluster.
+	// Default "default".
+	Tenant string
+	// Namespace must match the cluster's event-layer namespace.
+	Namespace string
+	// Slack is the number of items fetched beyond the limit of sorted
+	// queries (§5.2). Default 3.
+	Slack int
+	// MaxSlack caps the adaptive slack growth applied on query renewals.
+	// Default 64.
+	MaxSlack int
+	// TTL is the subscription time-to-live registered with the cluster.
+	// Default 30s.
+	TTL time.Duration
+	// ExtendInterval is the TTL-extension cadence. Default TTL/3.
+	ExtendInterval time.Duration
+	// HeartbeatTimeout terminates all subscriptions when no cluster
+	// heartbeat arrives for this long (§5.1). Default 5s. Negative disables
+	// the watchdog.
+	HeartbeatTimeout time.Duration
+	// RenewalMinInterval is the poll frequency rate limit (§5.2): at most
+	// one query renewal per query per interval, keeping the renewal load on
+	// the database predictable. Default 100ms.
+	RenewalMinInterval time.Duration
+	// EventBuffer is the per-subscription event queue length. Default 1024.
+	EventBuffer int
+	// WriteCapacity throttles the server's write path to this many
+	// operations per second (0 = unlimited). It models the per-server CPU
+	// budget the paper's Quaestor evaluation measured: a single application
+	// server topped out near 6 000 ops/s regardless of cluster capacity
+	// (§7.3, Figure 6b).
+	WriteCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tenant == "" {
+		o.Tenant = "default"
+	}
+	if o.Slack <= 0 {
+		o.Slack = 3
+	}
+	if o.MaxSlack <= 0 {
+		o.MaxSlack = 64
+	}
+	if o.TTL <= 0 {
+		o.TTL = 30 * time.Second
+	}
+	if o.ExtendInterval <= 0 {
+		o.ExtendInterval = o.TTL / 3
+	}
+	if o.HeartbeatTimeout == 0 {
+		o.HeartbeatTimeout = 5 * time.Second
+	}
+	if o.RenewalMinInterval <= 0 {
+		o.RenewalMinInterval = 100 * time.Millisecond
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 1024
+	}
+	return o
+}
+
+// Server is one application server instance. Many servers can share one
+// cluster (multi-tenancy) and one server can hold many end-user
+// subscriptions over a single notification-topic subscription, mirroring the
+// single WebSocket connection per server at Baqend (§7.2).
+type Server struct {
+	db     *storage.DB
+	bus    eventlayer.Bus
+	opts   Options
+	topics core.Topics
+
+	mu         sync.Mutex
+	subsByID   map[string]*Subscription
+	subsByHash map[uint64]map[string]*Subscription
+	renewals   map[uint64]time.Time // per-query poll rate limit
+	closed     bool
+
+	notifSub eventlayer.Subscription
+	lastHB   time.Time
+	hbMu     sync.Mutex
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	writeBucket *tokenBucket
+	renewalsCtr atomic.Uint64
+}
+
+// New creates an application server over a database and the cluster's event
+// layer and starts its background loops.
+func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
+	if db == nil || bus == nil {
+		return nil, fmt.Errorf("appserver: nil database or event layer")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		db:         db,
+		bus:        bus,
+		opts:       opts,
+		topics:     core.NewTopics(opts.Namespace),
+		subsByID:   map[string]*Subscription{},
+		subsByHash: map[uint64]map[string]*Subscription{},
+		renewals:   map[uint64]time.Time{},
+		lastHB:     time.Now(),
+		done:       make(chan struct{}),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if opts.WriteCapacity > 0 {
+		s.writeBucket = newTokenBucket(float64(opts.WriteCapacity))
+	}
+	sub, err := bus.Subscribe(s.topics.Notify(opts.Tenant))
+	if err != nil {
+		return nil, fmt.Errorf("appserver: subscribe notifications: %w", err)
+	}
+	s.notifSub = sub
+	s.wg.Add(2)
+	go s.notifLoop()
+	go s.maintenanceLoop()
+	return s, nil
+}
+
+// Tenant returns the server's tenant id.
+func (s *Server) Tenant() string { return s.opts.Tenant }
+
+// DB exposes the underlying pull-based database.
+func (s *Server) DB() *storage.DB { return s.db }
+
+// Close cancels all subscriptions and stops background loops. The database
+// stays usable: the pull-based path does not depend on InvaliDB (isolated
+// failure domains, §5).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	subs := make([]*Subscription, 0, len(s.subsByID))
+	for _, sub := range s.subsByID {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		_ = sub.Close()
+	}
+	close(s.done)
+	_ = s.notifSub.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// --- Write path -----------------------------------------------------------
+
+// forward ships an after-image to the cluster (§5.4: the after-image
+// returned by FindAndModify is simply forwarded).
+func (s *Server) forward(ai *document.AfterImage) error {
+	if s.writeBucket != nil {
+		s.writeBucket.take(1)
+	}
+	env := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{
+		Tenant: s.opts.Tenant,
+		Image:  ai,
+	}}
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return s.bus.Publish(s.topics.Writes(), data)
+}
+
+// Insert stores a new document and notifies the cluster.
+func (s *Server) Insert(collection string, doc document.Document) error {
+	ai, err := s.db.C(collection).Insert(doc)
+	if err != nil {
+		return err
+	}
+	return s.forward(ai)
+}
+
+// Update applies a MongoDB update document via FindAndModify and notifies
+// the cluster.
+func (s *Server) Update(collection, key string, update map[string]any) error {
+	ai, err := s.db.C(collection).FindAndModify(key, update, false)
+	if err != nil {
+		return err
+	}
+	return s.forward(ai)
+}
+
+// Upsert is Update with insert-on-missing semantics.
+func (s *Server) Upsert(collection, key string, update map[string]any) error {
+	ai, err := s.db.C(collection).FindAndModify(key, update, true)
+	if err != nil {
+		return err
+	}
+	return s.forward(ai)
+}
+
+// Replace overwrites a document wholesale and notifies the cluster.
+func (s *Server) Replace(collection, key string, doc document.Document) error {
+	ai, err := s.db.C(collection).Replace(key, doc)
+	if err != nil {
+		return err
+	}
+	return s.forward(ai)
+}
+
+// Delete removes a document; the forwarded after-image is null (§5.4).
+func (s *Server) Delete(collection, key string) error {
+	ai, err := s.db.C(collection).Delete(key)
+	if err != nil {
+		return err
+	}
+	return s.forward(ai)
+}
+
+// --- Pull-based queries ----------------------------------------------------
+
+// Query executes a pull-based query against the database.
+func (s *Server) Query(spec query.Spec) ([]document.Document, error) {
+	q, err := query.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.C(q.Collection).Find(q)
+}
+
+// --- Subscriptions ----------------------------------------------------------
+
+func (s *Server) newSubscriptionID() string {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return fmt.Sprintf("s%08x%08x", s.rng.Uint32(), s.rng.Uint32())
+}
+
+// Subscribe activates a push-based real-time query: it executes the
+// (rewritten) query for the initial result, registers the query with the
+// cluster, and returns a Subscription streaming the initial result followed
+// by incremental change events.
+func (s *Server) Subscribe(spec query.Spec) (*Subscription, error) {
+	q, err := query.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("appserver: server closed")
+	}
+	s.mu.Unlock()
+
+	hash := core.TenantQueryHash(s.opts.Tenant, q)
+	sub := &Subscription{
+		server:  s,
+		id:      s.newSubscriptionID(),
+		q:       q,
+		hash:    hash,
+		ordered: q.Ordered(),
+		slack:   s.opts.Slack,
+		docs:    map[string]document.Document{},
+		events:  make(chan Event, s.opts.EventBuffer),
+	}
+
+	entries, err := s.bootstrapResult(q, sub.slack)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register locally before the cluster sees the query so no notification
+	// can race past the routing table.
+	s.mu.Lock()
+	s.subsByID[sub.id] = sub
+	byHash := s.subsByHash[hash]
+	if byHash == nil {
+		byHash = map[string]*Subscription{}
+		s.subsByHash[hash] = byHash
+	}
+	byHash[sub.id] = sub
+	s.mu.Unlock()
+
+	if err := s.publishSubscribe(sub, entries); err != nil {
+		s.detach(sub)
+		return nil, err
+	}
+	sub.installInitial(entries)
+	return sub, nil
+}
+
+// bootstrapResult executes the rewritten query (§5.2) and returns its
+// versioned entries in engine order.
+func (s *Server) bootstrapResult(q *query.Query, slack int) ([]core.ResultEntry, error) {
+	rewritten := q.Rewritten(slack)
+	rows, err := s.db.C(q.Collection).FindEntries(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]core.ResultEntry, len(rows))
+	for i, r := range rows {
+		entries[i] = core.ResultEntry{Key: r.Key, Version: r.Version, Doc: r.Doc}
+	}
+	return entries, nil
+}
+
+func (s *Server) publishSubscribe(sub *Subscription, entries []core.ResultEntry) error {
+	env := &core.Envelope{Kind: core.KindSubscribe, Subscribe: &core.SubscribeRequest{
+		Tenant:         s.opts.Tenant,
+		SubscriptionID: sub.id,
+		Query:          sub.q.Spec(),
+		Slack:          sub.slack,
+		TTLMillis:      s.opts.TTL.Milliseconds(),
+		Result:         entries,
+	}}
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return s.bus.Publish(s.topics.Queries(), data)
+}
+
+// detach removes a subscription from the routing tables.
+func (s *Server) detach(sub *Subscription) {
+	s.mu.Lock()
+	delete(s.subsByID, sub.id)
+	if byHash := s.subsByHash[sub.hash]; byHash != nil {
+		delete(byHash, sub.id)
+		if len(byHash) == 0 {
+			delete(s.subsByHash, sub.hash)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// cancel publishes the cancellation with the remembered query hash (§5.1).
+func (s *Server) cancel(sub *Subscription) {
+	env := &core.Envelope{Kind: core.KindCancel, Cancel: &core.CancelRequest{
+		Tenant:         s.opts.Tenant,
+		SubscriptionID: sub.id,
+		QueryHash:      sub.hash,
+	}}
+	if data, err := env.Encode(); err == nil {
+		_ = s.bus.Publish(s.topics.Queries(), data)
+	}
+}
+
+// --- Background loops -------------------------------------------------------
+
+func (s *Server) notifLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case msg, ok := <-s.notifSub.C():
+			if !ok {
+				return
+			}
+			env, err := core.DecodeEnvelope(msg.Payload)
+			if err != nil {
+				continue
+			}
+			switch env.Kind {
+			case core.KindHeartbeat:
+				s.hbMu.Lock()
+				s.lastHB = time.Now()
+				s.hbMu.Unlock()
+			case core.KindNotification:
+				s.dispatch(env.Notification)
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(n *core.Notification) {
+	hash, ok := core.ParseQueryID(n.QueryID)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	var subs []*Subscription
+	for _, sub := range s.subsByHash[hash] {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	if n.Type == core.MatchError {
+		// Query maintenance error: a renewal request (§5.2). Renew once for
+		// the query, transparently to subscribers.
+		s.renew(hash, subs[0])
+		return
+	}
+	for _, sub := range subs {
+		sub.apply(n)
+	}
+}
+
+// renew re-executes the rewritten query and re-subscribes, subject to the
+// poll frequency rate limit that keeps renewal load on the database
+// predictable and configurable (§5.2).
+func (s *Server) renew(hash uint64, sub *Subscription) {
+	now := time.Now()
+	s.mu.Lock()
+	if last, ok := s.renewals[hash]; ok && now.Sub(last) < s.opts.RenewalMinInterval {
+		s.mu.Unlock()
+		return
+	}
+	s.renewals[hash] = now
+	s.mu.Unlock()
+	s.renewalsCtr.Add(1)
+
+	// Adapt the slack upward (§5.2 footnote: a higher slack value increases
+	// robustness against deletes on reexecution).
+	sub.mu.Lock()
+	if sub.slack < s.opts.MaxSlack {
+		sub.slack *= 2
+		if sub.slack > s.opts.MaxSlack {
+			sub.slack = s.opts.MaxSlack
+		}
+	}
+	slack := sub.slack
+	sub.mu.Unlock()
+
+	entries, err := s.bootstrapResult(sub.q, slack)
+	if err != nil {
+		sub.fail(fmt.Errorf("appserver: query renewal failed: %w", err))
+		return
+	}
+	if err := s.publishSubscribe(sub, entries); err != nil {
+		sub.fail(fmt.Errorf("appserver: query renewal failed: %w", err))
+	}
+}
+
+// Renewals reports how many query renewals this server has executed — the
+// pull-query load the poll frequency rate limit bounds (§5.2).
+func (s *Server) Renewals() uint64 { return s.renewalsCtr.Load() }
+
+// maintenanceLoop extends TTLs and watches heartbeats.
+func (s *Server) maintenanceLoop() {
+	defer s.wg.Done()
+	extend := time.NewTicker(s.opts.ExtendInterval)
+	defer extend.Stop()
+	hbCheck := time.NewTicker(500 * time.Millisecond)
+	defer hbCheck.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-extend.C:
+			s.extendAll()
+		case <-hbCheck.C:
+			if s.opts.HeartbeatTimeout < 0 {
+				continue
+			}
+			s.hbMu.Lock()
+			stale := time.Since(s.lastHB) > s.opts.HeartbeatTimeout
+			s.hbMu.Unlock()
+			if stale {
+				s.failAll(fmt.Errorf("appserver: cluster heartbeat timed out"))
+			}
+		}
+	}
+}
+
+func (s *Server) extendAll() {
+	s.mu.Lock()
+	subs := make([]*Subscription, 0, len(s.subsByID))
+	for _, sub := range s.subsByID {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		env := &core.Envelope{Kind: core.KindExtend, Extend: &core.ExtendRequest{
+			Tenant:         s.opts.Tenant,
+			SubscriptionID: sub.id,
+			QueryHash:      sub.hash,
+			TTLMillis:      s.opts.TTL.Milliseconds(),
+		}}
+		if data, err := env.Encode(); err == nil {
+			_ = s.bus.Publish(s.topics.Queries(), data)
+		}
+	}
+}
+
+// failAll terminates every subscription with an error event; clients may
+// handle it by re-subscribing or falling back to pull-based queries (§5.1).
+func (s *Server) failAll(err error) {
+	s.mu.Lock()
+	subs := make([]*Subscription, 0, len(s.subsByID))
+	for _, sub := range s.subsByID {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.fail(err)
+		_ = sub.Close()
+	}
+}

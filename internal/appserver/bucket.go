@@ -1,0 +1,39 @@
+package appserver
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a blocking, concurrency-safe rate limiter used to model the
+// application server's write-path capacity.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: rate * 0.05, last: time.Now()}
+}
+
+func (tb *tokenBucket) take(n float64) {
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens -= n
+	var wait time.Duration
+	if tb.tokens < 0 {
+		wait = time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+	}
+	tb.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}

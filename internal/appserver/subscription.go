@@ -1,0 +1,267 @@
+package appserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// EventType classifies subscription events delivered to end users.
+type EventType uint8
+
+const (
+	// EventInitial carries the full initial query result; it is always the
+	// first event of a subscription (paper §5: "the first notification
+	// message for any real-time query contains the initial result").
+	EventInitial EventType = iota + 1
+	// EventAdd reports a new result member.
+	EventAdd
+	// EventChange reports an updated result member.
+	EventChange
+	// EventChangeIndex reports an updated member that changed position
+	// (sorted queries only).
+	EventChangeIndex
+	// EventRemove reports a member that left the result.
+	EventRemove
+	// EventError terminates the subscription (e.g. heartbeat loss); clients
+	// may re-subscribe or fall back to pull-based queries.
+	EventError
+)
+
+// String names the event type.
+func (e EventType) String() string {
+	switch e {
+	case EventInitial:
+		return "initial"
+	case EventAdd:
+		return "add"
+	case EventChange:
+		return "change"
+	case EventChangeIndex:
+		return "changeIndex"
+	case EventRemove:
+		return "remove"
+	case EventError:
+		return "error"
+	default:
+		return fmt.Sprintf("EventType(%d)", uint8(e))
+	}
+}
+
+// Event is one subscription update pushed to the end user.
+type Event struct {
+	Type EventType
+	// Key and Doc describe the affected record (Doc is nil on removes).
+	Key string
+	Doc document.Document
+	// Index is the record's position in the visible result for sorted
+	// queries, -1 otherwise.
+	Index int
+	// Docs carries the full result for EventInitial.
+	Docs []document.Document
+	// Err is set for EventError.
+	Err error
+}
+
+// Subscription is one end-user real-time query subscription. Events stream
+// on C; Result returns the maintained current result at any time.
+type Subscription struct {
+	server  *Server
+	id      string
+	q       *query.Query
+	hash    uint64
+	ordered bool
+	slack   int
+
+	mu     sync.Mutex
+	order  []string // visible window, in result order (sorted queries)
+	docs   map[string]document.Document
+	closed bool
+
+	events  chan Event
+	dropped atomic.Uint64
+}
+
+// ID returns the client-visible subscription identifier.
+func (sub *Subscription) ID() string { return sub.id }
+
+// Query returns the subscribed query.
+func (sub *Subscription) Query() *query.Query { return sub.q }
+
+// C streams subscription events. The channel closes when the subscription
+// ends.
+func (sub *Subscription) C() <-chan Event { return sub.events }
+
+// Dropped reports events discarded because the consumer fell behind.
+func (sub *Subscription) Dropped() uint64 { return sub.dropped.Load() }
+
+// Close cancels the subscription with the cluster and closes the event
+// stream.
+func (sub *Subscription) Close() error {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return nil
+	}
+	sub.closed = true
+	close(sub.events)
+	sub.mu.Unlock()
+	sub.server.detach(sub)
+	sub.server.cancel(sub)
+	return nil
+}
+
+// Result returns the current maintained result: in window order for sorted
+// queries, in primary-key order otherwise.
+func (sub *Subscription) Result() []document.Document {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.ordered {
+		out := make([]document.Document, 0, len(sub.order))
+		for _, key := range sub.order {
+			if d, ok := sub.docs[key]; ok {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	keys := make([]string, 0, len(sub.docs))
+	for k := range sub.docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]document.Document, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sub.docs[k])
+	}
+	return out
+}
+
+// installInitial seeds the client-side state with the initial result and
+// emits the EventInitial. For sorted queries the bootstrap entries cover the
+// rewritten window; the visible result applies the original offset/limit.
+func (sub *Subscription) installInitial(entries []core.ResultEntry) {
+	sub.mu.Lock()
+	visible := entries
+	if sub.ordered {
+		start := sub.q.Offset
+		if start > len(visible) {
+			start = len(visible)
+		}
+		end := len(visible)
+		if sub.q.Limit > 0 && start+sub.q.Limit < end {
+			end = start + sub.q.Limit
+		}
+		visible = visible[start:end]
+	}
+	docs := make([]document.Document, 0, len(visible))
+	for _, e := range visible {
+		d := sub.q.Project(e.Doc)
+		sub.docs[e.Key] = d
+		if sub.ordered {
+			sub.order = append(sub.order, e.Key)
+		}
+		docs = append(docs, d)
+	}
+	sub.mu.Unlock()
+	sub.push(Event{Type: EventInitial, Docs: docs, Index: -1})
+}
+
+// apply folds a cluster notification into the maintained result and emits
+// the corresponding event. Sorted-query notifications follow the window-diff
+// protocol: removes by key, then adds/changeIndexes at final indexes
+// ascending, then in-place changes.
+func (sub *Subscription) apply(n *core.Notification) {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	ev := Event{Key: n.Key, Doc: n.Doc, Index: n.Index}
+	switch n.Type {
+	case core.MatchAdd:
+		ev.Type = EventAdd
+		sub.docs[n.Key] = n.Doc
+		if sub.ordered {
+			sub.insertAt(n.Key, n.Index)
+		}
+	case core.MatchChange:
+		ev.Type = EventChange
+		sub.docs[n.Key] = n.Doc
+	case core.MatchChangeIndex:
+		ev.Type = EventChangeIndex
+		sub.docs[n.Key] = n.Doc
+		if sub.ordered {
+			sub.removeKey(n.Key)
+			sub.insertAt(n.Key, n.Index)
+		}
+	case core.MatchRemove:
+		ev.Type = EventRemove
+		delete(sub.docs, n.Key)
+		if sub.ordered {
+			sub.removeKey(n.Key)
+		}
+	default:
+		sub.mu.Unlock()
+		return
+	}
+	sub.mu.Unlock()
+	sub.push(ev)
+}
+
+func (sub *Subscription) insertAt(key string, idx int) {
+	// Idempotent: a key can never appear twice in the window, so a repeated
+	// add (e.g. across a renewal) moves it instead.
+	sub.removeKey(key)
+	if idx < 0 || idx > len(sub.order) {
+		idx = len(sub.order)
+	}
+	sub.order = append(sub.order, "")
+	copy(sub.order[idx+1:], sub.order[idx:])
+	sub.order[idx] = key
+}
+
+func (sub *Subscription) removeKey(key string) {
+	for i, k := range sub.order {
+		if k == key {
+			sub.order = append(sub.order[:i], sub.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// fail emits a terminal error event.
+func (sub *Subscription) fail(err error) {
+	sub.push(Event{Type: EventError, Err: err, Index: -1})
+}
+
+// push enqueues an event without blocking the notification loop; when the
+// consumer lags, the oldest event is dropped and counted (clients detect
+// gaps via Dropped and may re-sync with a pull-based query).
+func (sub *Subscription) push(ev Event) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	select {
+	case sub.events <- ev:
+		return
+	default:
+	}
+	select {
+	case <-sub.events:
+		sub.dropped.Add(1)
+	default:
+	}
+	select {
+	case sub.events <- ev:
+	default:
+		sub.dropped.Add(1)
+	}
+}

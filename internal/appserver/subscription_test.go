@@ -1,0 +1,134 @@
+package appserver
+
+import (
+	"fmt"
+	"testing"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// newDetachedSub builds a Subscription without a live server, for unit tests
+// of the client-side window reconstruction protocol.
+func newDetachedSub(t *testing.T, spec query.Spec, buffer int) *Subscription {
+	t.Helper()
+	q, err := query.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Subscription{
+		id:      "unit",
+		q:       q,
+		ordered: q.Ordered(),
+		docs:    map[string]document.Document{},
+		events:  make(chan Event, buffer),
+	}
+}
+
+func sortedSpec() query.Spec {
+	return query.Spec{Collection: "c", Sort: []query.SortKey{{Path: "n"}}, Limit: 5}
+}
+
+func notif(mt core.MatchType, key string, idx int, doc document.Document) *core.Notification {
+	return &core.Notification{QueryID: core.QueryIDString(1), Type: mt, Key: key, Index: idx, Doc: doc}
+}
+
+func TestApplyProtocolReconstructsWindow(t *testing.T) {
+	sub := newDetachedSub(t, sortedSpec(), 64)
+	sub.installInitial([]core.ResultEntry{
+		{Key: "a", Version: 1, Doc: document.Document{"_id": "a", "n": int64(1)}},
+		{Key: "c", Version: 2, Doc: document.Document{"_id": "c", "n": int64(3)}},
+	})
+	// Insert "b" between them.
+	sub.apply(notif(core.MatchAdd, "b", 1, document.Document{"_id": "b", "n": int64(2)}))
+	if got := ids(sub.Result()); got != "a,b,c" {
+		t.Fatalf("after add: %s", got)
+	}
+	// Move "a" to the end via changeIndex.
+	sub.apply(notif(core.MatchChangeIndex, "a", 2, document.Document{"_id": "a", "n": int64(9)}))
+	if got := ids(sub.Result()); got != "b,c,a" {
+		t.Fatalf("after changeIndex: %s", got)
+	}
+	// In-place change.
+	sub.apply(notif(core.MatchChange, "c", 1, document.Document{"_id": "c", "n": int64(3), "x": true}))
+	if got := sub.Result(); got[1]["x"] != true {
+		t.Fatalf("after change: %v", got)
+	}
+	// Remove.
+	sub.apply(notif(core.MatchRemove, "b", -1, nil))
+	if got := ids(sub.Result()); got != "c,a" {
+		t.Fatalf("after remove: %s", got)
+	}
+}
+
+func TestApplyAddIsIdempotentOnDuplicateKey(t *testing.T) {
+	sub := newDetachedSub(t, sortedSpec(), 64)
+	sub.installInitial(nil)
+	sub.apply(notif(core.MatchAdd, "k", 0, document.Document{"_id": "k", "n": int64(1)}))
+	// A repeated add for the same key (e.g. across a renewal) must move,
+	// not duplicate.
+	sub.apply(notif(core.MatchAdd, "x", 0, document.Document{"_id": "x", "n": int64(0)}))
+	sub.apply(notif(core.MatchAdd, "k", 0, document.Document{"_id": "k", "n": int64(-1)}))
+	if got := ids(sub.Result()); got != "k,x" {
+		t.Fatalf("duplicate add corrupted window: %s", got)
+	}
+}
+
+func TestApplyOutOfRangeIndexClamps(t *testing.T) {
+	sub := newDetachedSub(t, sortedSpec(), 64)
+	sub.installInitial(nil)
+	sub.apply(notif(core.MatchAdd, "a", 99, document.Document{"_id": "a"}))
+	sub.apply(notif(core.MatchAdd, "b", -5, document.Document{"_id": "b"}))
+	if len(sub.Result()) != 2 {
+		t.Fatalf("clamped inserts lost docs: %v", sub.Result())
+	}
+}
+
+func TestPushOverflowDropsOldestAndCounts(t *testing.T) {
+	sub := newDetachedSub(t, query.Spec{Collection: "c"}, 2)
+	for i := 0; i < 6; i++ {
+		sub.push(Event{Type: EventAdd, Key: fmt.Sprint(i)})
+	}
+	if sub.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", sub.Dropped())
+	}
+	// Survivors are the newest events.
+	ev := <-sub.C()
+	if ev.Key != "4" {
+		t.Fatalf("survivor = %s, want 4", ev.Key)
+	}
+}
+
+func TestApplyAfterCloseIsNoop(t *testing.T) {
+	sub := newDetachedSub(t, sortedSpec(), 4)
+	sub.mu.Lock()
+	sub.closed = true
+	close(sub.events)
+	sub.mu.Unlock()
+	sub.apply(notif(core.MatchAdd, "k", 0, document.Document{"_id": "k"})) // must not panic
+	sub.push(Event{Type: EventAdd})                                        // must not panic
+}
+
+func TestInstallInitialAppliesWindowToSortedQuery(t *testing.T) {
+	spec := query.Spec{Collection: "c", Sort: []query.SortKey{{Path: "n"}}, Offset: 1, Limit: 2}
+	sub := newDetachedSub(t, spec, 16)
+	// Bootstrap entries cover offset+limit+slack; the visible result is the
+	// original window.
+	var entries []core.ResultEntry
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		entries = append(entries, core.ResultEntry{
+			Key: key, Version: uint64(i + 1),
+			Doc: document.Document{"_id": key, "n": int64(i)},
+		})
+	}
+	sub.installInitial(entries)
+	ev := <-sub.C()
+	if ev.Type != EventInitial || len(ev.Docs) != 2 {
+		t.Fatalf("initial event: %+v", ev)
+	}
+	if got := ids(sub.Result()); got != "k1,k2" {
+		t.Fatalf("visible window = %s, want k1,k2", got)
+	}
+}

@@ -1,0 +1,255 @@
+// Package logtailing implements the log-tailing real-time query mechanism
+// (paper §3.1) used by Meteor's oplog mode, RethinkDB and Parse: a single
+// application-server process tails the database's replication log and
+// matches every write against every active real-time query. Change discovery
+// is immediate (no poll staleness) and the approach scales with the number
+// of queries partitioned across servers — but the write stream itself cannot
+// be partitioned: every server must keep up with the combined write
+// throughput of all database partitions, so a single node's matching
+// capacity bounds overall sustainable write throughput. This is the
+// scale-prohibitive bottleneck InvaliDB's second partitioning dimension
+// removes.
+package logtailing
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// NodeCapacity throttles the tailer to this many match-operations per
+	// second (one write evaluated against one query), modelling the single
+	// node's CPU budget. Zero disables throttling.
+	NodeCapacity int
+	// EventBuffer is the per-subscription event queue. Default 1024.
+	EventBuffer int
+}
+
+// Event is one result change.
+type Event struct {
+	Type core.MatchType
+	Key  string
+	Doc  document.Document
+}
+
+// Engine tails the oplog on one node and matches all queries against all
+// writes.
+type Engine struct {
+	db     *storage.DB
+	opts   Options
+	tailer *storage.Tailer
+
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// QueueDepth-ish accounting: matches performed, writes processed.
+	matchOps uint64
+	writes   uint64
+
+	bucket *bucket
+}
+
+// New starts a log-tailing engine over the database's oplog.
+func New(db *storage.DB, opts Options) *Engine {
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = 1024
+	}
+	e := &Engine{
+		db:     db,
+		opts:   opts,
+		tailer: db.Oplog().Tail(db.Oplog().LastSeq()),
+		subs:   map[*Subscription]struct{}{},
+	}
+	if opts.NodeCapacity > 0 {
+		e.bucket = newBucket(float64(opts.NodeCapacity))
+	}
+	e.wg.Add(1)
+	go e.tailLoop()
+	return e
+}
+
+// Subscription is one active log-tailing real-time query.
+type Subscription struct {
+	q       *query.Query
+	events  chan Event
+	tracked map[string]struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Subscribe activates a query. The initial result comes from a pull query;
+// subsequent oplog entries produce change events.
+func (e *Engine) Subscribe(spec query.Spec) (*Subscription, []document.Document, error) {
+	q, err := query.Compile(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial, err := e.db.C(q.Collection).FindEntries(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := &Subscription{
+		q:       q,
+		events:  make(chan Event, e.opts.EventBuffer),
+		tracked: map[string]struct{}{},
+	}
+	docs := make([]document.Document, 0, len(initial))
+	for _, en := range initial {
+		sub.tracked[en.Key] = struct{}{}
+		docs = append(docs, en.Doc)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("logtailing: engine closed")
+	}
+	e.subs[sub] = struct{}{}
+	e.mu.Unlock()
+	return sub, docs, nil
+}
+
+// C streams change events.
+func (s *Subscription) C() <-chan Event { return s.events }
+
+// Unsubscribe removes the subscription.
+func (e *Engine) Unsubscribe(sub *Subscription) {
+	e.mu.Lock()
+	_, ok := e.subs[sub]
+	delete(e.subs, sub)
+	e.mu.Unlock()
+	if ok {
+		sub.mu.Lock()
+		sub.closed = true
+		close(sub.events)
+		sub.mu.Unlock()
+	}
+}
+
+// Close stops the tailer and all subscriptions.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	subs := make([]*Subscription, 0, len(e.subs))
+	for sub := range e.subs {
+		subs = append(subs, sub)
+	}
+	e.subs = map[*Subscription]struct{}{}
+	e.mu.Unlock()
+	for _, sub := range subs {
+		sub.mu.Lock()
+		sub.closed = true
+		close(sub.events)
+		sub.mu.Unlock()
+	}
+	e.tailer.Close()
+	e.wg.Wait()
+}
+
+// Stats reports writes processed and match operations performed.
+func (e *Engine) Stats() (writes, matchOps uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writes, e.matchOps
+}
+
+// tailLoop is the single-node bottleneck: every oplog entry is matched
+// against every active query on this one goroutine.
+func (e *Engine) tailLoop() {
+	defer e.wg.Done()
+	for {
+		ai, err := e.tailer.Next()
+		if err != nil || ai == nil {
+			return // lagged beyond the capped log or closed
+		}
+		e.mu.Lock()
+		cost := len(e.subs)
+		if cost == 0 {
+			cost = 1
+		}
+		e.writes++
+		e.matchOps += uint64(cost)
+		subs := make([]*Subscription, 0, len(e.subs))
+		for s := range e.subs {
+			subs = append(subs, s)
+		}
+		e.mu.Unlock()
+		if e.bucket != nil {
+			e.bucket.take(float64(cost))
+		}
+		for _, s := range subs {
+			e.processImage(s, ai)
+		}
+	}
+}
+
+func (e *Engine) processImage(s *Subscription, ai *document.AfterImage) {
+	if ai.Collection != s.q.Collection {
+		return
+	}
+	isMatch := ai.Op != document.OpDelete && s.q.Match(ai.Doc)
+	_, was := s.tracked[ai.Key]
+	var ev Event
+	switch {
+	case isMatch && !was:
+		s.tracked[ai.Key] = struct{}{}
+		ev = Event{Type: core.MatchAdd, Key: ai.Key, Doc: ai.Doc}
+	case isMatch && was:
+		ev = Event{Type: core.MatchChange, Key: ai.Key, Doc: ai.Doc}
+	case !isMatch && was:
+		delete(s.tracked, ai.Key)
+		ev = Event{Type: core.MatchRemove, Key: ai.Key}
+	default:
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.events <- ev:
+	default: // lagging consumer loses events, as under real overload
+	}
+}
+
+// bucket is a blocking token bucket (same model as the cluster's matching
+// nodes) for the tailer's single-node capacity.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64) *bucket {
+	return &bucket{rate: rate, burst: rate * 0.05, last: time.Now()}
+}
+
+func (b *bucket) take(n float64) {
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.tokens -= n
+	if b.tokens < 0 {
+		time.Sleep(time.Duration(-b.tokens / b.rate * float64(time.Second)))
+		b.last = time.Now()
+		b.tokens = 0
+	}
+}

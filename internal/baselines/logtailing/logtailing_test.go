@@ -1,0 +1,141 @@
+package logtailing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+)
+
+func recvEvent(t *testing.T, sub *Subscription, want core.MatchType) Event {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				t.Fatal("subscription closed")
+			}
+			if ev.Type == want {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %v", want)
+		}
+	}
+}
+
+func TestLogTailingLifecycle(t *testing.T) {
+	db := storage.Open(storage.Options{})
+	_, _ = db.C("c").Insert(document.Document{"_id": "pre", "x": 1})
+	e := New(db, Options{})
+	defer e.Close()
+
+	sub, initial, err := e.Subscribe(query.Spec{Collection: "c", Filter: map[string]any{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 1 {
+		t.Fatalf("initial = %v", initial)
+	}
+	_, _ = db.C("c").Insert(document.Document{"_id": "k", "x": 1})
+	if ev := recvEvent(t, sub, core.MatchAdd); ev.Key != "k" {
+		t.Fatalf("add = %+v", ev)
+	}
+	_, _ = db.C("c").FindAndModify("k", map[string]any{"$set": map[string]any{"y": 2}}, false)
+	recvEvent(t, sub, core.MatchChange)
+	_, _ = db.C("c").FindAndModify("k", map[string]any{"$set": map[string]any{"x": 9}}, false)
+	recvEvent(t, sub, core.MatchRemove)
+	_, _ = db.C("c").Delete("pre")
+	recvEvent(t, sub, core.MatchRemove)
+}
+
+func TestLogTailingLagFree(t *testing.T) {
+	// Unlike poll-and-diff, log tailing delivers immediately.
+	db := storage.Open(storage.Options{})
+	e := New(db, Options{})
+	defer e.Close()
+	sub, _, err := e.Subscribe(query.Spec{Collection: "c", Filter: map[string]any{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _ = db.C("c").Insert(document.Document{"_id": "k", "x": 1})
+	recvEvent(t, sub, core.MatchAdd)
+	if lag := time.Since(start); lag > 100*time.Millisecond {
+		t.Fatalf("log tailing lag = %v, expected immediate delivery", lag)
+	}
+}
+
+func TestLogTailingMatchOpsScaleWithQueries(t *testing.T) {
+	// The single node pays #queries match-ops per write — the §3.1
+	// bottleneck.
+	db := storage.Open(storage.Options{})
+	e := New(db, Options{})
+	defer e.Close()
+	const queries = 10
+	for i := 0; i < queries; i++ {
+		if _, _, err := e.Subscribe(query.Spec{Collection: "c", Filter: map[string]any{"x": i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writes = 50
+	for i := 0; i < writes; i++ {
+		_, _ = db.C("c").Insert(document.Document{"_id": fmt.Sprint(i), "x": -1})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		w, ops := e.Stats()
+		if w == writes {
+			if ops != writes*queries {
+				t.Fatalf("matchOps = %d, want %d", ops, writes*queries)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("tailer never caught up")
+}
+
+func TestLogTailingThrottledNodeFallsBehind(t *testing.T) {
+	// With a capacity budget, high write load on many queries delays
+	// delivery: the write stream is not partitionable, so the node saturates.
+	db := storage.Open(storage.Options{})
+	e := New(db, Options{NodeCapacity: 2000}) // 2k match-ops/s
+	defer e.Close()
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		if _, _, err := e.Subscribe(query.Spec{Collection: "c", Filter: map[string]any{"x": i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 300 writes x 20 queries = 6000 match-ops = ~3s at capacity; after
+	// 500ms the tailer must be visibly behind.
+	for i := 0; i < 300; i++ {
+		_, _ = db.C("c").Insert(document.Document{"_id": fmt.Sprint(i), "x": -1})
+	}
+	time.Sleep(500 * time.Millisecond)
+	w, _ := e.Stats()
+	if w >= 300 {
+		t.Fatalf("throttled tailer processed all %d writes in 500ms; capacity model broken", w)
+	}
+	e.Close()
+}
+
+func TestLogTailingUnsubscribe(t *testing.T) {
+	db := storage.Open(storage.Options{})
+	e := New(db, Options{})
+	defer e.Close()
+	sub, _, _ := e.Subscribe(query.Spec{Collection: "c", Filter: map[string]any{"x": 1}})
+	e.Unsubscribe(sub)
+	e.Unsubscribe(sub) // idempotent
+	_, _ = db.C("c").Insert(document.Document{"_id": "k", "x": 1})
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("closed subscription received an event")
+	}
+}

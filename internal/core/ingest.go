@@ -1,0 +1,262 @@
+package core
+
+import (
+	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/query"
+	"invalidb/internal/topology"
+)
+
+// busSpout bridges one event-layer topic into the topology. Payloads stay
+// opaque here — interpretation happens in the ingestion bolts, mirroring the
+// event layer's design (§5.3: "routing and partitioning only rely on primary
+// keys and server-generated query identifiers").
+type busSpout struct {
+	bus     eventlayer.Bus
+	topic   string
+	sub     eventlayer.Subscription
+	ctx     *topology.SpoutContext
+	dropped uint64
+}
+
+func newBusSpout(bus eventlayer.Bus, topic string) topology.Spout {
+	return &busSpout{bus: bus, topic: topic}
+}
+
+func (s *busSpout) Open(ctx *topology.SpoutContext) error {
+	sub, err := s.bus.Subscribe(s.topic)
+	if err != nil {
+		return err
+	}
+	s.sub = sub
+	s.ctx = ctx
+	return nil
+}
+
+func (s *busSpout) NextTuple() bool {
+	select {
+	case msg, ok := <-s.sub.C():
+		if !ok {
+			return false
+		}
+		s.ctx.Emit(topology.Values{msg.Payload})
+		return true
+	default:
+		return false
+	}
+}
+
+// Ack and Fail are no-ops: the event layer is fire-and-forget, so there is
+// nothing to replay from (the retention buffer in the matching nodes covers
+// short gaps instead).
+func (s *busSpout) Ack(topology.MsgID)  {}
+func (s *busSpout) Fail(topology.MsgID) {}
+
+func (s *busSpout) Close() {
+	if s.sub != nil {
+		_ = s.sub.Close()
+	}
+}
+
+// tickSpout emits a timestamp tuple at a fixed interval; matching and
+// sorting nodes use ticks for TTL expiry and retention pruning (Storm's tick
+// tuples).
+type tickSpout struct {
+	interval time.Duration
+	ctx      *topology.SpoutContext
+	next     time.Time
+}
+
+func newTickSpout(interval time.Duration) topology.Spout {
+	return &tickSpout{interval: interval}
+}
+
+func (s *tickSpout) Open(ctx *topology.SpoutContext) error {
+	s.ctx = ctx
+	s.next = time.Now().Add(s.interval)
+	return nil
+}
+
+func (s *tickSpout) NextTuple() bool {
+	now := time.Now()
+	if now.Before(s.next) {
+		return false
+	}
+	s.next = now.Add(s.interval)
+	s.ctx.Emit(topology.Values{now})
+	return true
+}
+
+func (s *tickSpout) Ack(topology.MsgID)  {}
+func (s *tickSpout) Fail(topology.MsgID) {}
+func (s *tickSpout) Close()              {}
+
+// Tuple kinds flowing between cluster stages.
+const (
+	kindSubscribe = "subscribe"
+	kindCancel    = "cancel"
+	kindExtend    = "extend"
+	kindWrite     = "write"
+	kindDelta     = "delta"  // filtering-stage output for sorted queries
+	kindExpire    = "expire" // all subscriptions of a query timed out
+)
+
+// subscribePayload is the parsed subscription handed to matching and sorting
+// nodes. Matching nodes receive the result entries of their own write
+// partition only; the sorting node receives the full bootstrap result.
+type subscribePayload struct {
+	req   *SubscribeRequest
+	q     *query.Query // compiled original query
+	hash  uint64
+	slack int
+	ttl   time.Duration
+	// entries is the (sliced or full) bootstrap result.
+	entries []ResultEntry
+}
+
+// queryIngestBolt is a stateless query ingestion node (§5.1): it parses
+// subscription control messages, computes the query partition from the
+// canonical query hash, broadcasts the request to every matching node of the
+// partition — delivering to each only its write partition of the initial
+// result — and forwards bootstraps of sorted queries to the sorting stage.
+type queryIngestBolt struct {
+	c   *Cluster
+	out topology.Collector
+}
+
+func newQueryIngestBolt(c *Cluster) topology.Bolt { return &queryIngestBolt{c: c} }
+
+func (b *queryIngestBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
+	b.out = out
+	return nil
+}
+
+func (b *queryIngestBolt) Execute(t *topology.Tuple) {
+	defer b.out.Ack(t)
+	raw, _ := t.Get("payload")
+	data, ok := raw.([]byte)
+	if !ok {
+		return
+	}
+	env, err := DecodeEnvelope(data)
+	if err != nil {
+		return
+	}
+	switch env.Kind {
+	case KindSubscribe:
+		b.handleSubscribe(t, env.Subscribe)
+	case KindCancel:
+		b.fanToRow(t, kindCancel, env.Cancel.QueryHash, env.Cancel)
+		b.out.EmitStream(streamBootstrap, t, topology.Values{kindCancel, QueryIDString(env.Cancel.QueryHash), env.Cancel})
+	case KindExtend:
+		b.fanToRow(t, kindExtend, env.Extend.QueryHash, env.Extend)
+	}
+}
+
+func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeRequest) {
+	q, err := b.c.opts.Engine.Compile(req.Query)
+	if err != nil {
+		// An uncompilable query cannot be routed; report the error on the
+		// tenant's topic so the application server can surface it.
+		b.c.publishNotification(&Notification{
+			Tenant:  req.Tenant,
+			QueryID: "",
+			Type:    MatchError,
+			Index:   -1,
+			Error:   "invalid query: " + err.Error(),
+		})
+		return
+	}
+	b.c.registerTenant(req.Tenant)
+	hash := TenantQueryHash(req.Tenant, q)
+	ttl := time.Duration(req.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = b.c.opts.DefaultTTL
+	}
+	wp := b.c.opts.WritePartitions
+	qp := int(hash % uint64(b.c.opts.QueryPartitions))
+
+	// Slice the bootstrap result by write partition: every matching node of
+	// the row receives only its partition of the result (§5.1).
+	slices := make([][]ResultEntry, wp)
+	for _, e := range req.Result {
+		w := int(document.HashKey(e.Key) % uint64(wp))
+		slices[w] = append(slices[w], e)
+	}
+	for w := 0; w < wp; w++ {
+		payload := &subscribePayload{
+			req: req, q: q, hash: hash, slack: req.Slack, ttl: ttl,
+			entries: slices[w],
+		}
+		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+	}
+	if q.Ordered() || len(b.c.opts.ExtraStages) > 0 {
+		payload := &subscribePayload{
+			req: req, q: q, hash: hash, slack: req.Slack, ttl: ttl,
+			entries: req.Result,
+		}
+		b.out.EmitStream(streamBootstrap, t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+	}
+}
+
+// fanToRow delivers a control message to every matching node of the query's
+// partition row.
+func (b *queryIngestBolt) fanToRow(t *topology.Tuple, kind string, hash uint64, payload any) {
+	qp := int(hash % uint64(b.c.opts.QueryPartitions))
+	for w := 0; w < b.c.opts.WritePartitions; w++ {
+		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kind, QueryIDString(hash), payload})
+	}
+}
+
+func (b *queryIngestBolt) Cleanup() {}
+
+// TenantQueryHash derives the partitioning hash from the tenant and the
+// canonical query identity, so distinct subscriptions to the same query are
+// always routed to the same partition (§5.1) while tenants stay isolated.
+// Application servers remember this hash for the lifetime of a subscription
+// and attach it to cancellation and TTL-extension requests.
+func TenantQueryHash(tenant string, q *query.Query) uint64 {
+	return q.Hash() ^ document.HashKey("tenant:"+tenant)
+}
+
+// writeIngestBolt is a stateless write ingestion node (§5.1): it parses
+// after-images, hashes the primary key to a write partition, and delivers
+// the image to every matching node of that partition column.
+type writeIngestBolt struct {
+	c   *Cluster
+	out topology.Collector
+}
+
+func newWriteIngestBolt(c *Cluster) topology.Bolt { return &writeIngestBolt{c: c} }
+
+func (b *writeIngestBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
+	b.out = out
+	return nil
+}
+
+func (b *writeIngestBolt) Execute(t *topology.Tuple) {
+	defer b.out.Ack(t)
+	raw, _ := t.Get("payload")
+	data, ok := raw.([]byte)
+	if !ok {
+		return
+	}
+	env, err := DecodeEnvelope(data)
+	if err != nil || env.Kind != KindWrite {
+		return
+	}
+	img, err := b.c.opts.Engine.DecodeImage(env.Write.Image)
+	if err != nil {
+		return
+	}
+	b.c.registerTenant(env.Write.Tenant)
+	we := &WriteEvent{Tenant: env.Write.Tenant, Image: img}
+	w := int(document.HashKey(img.Key) % uint64(b.c.opts.WritePartitions))
+	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
+		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindWrite, "", we})
+	}
+}
+
+func (b *writeIngestBolt) Cleanup() {}

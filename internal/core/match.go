@@ -1,0 +1,372 @@
+package core
+
+import (
+	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+	"invalidb/internal/topology"
+)
+
+// deltaEvent is the filtering stage's output for sorted queries: a per-record
+// result change forwarded to the sorting stage (paper §5.2: the filtering
+// stage is the only stage that ingests after-images; everything downstream
+// receives change notifications).
+type deltaEvent struct {
+	Tenant  string
+	QueryID string
+	Type    MatchType
+	Key     string
+	Version uint64
+	Doc     document.Document // nil for deletes
+}
+
+// matchQuery is one registered query on one matching node: the node's write
+// partition of the query's result plus subscription bookkeeping.
+type matchQuery struct {
+	tenant  string
+	q       *query.Query
+	hash    uint64
+	ordered bool
+	slack   int
+	subs    map[string]time.Time // subscription id -> TTL deadline
+	tracked map[string]uint64    // key -> version of this partition's matching records
+	seq     uint64
+}
+
+// retainedImage is one entry of the write-stream retention buffer (§5.1):
+// recent after-images are kept for a bounded time and replayed against newly
+// subscribed queries to close the write-query and write-subscription races.
+type retainedImage struct {
+	we *WriteEvent
+	at time.Time
+}
+
+// matchBolt is a matching node: the grid cell at (query partition, write
+// partition). It holds a subset of all queries and sees a fraction of all
+// writes; every incoming after-image is matched against all of the node's
+// queries (§5.1, Figure 2).
+type matchBolt struct {
+	c      *Cluster
+	out    topology.Collector
+	taskID int
+	qp, wp int
+
+	queries   map[uint64]*matchQuery
+	latest    map[string]uint64 // composite key -> newest version seen
+	latestAt  map[string]time.Time
+	retention []retainedImage
+	bucket    *tokenBucket
+	qindex    *queryIndex // nil unless Options.EnableQueryIndex
+}
+
+func newMatchBolt(c *Cluster) topology.Bolt { return &matchBolt{c: c} }
+
+func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
+	b.out = out
+	b.taskID = ctx.TaskID
+	b.qp, b.wp = b.c.gridCell(ctx.TaskID)
+	b.queries = map[uint64]*matchQuery{}
+	b.latest = map[string]uint64{}
+	b.latestAt = map[string]time.Time{}
+	if cap := b.c.opts.NodeCapacity; cap > 0 {
+		b.bucket = newTokenBucket(float64(cap))
+	}
+	if b.c.opts.EnableQueryIndex {
+		b.qindex = newQueryIndex()
+	}
+	return nil
+}
+
+func (b *matchBolt) Execute(t *topology.Tuple) {
+	defer b.out.Ack(t)
+	kindV, _ := t.Get("kind")
+	if t.Component == "tick" {
+		b.handleTick(time.Now())
+		return
+	}
+	kind, _ := kindV.(string)
+	payloadV, _ := t.Get("payload")
+	switch kind {
+	case kindSubscribe:
+		if p, ok := payloadV.(*subscribePayload); ok {
+			b.handleSubscribe(t, p)
+		}
+	case kindCancel:
+		if p, ok := payloadV.(*CancelRequest); ok {
+			b.handleCancel(t, p)
+		}
+	case kindExtend:
+		if p, ok := payloadV.(*ExtendRequest); ok {
+			b.handleExtend(p)
+		}
+	case kindWrite:
+		if p, ok := payloadV.(*WriteEvent); ok {
+			b.handleWrite(t, p)
+		}
+	}
+}
+
+func (b *matchBolt) Cleanup() {}
+
+// compositeKey namespaces a record key by tenant and collection for the
+// node-level staleness table.
+func compositeKey(tenant, collection, key string) string {
+	return tenant + "\x00" + collection + "\x00" + key
+}
+
+func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
+	img := we.Image
+	ck := compositeKey(we.Tenant, img.Collection, img.Key)
+	// Staleness avoidance (§5.1): writes are versioned, so an after-image is
+	// ignored whenever a more recent version for the same item has already
+	// been received (e.g. an update arriving after the item's delete).
+	if img.Version <= b.latest[ck] {
+		return
+	}
+	b.latest[ck] = img.Version
+	b.latestAt[ck] = time.Now()
+	b.retention = append(b.retention, retainedImage{we: we, at: time.Now()})
+
+	// The node's matching budget: evaluating one after-image against every
+	// registered query costs len(queries) match-operations — unless the
+	// multi-query index narrows the probe to candidates.
+	if b.qindex != nil {
+		cands := b.qindex.candidates(we, ck)
+		if b.bucket != nil {
+			b.bucket.take(float64(len(cands) + 1))
+		}
+		for _, mq := range cands {
+			b.processImage(t, mq, we)
+		}
+		return
+	}
+	if b.bucket != nil {
+		cost := len(b.queries)
+		if cost == 0 {
+			cost = 1
+		}
+		b.bucket.take(float64(cost))
+	}
+	for _, mq := range b.queries {
+		b.processImage(t, mq, we)
+	}
+}
+
+// processImage derives the result change (if any) a single after-image
+// causes for a single query, by comparing current against former matching
+// status (§5.1).
+func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEvent) {
+	img := we.Image
+	if we.Tenant != mq.tenant || img.Collection != mq.q.Collection {
+		return
+	}
+	if prev, tracked := mq.tracked[img.Key]; tracked && img.Version <= prev {
+		return // per-query staleness during replay
+	}
+	isMatch := img.Op != document.OpDelete && b.c.opts.Engine.Match(mq.q, img.Doc)
+	_, wasTracked := mq.tracked[img.Key]
+	switch {
+	case isMatch && !wasTracked:
+		mq.tracked[img.Key] = img.Version
+		if b.qindex != nil {
+			b.qindex.track(compositeKey(mq.tenant, mq.q.Collection, img.Key), mq)
+		}
+		b.emit(t, mq, MatchAdd, img.Key, img.Version, img.Doc)
+	case isMatch && wasTracked:
+		mq.tracked[img.Key] = img.Version
+		b.emit(t, mq, MatchChange, img.Key, img.Version, img.Doc)
+	case !isMatch && wasTracked:
+		delete(mq.tracked, img.Key)
+		if b.qindex != nil {
+			b.qindex.untrack(compositeKey(mq.tenant, mq.q.Collection, img.Key), mq)
+		}
+		b.emit(t, mq, MatchRemove, img.Key, img.Version, img.Doc)
+	default:
+		// Irrelevant write: filtered out, nothing flows downstream (§5.2).
+	}
+}
+
+// emit sends the filtering-stage result change: directly to the event layer
+// for self-maintainable (unsorted) queries, downstream to the sorting stage
+// for queries with sort, limit or offset clauses. With extension stages
+// configured, deltas of every query flow downstream as well (SEDA: later
+// stages consume filtering-stage output, never raw after-images).
+func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, mt MatchType, key string, ver uint64, doc document.Document) {
+	if mq.ordered || len(b.c.opts.ExtraStages) > 0 {
+		delta := &deltaEvent{
+			Tenant:  mq.tenant,
+			QueryID: QueryIDString(mq.hash),
+			Type:    mt,
+			Key:     key,
+			Version: ver,
+			Doc:     doc,
+		}
+		b.out.Emit(t, topology.Values{kindDelta, delta.QueryID, delta})
+		if mq.ordered {
+			return
+		}
+	}
+	mq.seq++
+	n := &Notification{
+		Tenant:  mq.tenant,
+		QueryID: QueryIDString(mq.hash),
+		Type:    mt,
+		Key:     key,
+		Version: ver,
+		Index:   -1,
+		Seq:     mq.seq,
+	}
+	if mt != MatchRemove {
+		n.Doc = mq.q.Project(doc)
+	}
+	b.c.publishNotification(n)
+}
+
+func (b *matchBolt) handleSubscribe(t *topology.Tuple, p *subscribePayload) {
+	now := time.Now()
+	mq := b.queries[p.hash]
+	if mq == nil {
+		mq = &matchQuery{
+			tenant:  p.req.Tenant,
+			q:       p.q,
+			hash:    p.hash,
+			ordered: p.q.Ordered(),
+			slack:   p.slack,
+			subs:    map[string]time.Time{},
+			tracked: map[string]uint64{},
+		}
+		b.queries[p.hash] = mq
+		if b.qindex != nil {
+			b.qindex.add(mq)
+		}
+	}
+	mq.subs[p.req.SubscriptionID] = now.Add(p.ttl)
+	// Install the bootstrap result partition. Entries never regress state:
+	// a tracked version newer than the bootstrap's wins (the retention
+	// buffer already delivered a fresher image).
+	for _, e := range p.entries {
+		if cur, ok := mq.tracked[e.Key]; !ok || e.Version > cur {
+			mq.tracked[e.Key] = e.Version
+		}
+		if b.qindex != nil {
+			b.qindex.track(compositeKey(mq.tenant, mq.q.Collection, e.Key), mq)
+		}
+	}
+	// Replay the retention buffer against the query to close the
+	// write-query and write-subscription races (§5.1): any retained image
+	// newer than the bootstrap state produces a regular result change. Only
+	// each key's newest retained image is applied — the per-query tracked
+	// map forgets versions when items leave the result, so replaying an
+	// older image (e.g. the insert preceding a delete) would resurrect it.
+	for _, r := range b.retention {
+		img := r.we.Image
+		ck := compositeKey(r.we.Tenant, img.Collection, img.Key)
+		if img.Version < b.latest[ck] {
+			continue // superseded within the retention window
+		}
+		b.processImage(t, mq, r.we)
+	}
+}
+
+func (b *matchBolt) handleCancel(t *topology.Tuple, p *CancelRequest) {
+	mq := b.queries[p.QueryHash]
+	if mq == nil {
+		return
+	}
+	delete(mq.subs, p.SubscriptionID)
+	if len(mq.subs) == 0 {
+		delete(b.queries, p.QueryHash)
+		if b.qindex != nil {
+			b.qindex.remove(mq)
+		}
+	}
+}
+
+func (b *matchBolt) handleExtend(p *ExtendRequest) {
+	mq := b.queries[p.QueryHash]
+	if mq == nil {
+		return // meaningless without a prior subscription (§5.1, footnote 3)
+	}
+	if _, ok := mq.subs[p.SubscriptionID]; !ok {
+		return
+	}
+	ttl := time.Duration(p.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = b.c.opts.DefaultTTL
+	}
+	mq.subs[p.SubscriptionID] = time.Now().Add(ttl)
+}
+
+// handleTick expires subscriptions whose TTL lapsed and prunes the retention
+// buffer and staleness table beyond the retention window.
+func (b *matchBolt) handleTick(now time.Time) {
+	for hash, mq := range b.queries {
+		for sid, deadline := range mq.subs {
+			if now.After(deadline) {
+				delete(mq.subs, sid)
+			}
+		}
+		if len(mq.subs) == 0 {
+			delete(b.queries, hash)
+			if b.qindex != nil {
+				b.qindex.remove(mq)
+			}
+			// Exactly one node per row (wp 0) informs the sorting stage, so
+			// the expiry is delivered once.
+			if mq.ordered && b.wp == 0 {
+				b.out.Emit(nil, topology.Values{kindExpire, QueryIDString(hash), hash})
+			}
+		}
+	}
+	cutoff := now.Add(-b.c.opts.RetentionTime)
+	firstLive := 0
+	for firstLive < len(b.retention) && b.retention[firstLive].at.Before(cutoff) {
+		firstLive++
+	}
+	if firstLive > 0 {
+		b.retention = append([]retainedImage(nil), b.retention[firstLive:]...)
+	}
+	for ck, at := range b.latestAt {
+		if at.Before(cutoff) {
+			delete(b.latestAt, ck)
+			delete(b.latest, ck)
+		}
+	}
+}
+
+// tokenBucket throttles a matching node to a fixed budget of
+// match-operations per second — the simulation equivalent of the paper's
+// per-node CPU cap. Exceeding the budget blocks the node, which backs its
+// input queue up and raises notification latency: the saturation signal the
+// experiments measure.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	return &tokenBucket{
+		rate:  rate,
+		burst: rate * 0.05, // 50ms of headroom absorbs scheduler jitter
+		last:  time.Now(),
+	}
+}
+
+func (tb *tokenBucket) take(n float64) {
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens -= n
+	if tb.tokens < 0 {
+		wait := time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+		time.Sleep(wait)
+		tb.last = time.Now()
+		tb.tokens = 0
+	}
+}

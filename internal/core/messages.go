@@ -1,0 +1,269 @@
+// Package core implements the InvaliDB cluster — the paper's primary
+// contribution (§5): a real-time query matching layer with two-dimensional
+// workload partitioning. Queries are hash-partitioned across query
+// partitions (QP) and broadcast within them; after-images are
+// hash-partitioned by primary key across write partitions (WP) and broadcast
+// within them. Every matching node owns exactly one (QP, WP) grid cell and
+// therefore matches a subset of all queries against a fraction of all
+// writes. Unsorted filter queries complete in the filtering stage; sorted
+// queries flow into a separate sorting stage partitioned by query
+// (§5.2/SEDA). The cluster is reachable only through the event layer and is
+// multi-tenant.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// MatchType encodes the kind of result change a notification reports
+// (paper §5: add, change, changeIndex, remove).
+type MatchType uint8
+
+const (
+	// MatchAdd reports a new result member.
+	MatchAdd MatchType = iota + 1
+	// MatchChange reports an updated result member (same position).
+	MatchChange
+	// MatchChangeIndex reports an updated result member that changed its
+	// position (sorted queries only).
+	MatchChangeIndex
+	// MatchRemove reports an item that left the result.
+	MatchRemove
+	// MatchError reports a query maintenance error; the notification doubles
+	// as a query renewal request (§5.2).
+	MatchError
+)
+
+var matchTypeNames = map[MatchType]string{
+	MatchAdd:         "add",
+	MatchChange:      "change",
+	MatchChangeIndex: "changeIndex",
+	MatchRemove:      "remove",
+	MatchError:       "error",
+}
+
+// String returns the paper's name for the match type.
+func (m MatchType) String() string {
+	if s, ok := matchTypeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("MatchType(%d)", uint8(m))
+}
+
+// MarshalJSON encodes the symbolic name.
+func (m MatchType) MarshalJSON() ([]byte, error) {
+	s, ok := matchTypeNames[m]
+	if !ok {
+		return nil, fmt.Errorf("core: invalid match type %d", uint8(m))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes the symbolic name.
+func (m *MatchType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for k, v := range matchTypeNames {
+		if v == s {
+			*m = k
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown match type %q", s)
+}
+
+// ResultEntry is one versioned member of a bootstrap result, in engine sort
+// order.
+type ResultEntry struct {
+	Key     string            `json:"k"`
+	Version uint64            `json:"v"`
+	Doc     document.Document `json:"d"`
+}
+
+// SubscribeRequest activates a real-time query. The application server has
+// already executed the rewritten bootstrap query (offset removed, limit
+// extended by offset+slack, §5.2) against the database; Result carries that
+// bootstrap result. Re-subscribing an active query is a renewal: the sorting
+// stage diffs old against new state and emits the incremental transition.
+type SubscribeRequest struct {
+	Tenant         string        `json:"tenant"`
+	SubscriptionID string        `json:"sid"`
+	Query          query.Spec    `json:"query"`
+	Slack          int           `json:"slack,omitempty"`
+	TTLMillis      int64         `json:"ttlMs"`
+	Result         []ResultEntry `json:"result"`
+}
+
+// CancelRequest deactivates one subscription of a query. It carries the
+// query hash remembered by the application server, because the hash cannot
+// be derived from anything but the original subscription (§5.1).
+type CancelRequest struct {
+	Tenant         string `json:"tenant"`
+	SubscriptionID string `json:"sid"`
+	QueryHash      uint64 `json:"qh"`
+}
+
+// ExtendRequest pushes a subscription's TTL deadline out (§5: "TTL extension
+// requests are periodically issued by the application server").
+type ExtendRequest struct {
+	Tenant         string `json:"tenant"`
+	SubscriptionID string `json:"sid"`
+	QueryHash      uint64 `json:"qh"`
+	TTLMillis      int64  `json:"ttlMs"`
+}
+
+// WriteEvent carries one after-image from an application server to the
+// cluster.
+type WriteEvent struct {
+	Tenant string               `json:"tenant"`
+	Image  *document.AfterImage `json:"img"`
+}
+
+// Notification is one change delta for a query result, pushed from the
+// cluster to all subscribed application servers over the tenant's
+// notification topic.
+type Notification struct {
+	Tenant  string            `json:"tenant"`
+	QueryID string            `json:"qid"`
+	Type    MatchType         `json:"type"`
+	Key     string            `json:"key,omitempty"`
+	Doc     document.Document `json:"doc,omitempty"`
+	Version uint64            `json:"ver,omitempty"`
+	// Index is the item's position within the visible result for sorted
+	// queries, -1 for unsorted queries.
+	Index int `json:"idx"`
+	// Seq orders notifications emitted for the same query by the same node.
+	Seq uint64 `json:"seq"`
+	// Error carries the maintenance-error message for MatchError
+	// notifications, which double as query renewal requests.
+	Error string `json:"err,omitempty"`
+}
+
+// Heartbeat is periodically published on every tenant's notification topic;
+// application servers terminate subscriptions when heartbeats stop (§5.1).
+type Heartbeat struct {
+	Tenant     string `json:"tenant"`
+	TimeMillis int64  `json:"ts"`
+}
+
+// Envelope is the single wire format of the event layer: exactly one field
+// besides Kind is set.
+type Envelope struct {
+	Kind         string            `json:"kind"`
+	Subscribe    *SubscribeRequest `json:"sub,omitempty"`
+	Cancel       *CancelRequest    `json:"cancel,omitempty"`
+	Extend       *ExtendRequest    `json:"extend,omitempty"`
+	Write        *WriteEvent       `json:"write,omitempty"`
+	Notification *Notification     `json:"notif,omitempty"`
+	Heartbeat    *Heartbeat        `json:"hb,omitempty"`
+}
+
+// Envelope kinds.
+const (
+	KindSubscribe    = "subscribe"
+	KindCancel       = "cancel"
+	KindExtend       = "extend"
+	KindWrite        = "write"
+	KindNotification = "notification"
+	KindHeartbeat    = "heartbeat"
+)
+
+// Encode serializes an envelope for the event layer.
+func (e *Envelope) Encode() ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode %s envelope: %w", e.Kind, err)
+	}
+	return b, nil
+}
+
+// DecodeEnvelope parses an envelope and validates that its kind matches the
+// populated payload.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var e Envelope
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("core: decode envelope: %w", err)
+	}
+	var ok bool
+	switch e.Kind {
+	case KindSubscribe:
+		ok = e.Subscribe != nil
+		if ok {
+			for i := range e.Subscribe.Result {
+				e.Subscribe.Result[i].Doc = document.Normalize(e.Subscribe.Result[i].Doc)
+			}
+			e.Subscribe.Query.Filter = normalizeFilter(e.Subscribe.Query.Filter)
+		}
+	case KindCancel:
+		ok = e.Cancel != nil
+	case KindExtend:
+		ok = e.Extend != nil
+	case KindWrite:
+		ok = e.Write != nil && e.Write.Image != nil
+		if ok {
+			if e.Write.Image.Doc != nil {
+				e.Write.Image.Doc = document.Normalize(e.Write.Image.Doc)
+			}
+			if err := e.Write.Image.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	case KindNotification:
+		ok = e.Notification != nil
+		if ok && e.Notification.Doc != nil {
+			e.Notification.Doc = document.Normalize(e.Notification.Doc)
+		}
+	case KindHeartbeat:
+		ok = e.Heartbeat != nil
+	default:
+		return nil, fmt.Errorf("core: unknown envelope kind %q", e.Kind)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: %s envelope without payload", e.Kind)
+	}
+	return &e, nil
+}
+
+func normalizeFilter(f map[string]any) map[string]any {
+	if f == nil {
+		return nil
+	}
+	return map[string]any(document.Normalize(document.Document(f)))
+}
+
+// Topics used on the event layer, namespaced per cluster.
+type Topics struct {
+	ns string
+}
+
+// NewTopics creates the topic scheme for a cluster namespace (default
+// "invalidb").
+func NewTopics(namespace string) Topics {
+	if namespace == "" {
+		namespace = "invalidb"
+	}
+	return Topics{ns: namespace}
+}
+
+// Queries is the topic application servers publish subscription control
+// messages to.
+func (t Topics) Queries() string { return t.ns + ".queries" }
+
+// Writes is the topic application servers publish after-images to.
+func (t Topics) Writes() string { return t.ns + ".writes" }
+
+// Notify is the per-tenant topic the cluster publishes notifications and
+// heartbeats on.
+func (t Topics) Notify(tenant string) string { return t.ns + ".notify." + tenant }
+
+// QueryIDString formats a query hash as the public query identifier.
+func QueryIDString(hash uint64) string { return fmt.Sprintf("q%016x", hash) }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+func TestMatchTypeJSONRoundTrip(t *testing.T) {
+	for _, mt := range []MatchType{MatchAdd, MatchChange, MatchChangeIndex, MatchRemove, MatchError} {
+		b, err := mt.MarshalJSON()
+		if err != nil {
+			t.Fatalf("%v: %v", mt, err)
+		}
+		var got MatchType
+		if err := got.UnmarshalJSON(b); err != nil {
+			t.Fatalf("%v: %v", mt, err)
+		}
+		if got != mt {
+			t.Fatalf("round trip %v -> %v", mt, got)
+		}
+	}
+	var mt MatchType
+	if err := mt.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("unknown match type accepted")
+	}
+	if _, err := MatchType(99).MarshalJSON(); err == nil {
+		t.Fatal("invalid match type marshalled")
+	}
+	if !strings.Contains(MatchType(99).String(), "99") {
+		t.Fatal("String for invalid type")
+	}
+}
+
+func TestEnvelopeRoundTrips(t *testing.T) {
+	envs := []*Envelope{
+		{Kind: KindSubscribe, Subscribe: &SubscribeRequest{
+			Tenant: "t", SubscriptionID: "s", TTLMillis: 1000,
+			Query:  query.Spec{Collection: "c", Filter: map[string]any{"x": 1}},
+			Result: []ResultEntry{{Key: "k", Version: 2, Doc: document.Document{"_id": "k", "x": int64(1)}}},
+		}},
+		{Kind: KindCancel, Cancel: &CancelRequest{Tenant: "t", SubscriptionID: "s", QueryHash: 42}},
+		{Kind: KindExtend, Extend: &ExtendRequest{Tenant: "t", SubscriptionID: "s", QueryHash: 42, TTLMillis: 500}},
+		{Kind: KindWrite, Write: &WriteEvent{Tenant: "t", Image: &document.AfterImage{
+			Collection: "c", Key: "k", Version: 3, Op: document.OpUpdate,
+			Doc: document.Document{"_id": "k", "x": int64(9)},
+		}}},
+		{Kind: KindNotification, Notification: &Notification{
+			Tenant: "t", QueryID: QueryIDString(7), Type: MatchAdd, Key: "k",
+			Doc: document.Document{"_id": "k"}, Version: 1, Index: 2, Seq: 9,
+		}},
+		{Kind: KindHeartbeat, Heartbeat: &Heartbeat{Tenant: "t", TimeMillis: 123}},
+	}
+	for _, env := range envs {
+		data, err := env.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", env.Kind, err)
+		}
+		got, err := DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", env.Kind, err)
+		}
+		if got.Kind != env.Kind {
+			t.Fatalf("kind %s -> %s", env.Kind, got.Kind)
+		}
+	}
+}
+
+func TestEnvelopeNumberNormalization(t *testing.T) {
+	env := &Envelope{Kind: KindWrite, Write: &WriteEvent{Tenant: "t", Image: &document.AfterImage{
+		Collection: "c", Key: "k", Version: 1, Op: document.OpInsert,
+		Doc: document.Document{"_id": "k", "n": 3},
+	}}}
+	data, _ := env.Encode()
+	got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Write.Image.Doc["n"].(int64); !ok {
+		t.Fatalf("decoded number type: %T", got.Write.Image.Doc["n"])
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`{`),
+		[]byte(`{"kind":"nope"}`),
+		[]byte(`{"kind":"subscribe"}`),
+		[]byte(`{"kind":"write"}`),
+		[]byte(`{"kind":"write","write":{"tenant":"t"}}`),
+		[]byte(`{"kind":"write","write":{"tenant":"t","img":{"c":"c","k":"","v":1,"o":1}}}`),
+	}
+	for i, b := range bad {
+		if _, err := DecodeEnvelope(b); err == nil {
+			t.Errorf("case %d: garbage envelope accepted", i)
+		}
+	}
+}
+
+func TestQueryIDRoundTrip(t *testing.T) {
+	for _, h := range []uint64{0, 1, 42, 0xdeadbeefcafe, ^uint64(0)} {
+		id := QueryIDString(h)
+		got, ok := ParseQueryID(id)
+		if !ok || got != h {
+			t.Fatalf("ParseQueryID(%q) = %d, %v; want %d", id, got, ok, h)
+		}
+	}
+	for _, bad := range []string{"", "q123", "x0000000000000000", "q00000000000000zz", "q00000000000000000"} {
+		if _, ok := ParseQueryID(bad); ok {
+			t.Errorf("ParseQueryID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTenantQueryHashIsolation(t *testing.T) {
+	q := query.MustCompile(query.Spec{Collection: "c", Filter: map[string]any{"x": 1}})
+	a := TenantQueryHash("tenantA", q)
+	b := TenantQueryHash("tenantB", q)
+	if a == b {
+		t.Fatal("different tenants hash to the same query identity")
+	}
+	if a != TenantQueryHash("tenantA", q) {
+		t.Fatal("tenant hash not deterministic")
+	}
+}
+
+func TestTopics(t *testing.T) {
+	tp := NewTopics("")
+	if tp.Queries() != "invalidb.queries" || tp.Writes() != "invalidb.writes" {
+		t.Fatalf("default topics: %s %s", tp.Queries(), tp.Writes())
+	}
+	if tp.Notify("t1") != "invalidb.notify.t1" {
+		t.Fatalf("notify topic: %s", tp.Notify("t1"))
+	}
+	custom := NewTopics("bench")
+	if custom.Queries() != "bench.queries" {
+		t.Fatalf("namespaced topic: %s", custom.Queries())
+	}
+}
+
+func TestClusterOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.QueryPartitions != 1 || o.WritePartitions != 1 || o.WriteIngestNodes != 4 || o.QueryIngestNodes != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.SortNodes != 1 || o.Engine == nil || o.Namespace != "invalidb" {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o2 := Options{QueryPartitions: 8}.withDefaults()
+	if o2.SortNodes != 8 {
+		t.Fatalf("SortNodes should default to QP: %d", o2.SortNodes)
+	}
+}
+
+func TestGridCellMapping(t *testing.T) {
+	c := &Cluster{opts: Options{QueryPartitions: 3, WritePartitions: 4}}
+	for qp := 0; qp < 3; qp++ {
+		for wp := 0; wp < 4; wp++ {
+			task := c.gridTask(qp, wp)
+			gq, gw := c.gridCell(task)
+			if gq != qp || gw != wp {
+				t.Fatalf("grid round trip (%d,%d) -> %d -> (%d,%d)", qp, wp, task, gq, gw)
+			}
+		}
+	}
+}
+
+func TestTokenBucketThrottles(t *testing.T) {
+	tb := newTokenBucket(1000) // 1000 ops/s
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		tb.take(1)
+	}
+	// 200 ops at 1000 ops/s should take at least ~150ms (the burst absorbs
+	// 50ms worth).
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("token bucket too permissive: %v for 200 ops", elapsed)
+	}
+}

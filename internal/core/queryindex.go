@@ -1,0 +1,296 @@
+package core
+
+import (
+	"sort"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// queryIndex is the matching node's multi-query optimization (an
+// optimization the InvaliDB thesis discusses alongside the prototype's
+// engine): instead of evaluating every after-image against every registered
+// query, queries with a numeric interval constraint (the shape of the
+// paper's evaluation workload, `random >= i AND random < j`) are indexed in
+// a centered interval tree per (tenant, collection, field). A write then
+// only probes
+//
+//   - the queries whose interval is stabbed by the written value,
+//   - the queries currently tracking the written key (their matching status
+//     can only *end*, which the interval cannot rule out), and
+//   - the residual queries with no extractable constraint.
+//
+// Correctness: an interval constraint is necessary for matching, so any
+// query not in the candidate set neither matches the new image nor tracked
+// the old one — its result cannot change.
+type queryIndex struct {
+	// trees: tenant\x00collection\x00path -> interval tree over queries.
+	trees map[string]*intervalTree
+	// unindexed queries are probed on every write.
+	unindexed map[uint64]*matchQuery
+	// trackers: composite record key -> queries currently tracking it.
+	trackers map[string]map[uint64]*matchQuery
+	// ivByQuery remembers each indexed query's tree key and interval.
+	ivByQuery map[uint64]indexedAt
+}
+
+type indexedAt struct {
+	treeKey string
+	iv      query.Interval
+}
+
+func newQueryIndex() *queryIndex {
+	return &queryIndex{
+		trees:     map[string]*intervalTree{},
+		unindexed: map[uint64]*matchQuery{},
+		trackers:  map[string]map[uint64]*matchQuery{},
+		ivByQuery: map[uint64]indexedAt{},
+	}
+}
+
+func treeKey(tenant, collection, path string) string {
+	return tenant + "\x00" + collection + "\x00" + path
+}
+
+// add registers a query.
+func (qi *queryIndex) add(mq *matchQuery) {
+	if iv, ok := mq.q.IndexInterval(); ok {
+		key := treeKey(mq.tenant, mq.q.Collection, iv.Path)
+		tree := qi.trees[key]
+		if tree == nil {
+			tree = &intervalTree{}
+			qi.trees[key] = tree
+		}
+		tree.insert(iv, mq)
+		qi.ivByQuery[mq.hash] = indexedAt{treeKey: key, iv: iv}
+		return
+	}
+	qi.unindexed[mq.hash] = mq
+}
+
+// remove deregisters a query and its tracker entries.
+func (qi *queryIndex) remove(mq *matchQuery) {
+	if at, ok := qi.ivByQuery[mq.hash]; ok {
+		delete(qi.ivByQuery, mq.hash)
+		if tree := qi.trees[at.treeKey]; tree != nil {
+			tree.remove(mq.hash)
+			if tree.size == 0 {
+				delete(qi.trees, at.treeKey)
+			}
+		}
+	}
+	delete(qi.unindexed, mq.hash)
+	for ck, set := range qi.trackers {
+		delete(set, mq.hash)
+		if len(set) == 0 {
+			delete(qi.trackers, ck)
+		}
+	}
+}
+
+// track records that a query's result partition now contains the record.
+func (qi *queryIndex) track(ck string, mq *matchQuery) {
+	set := qi.trackers[ck]
+	if set == nil {
+		set = map[uint64]*matchQuery{}
+		qi.trackers[ck] = set
+	}
+	set[mq.hash] = mq
+}
+
+// untrack removes a tracker entry.
+func (qi *queryIndex) untrack(ck string, mq *matchQuery) {
+	if set := qi.trackers[ck]; set != nil {
+		delete(set, mq.hash)
+		if len(set) == 0 {
+			delete(qi.trackers, ck)
+		}
+	}
+}
+
+// candidates collects every query whose result could change with this
+// after-image. The returned map is keyed by query hash.
+func (qi *queryIndex) candidates(we *WriteEvent, ck string) map[uint64]*matchQuery {
+	out := map[uint64]*matchQuery{}
+	for h, mq := range qi.unindexed {
+		out[h] = mq
+	}
+	for h, mq := range qi.trackers[ck] {
+		out[h] = mq
+	}
+	img := we.Image
+	if img.Doc != nil {
+		prefix := we.Tenant + "\x00" + img.Collection + "\x00"
+		for key, tree := range qi.trees {
+			if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+				continue
+			}
+			path := key[len(prefix):]
+			for _, v := range document.Lookup(img.Doc, path) {
+				stabNumeric(tree, v, out)
+				if arr, ok := v.([]any); ok {
+					for _, e := range arr {
+						stabNumeric(tree, e, out)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func stabNumeric(tree *intervalTree, v any, out map[uint64]*matchQuery) {
+	switch t := v.(type) {
+	case int64:
+		tree.stab(float64(t), out)
+	case float64:
+		tree.stab(t, out)
+	}
+}
+
+// intervalTree is a centered interval tree over query intervals. It is
+// rebuilt lazily: inserts and removes append to a pending list and flip a
+// dirty flag; the first stab after a change rebuilds. Query registration is
+// rare relative to writes, so rebuilds amortize to nothing during
+// measurement phases.
+type intervalTree struct {
+	items map[uint64]treeItem
+	root  *inode
+	dirty bool
+	size  int
+}
+
+type treeItem struct {
+	iv query.Interval
+	mq *matchQuery
+}
+
+type inode struct {
+	center      float64
+	left, right *inode
+	// overlapping intervals containing center, sorted by lo asc / hi desc.
+	byLo []treeItem
+	byHi []treeItem
+}
+
+func (t *intervalTree) insert(iv query.Interval, mq *matchQuery) {
+	if t.items == nil {
+		t.items = map[uint64]treeItem{}
+	}
+	t.items[mq.hash] = treeItem{iv: iv, mq: mq}
+	t.size = len(t.items)
+	t.dirty = true
+}
+
+func (t *intervalTree) remove(hash uint64) {
+	delete(t.items, hash)
+	t.size = len(t.items)
+	t.dirty = true
+}
+
+const unbounded = 1e308
+
+func loValue(iv query.Interval) float64 {
+	if !iv.LoSet {
+		return -unbounded
+	}
+	return iv.Lo
+}
+
+func hiValue(iv query.Interval) float64 {
+	if !iv.HiSet {
+		return unbounded
+	}
+	return iv.Hi
+}
+
+func (t *intervalTree) rebuild() {
+	items := make([]treeItem, 0, len(t.items))
+	for _, it := range t.items {
+		items = append(items, it)
+	}
+	t.root = buildINode(items)
+	t.dirty = false
+}
+
+func buildINode(items []treeItem) *inode {
+	if len(items) == 0 {
+		return nil
+	}
+	// Center on the median of interval midpoints (clamped endpoints).
+	mids := make([]float64, len(items))
+	for i, it := range items {
+		mids[i] = (clamp(loValue(it.iv)) + clamp(hiValue(it.iv))) / 2
+	}
+	sort.Float64s(mids)
+	center := mids[len(mids)/2]
+	n := &inode{center: center}
+	var left, right []treeItem
+	for _, it := range items {
+		switch {
+		case hiValue(it.iv) < center:
+			left = append(left, it)
+		case loValue(it.iv) > center:
+			right = append(right, it)
+		default:
+			n.byLo = append(n.byLo, it)
+		}
+	}
+	n.byHi = append([]treeItem(nil), n.byLo...)
+	sort.Slice(n.byLo, func(i, j int) bool { return loValue(n.byLo[i].iv) < loValue(n.byLo[j].iv) })
+	sort.Slice(n.byHi, func(i, j int) bool { return hiValue(n.byHi[i].iv) > hiValue(n.byHi[j].iv) })
+	// Degenerate guard: if nothing splits off, avoid infinite recursion by
+	// keeping everything in this node.
+	if len(left) == len(items) || len(right) == len(items) {
+		n.byLo = items
+		n.byHi = append([]treeItem(nil), items...)
+		sort.Slice(n.byLo, func(i, j int) bool { return loValue(n.byLo[i].iv) < loValue(n.byLo[j].iv) })
+		sort.Slice(n.byHi, func(i, j int) bool { return hiValue(n.byHi[i].iv) > hiValue(n.byHi[j].iv) })
+		return n
+	}
+	n.left = buildINode(left)
+	n.right = buildINode(right)
+	return n
+}
+
+func clamp(v float64) float64 {
+	if v > unbounded {
+		return unbounded
+	}
+	if v < -unbounded {
+		return -unbounded
+	}
+	return v
+}
+
+// stab adds every query whose interval contains v to out.
+func (t *intervalTree) stab(v float64, out map[uint64]*matchQuery) {
+	if t.dirty {
+		t.rebuild()
+	}
+	for n := t.root; n != nil; {
+		if v < n.center {
+			// Only intervals with lo <= v can contain v.
+			for _, it := range n.byLo {
+				if loValue(it.iv) > v {
+					break
+				}
+				if it.iv.Contains(v) {
+					out[it.mq.hash] = it.mq
+				}
+			}
+			n = n.left
+		} else {
+			// Only intervals with hi >= v can contain v.
+			for _, it := range n.byHi {
+				if hiValue(it.iv) < v {
+					break
+				}
+				if it.iv.Contains(v) {
+					out[it.mq.hash] = it.mq
+				}
+			}
+			n = n.right
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package document
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// MarshalCanonical encodes a value into a canonical byte form: object keys
+// are sorted, integers are rendered without a fractional part, and floats
+// that hold integral values collapse to the integer rendering so that
+// numerically equal values encode identically. The encoding is used for
+// hashing (query partitioning) and deep-equality snapshots, not for
+// interchange.
+func MarshalCanonical(v any) []byte {
+	var buf bytes.Buffer
+	writeCanonical(&buf, v)
+	return buf.Bytes()
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) {
+	switch t := normalize(v).(type) {
+	case missingValue:
+		buf.WriteString("<missing>")
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if t {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case int64:
+		buf.WriteString(strconv.FormatInt(t, 10))
+	case float64:
+		if t == math.Trunc(t) && !math.IsInf(t, 0) && math.Abs(t) < 1e15 {
+			buf.WriteString(strconv.FormatInt(int64(t), 10))
+		} else {
+			buf.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+	case string:
+		b, _ := json.Marshal(t)
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeCanonical(buf, e)
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		buf.WriteByte('{')
+		keys := sortedKeys(t)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			b, _ := json.Marshal(k)
+			buf.Write(b)
+			buf.WriteByte(':')
+			writeCanonical(buf, t[k])
+		}
+		buf.WriteByte('}')
+	default:
+		fmt.Fprintf(buf, "%v", t)
+	}
+}
+
+// Hash64 returns a stable 64-bit hash of the canonical encoding of v. It
+// backs both partitioning dimensions: write partitions hash primary keys,
+// query partitions hash canonical query encodings. FNV-1a alone distributes
+// poorly in the low bits for inputs that differ in only a few characters
+// (e.g. sequential keys or near-identical queries), so the digest is passed
+// through a murmur3-style finalizer — partition assignment takes the hash
+// modulo small numbers and needs every bit to avalanche.
+func Hash64(v any) uint64 {
+	h := fnv.New64a()
+	h.Write(MarshalCanonical(v))
+	return fmix64(h.Sum64())
+}
+
+// HashKey hashes a primary key string. Split out from Hash64 to avoid the
+// canonical-encoding round trip on the write hot path.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer: full avalanche in a few
+// multiply-xorshift rounds.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// DecodeJSON parses a JSON object into a Document with the package's
+// canonical number handling: integral numbers decode to int64, others to
+// float64.
+func DecodeJSON(data []byte) (Document, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw map[string]any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("document: decode: %w", err)
+	}
+	return Document(normalizeDeep(raw).(map[string]any)), nil
+}
+
+// normalizeDeep converts every json.Number (and Go integer width) in a value
+// tree into int64/float64 and Documents into plain maps.
+func normalizeDeep(v any) any {
+	switch t := normalize(v).(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = normalizeDeep(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = normalizeDeep(e)
+		}
+		return out
+	default:
+		return t
+	}
+}
+
+// Normalize returns a deep-normalized copy of the document (canonical number
+// types, plain maps). Documents built from Go literals should be normalized
+// once at the system boundary.
+func Normalize(d Document) Document {
+	if d == nil {
+		return nil
+	}
+	return Document(normalizeDeep(map[string]any(d)).(map[string]any))
+}
+
+// EncodeJSON renders the document as compact JSON with deterministic key
+// order (sorted), suitable for transport over the event layer.
+func EncodeJSON(d Document) []byte {
+	var buf bytes.Buffer
+	writeJSON(&buf, map[string]any(d))
+	return buf.Bytes()
+}
+
+func writeJSON(buf *bytes.Buffer, v any) {
+	switch t := normalize(v).(type) {
+	case missingValue:
+		buf.WriteString("null")
+	case nil:
+		buf.WriteString("null")
+	case bool, int64, string:
+		b, _ := json.Marshal(t)
+		buf.Write(b)
+	case float64:
+		if math.IsInf(t, 0) || math.IsNaN(t) {
+			buf.WriteString("null")
+			return
+		}
+		b, _ := json.Marshal(t)
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeJSON(buf, e)
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		buf.WriteByte('{')
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			b, _ := json.Marshal(k)
+			buf.Write(b)
+			buf.WriteByte(':')
+			writeJSON(buf, t[k])
+		}
+		buf.WriteByte('}')
+	default:
+		b, _ := json.Marshal(fmt.Sprint(t))
+		buf.Write(b)
+	}
+}

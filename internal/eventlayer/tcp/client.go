@@ -1,0 +1,302 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/eventlayer"
+)
+
+// ClientOptions tunes a broker client.
+type ClientOptions struct {
+	// BufferSize is the per-subscription local queue. Zero selects 4096.
+	BufferSize int
+	// ReconnectInterval is the delay between reconnection attempts after the
+	// broker connection drops. Zero selects 250ms.
+	ReconnectInterval time.Duration
+	// DialTimeout bounds each connection attempt. Zero selects 2s.
+	DialTimeout time.Duration
+}
+
+// Client connects to a tcp.Server broker and implements eventlayer.Bus.
+// The connection is re-established automatically after failures and all
+// active subscriptions are replayed to the broker on reconnect; messages
+// published by others while disconnected are lost (fire-and-forget pub/sub,
+// the same guarantee the in-process bus gives a late subscriber).
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu       sync.Mutex
+	conn     net.Conn
+	w        *bufio.Writer
+	subs     map[*clientSub]struct{}
+	patterns map[string]int
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Dial connects to a broker.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = 4096
+	}
+	if opts.ReconnectInterval <= 0 {
+		opts.ReconnectInterval = 250 * time.Millisecond
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	c := &Client{
+		addr:     addr,
+		opts:     opts,
+		subs:     map[*clientSub]struct{}{},
+		patterns: map[string]int{},
+		done:     make(chan struct{}),
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("eventlayer/tcp: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	c.wg.Add(1)
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// Publish implements eventlayer.Bus.
+func (c *Client) Publish(topic string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return eventlayer.ErrBusClosed
+	}
+	if c.conn == nil {
+		return fmt.Errorf("eventlayer/tcp: not connected")
+	}
+	if err := writeFrame(c.w, frame{op: opPublish, topic: topic, payload: payload}); err != nil {
+		c.dropConnLocked()
+		return fmt.Errorf("eventlayer/tcp: publish: %w", err)
+	}
+	return nil
+}
+
+// Subscribe implements eventlayer.Bus.
+func (c *Client) Subscribe(patterns ...string) (eventlayer.Subscription, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("eventlayer/tcp: subscribe with no patterns")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, eventlayer.ErrBusClosed
+	}
+	s := &clientSub{
+		client:   c,
+		patterns: append([]string(nil), patterns...),
+		ch:       make(chan eventlayer.Message, c.opts.BufferSize),
+	}
+	c.subs[s] = struct{}{}
+	var fresh []string
+	for _, p := range patterns {
+		c.patterns[p]++
+		if c.patterns[p] == 1 {
+			fresh = append(fresh, p)
+		}
+	}
+	if len(fresh) > 0 && c.conn != nil {
+		if err := writeFrame(c.w, frame{op: opSubscribe, patterns: fresh}); err != nil {
+			c.dropConnLocked()
+			// The reconnect loop re-sends all patterns; the subscription
+			// stays registered locally.
+		}
+	}
+	return s, nil
+}
+
+// Close implements eventlayer.Bus.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	for s := range c.subs {
+		s.closeInner()
+	}
+	c.subs = map[*clientSub]struct{}{}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}
+
+// dropConnLocked severs the current connection and triggers the reconnect
+// loop. Caller holds c.mu.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	if !c.closed {
+		c.wg.Add(1)
+		go c.reconnectLoop()
+	}
+}
+
+func (c *Client) reconnectLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-time.After(c.opts.ReconnectInterval):
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed || c.conn != nil {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.conn = conn
+		c.w = bufio.NewWriterSize(conn, 64<<10)
+		pats := make([]string, 0, len(c.patterns))
+		for p := range c.patterns {
+			pats = append(pats, p)
+		}
+		if len(pats) > 0 {
+			if err := writeFrame(c.w, frame{op: opSubscribe, patterns: pats}); err != nil {
+				c.dropConnLocked()
+				c.mu.Unlock()
+				return
+			}
+		}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(conn)
+		return
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.dropConnLocked()
+			}
+			c.mu.Unlock()
+			return
+		}
+		if f.op != opMessage {
+			continue
+		}
+		msg := eventlayer.Message{Topic: f.topic, Payload: f.payload}
+		c.mu.Lock()
+		for s := range c.subs {
+			if s.matches(f.topic) {
+				s.deliver(msg)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+type clientSub struct {
+	client   *Client
+	patterns []string
+	ch       chan eventlayer.Message
+	dropped  atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (s *clientSub) matches(topic string) bool {
+	for _, p := range s.patterns {
+		if matchPattern(p, topic) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *clientSub) deliver(msg eventlayer.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- msg:
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+		s.dropped.Add(1)
+	default:
+	}
+	select {
+	case s.ch <- msg:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+func (s *clientSub) C() <-chan eventlayer.Message { return s.ch }
+
+func (s *clientSub) Dropped() uint64 { return s.dropped.Load() }
+
+func (s *clientSub) Close() error {
+	c := s.client
+	c.mu.Lock()
+	if _, active := c.subs[s]; active {
+		delete(c.subs, s)
+		var gone []string
+		for _, p := range s.patterns {
+			if c.patterns[p] > 1 {
+				c.patterns[p]--
+			} else {
+				delete(c.patterns, p)
+				gone = append(gone, p)
+			}
+		}
+		if len(gone) > 0 && c.conn != nil && !c.closed {
+			if err := writeFrame(c.w, frame{op: opUnsubscribe, patterns: gone}); err != nil {
+				c.dropConnLocked()
+			}
+		}
+	}
+	c.mu.Unlock()
+	s.closeInner()
+	return nil
+}
+
+func (s *clientSub) closeInner() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,134 @@
+// Package tcp implements the event layer as a standalone TCP broker — the
+// multi-process counterpart of eventlayer.MemBus, standing in for the Redis
+// server of the paper's prototype. Frames are length-prefixed binary; the
+// broker treats payloads as opaque bytes and applies the same
+// drop-oldest-on-overflow policy per subscriber session.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame operations.
+const (
+	opPublish     byte = 1 // client -> server: topic + payload
+	opSubscribe   byte = 2 // client -> server: pattern list
+	opUnsubscribe byte = 3 // client -> server: pattern list
+	opMessage     byte = 4 // server -> client: topic + payload
+	opPing        byte = 5 // either direction
+	opPong        byte = 6 // either direction
+)
+
+// maxFrameSize bounds a single frame (16 MiB) to protect the broker from
+// corrupt length headers.
+const maxFrameSize = 16 << 20
+
+type frame struct {
+	op       byte
+	topic    string
+	payload  []byte
+	patterns []string
+}
+
+// writeFrame encodes a frame as: uint32 body length, op byte, body.
+func writeFrame(w *bufio.Writer, f frame) error {
+	var body []byte
+	switch f.op {
+	case opPublish, opMessage:
+		if len(f.topic) > 0xFFFF {
+			return fmt.Errorf("tcp: topic too long (%d bytes)", len(f.topic))
+		}
+		body = make([]byte, 2+len(f.topic)+len(f.payload))
+		binary.BigEndian.PutUint16(body[:2], uint16(len(f.topic)))
+		copy(body[2:], f.topic)
+		copy(body[2+len(f.topic):], f.payload)
+	case opSubscribe, opUnsubscribe:
+		n := 2
+		for _, p := range f.patterns {
+			if len(p) > 0xFFFF {
+				return fmt.Errorf("tcp: pattern too long (%d bytes)", len(p))
+			}
+			n += 2 + len(p)
+		}
+		body = make([]byte, n)
+		binary.BigEndian.PutUint16(body[:2], uint16(len(f.patterns)))
+		off := 2
+		for _, p := range f.patterns {
+			binary.BigEndian.PutUint16(body[off:off+2], uint16(len(p)))
+			off += 2
+			copy(body[off:], p)
+			off += len(p)
+		}
+	case opPing, opPong:
+	default:
+		return fmt.Errorf("tcp: unknown frame op %d", f.op)
+	}
+	if len(body)+1 > maxFrameSize {
+		return fmt.Errorf("tcp: frame too large (%d bytes)", len(body)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = f.op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame decodes one frame from the stream.
+func readFrame(r *bufio.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrameSize {
+		return frame{}, fmt.Errorf("tcp: invalid frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	f := frame{op: buf[0]}
+	body := buf[1:]
+	switch f.op {
+	case opPublish, opMessage:
+		if len(body) < 2 {
+			return frame{}, fmt.Errorf("tcp: short publish frame")
+		}
+		tl := int(binary.BigEndian.Uint16(body[:2]))
+		if len(body) < 2+tl {
+			return frame{}, fmt.Errorf("tcp: truncated topic")
+		}
+		f.topic = string(body[2 : 2+tl])
+		f.payload = body[2+tl:]
+	case opSubscribe, opUnsubscribe:
+		if len(body) < 2 {
+			return frame{}, fmt.Errorf("tcp: short subscribe frame")
+		}
+		n := int(binary.BigEndian.Uint16(body[:2]))
+		off := 2
+		for i := 0; i < n; i++ {
+			if len(body) < off+2 {
+				return frame{}, fmt.Errorf("tcp: truncated pattern list")
+			}
+			pl := int(binary.BigEndian.Uint16(body[off : off+2]))
+			off += 2
+			if len(body) < off+pl {
+				return frame{}, fmt.Errorf("tcp: truncated pattern")
+			}
+			f.patterns = append(f.patterns, string(body[off:off+pl]))
+			off += pl
+		}
+	case opPing, opPong:
+	default:
+		return frame{}, fmt.Errorf("tcp: unknown frame op %d", f.op)
+	}
+	return f, nil
+}

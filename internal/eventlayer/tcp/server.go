@@ -1,0 +1,255 @@
+package tcp
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ServerOptions tunes the broker.
+type ServerOptions struct {
+	// QueueSize is the per-session outbound buffer. Zero selects 4096.
+	QueueSize int
+	// Logf receives connection-level diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the standalone event-layer broker. Every accepted connection is
+// a session that may publish and subscribe; messages published by one
+// session are routed to all sessions whose patterns match.
+type Server struct {
+	ln      net.Listener
+	opts    ServerOptions
+	mu      sync.RWMutex
+	session map[*session]struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// Serve starts a broker on the given address ("127.0.0.1:0" picks a free
+// port). It returns once the listener is active; sessions are handled in
+// background goroutines until Close.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 4096
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, opts: opts, session: map[*session]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the broker's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns cumulative publish/deliver/drop counters.
+func (s *Server) Stats() (published, delivered, dropped uint64) {
+	return s.published.Load(), s.delivered.Load(), s.dropped.Load()
+}
+
+// Close stops accepting connections and tears down all sessions.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.session))
+	for sess := range s.session {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			s.opts.Logf("eventlayer/tcp: accept: %v", err)
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		sess := &session{
+			srv:  s,
+			conn: conn,
+			out:  make(chan frame, s.opts.QueueSize),
+			done: make(chan struct{}),
+		}
+		s.mu.Lock()
+		s.session[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go sess.readLoop()
+		go sess.writeLoop()
+	}
+}
+
+type session struct {
+	srv  *Server
+	conn net.Conn
+	out  chan frame
+	done chan struct{}
+
+	mu       sync.Mutex
+	patterns map[string]int // refcounted subscribe patterns
+	closed   bool
+}
+
+func (sess *session) close() {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return
+	}
+	sess.closed = true
+	close(sess.done)
+	sess.mu.Unlock()
+	_ = sess.conn.Close()
+	sess.srv.mu.Lock()
+	delete(sess.srv.session, sess)
+	sess.srv.mu.Unlock()
+}
+
+func (sess *session) readLoop() {
+	defer sess.srv.wg.Done()
+	defer sess.close()
+	r := bufio.NewReaderSize(sess.conn, 64<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+				sess.srv.opts.Logf("eventlayer/tcp: read: %v", err)
+			}
+			return
+		}
+		switch f.op {
+		case opPublish:
+			sess.srv.route(f)
+		case opSubscribe:
+			sess.mu.Lock()
+			if sess.patterns == nil {
+				sess.patterns = map[string]int{}
+			}
+			for _, p := range f.patterns {
+				sess.patterns[p]++
+			}
+			sess.mu.Unlock()
+		case opUnsubscribe:
+			sess.mu.Lock()
+			for _, p := range f.patterns {
+				if sess.patterns[p] > 1 {
+					sess.patterns[p]--
+				} else {
+					delete(sess.patterns, p)
+				}
+			}
+			sess.mu.Unlock()
+		case opPing:
+			sess.enqueue(frame{op: opPong})
+		case opPong:
+			// keep-alive response; nothing to do
+		}
+	}
+}
+
+func (sess *session) writeLoop() {
+	defer sess.srv.wg.Done()
+	w := bufio.NewWriterSize(sess.conn, 64<<10)
+	for {
+		select {
+		case f := <-sess.out:
+			if err := writeFrame(w, f); err != nil {
+				sess.close()
+				return
+			}
+		case <-sess.done:
+			return
+		}
+	}
+}
+
+// matches reports whether the session subscribes to the topic.
+func (sess *session) matches(topic string) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for p := range sess.patterns {
+		if matchPattern(p, topic) {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue adds an outbound frame, dropping the oldest when the buffer is
+// full (Redis pub/sub semantics: a slow subscriber loses messages rather
+// than stalling publishers).
+func (sess *session) enqueue(f frame) {
+	select {
+	case sess.out <- f:
+		return
+	default:
+	}
+	select {
+	case <-sess.out:
+		sess.srv.dropped.Add(1)
+	default:
+	}
+	select {
+	case sess.out <- f:
+	default:
+		sess.srv.dropped.Add(1)
+	}
+}
+
+// route fans a published message out to all matching sessions.
+func (s *Server) route(f frame) {
+	s.published.Add(1)
+	msg := frame{op: opMessage, topic: f.topic, payload: f.payload}
+	s.mu.RLock()
+	for sess := range s.session {
+		if sess.matches(f.topic) {
+			sess.enqueue(msg)
+			s.delivered.Add(1)
+		}
+	}
+	s.mu.RUnlock()
+}
+
+// matchPattern mirrors eventlayer.matchPattern: literal match or '*' suffix
+// prefix match.
+func matchPattern(pattern, topic string) bool {
+	if p, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(topic, p)
+	}
+	return pattern == topic
+}
+
+func isConnReset(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "connection reset")
+}

@@ -1,0 +1,269 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"invalidb/internal/eventlayer"
+)
+
+func newBroker(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func newClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(), ClientOptions{ReconnectInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func recvOne(t *testing.T, sub eventlayer.Subscription) eventlayer.Message {
+	t.Helper()
+	select {
+	case m, ok := <-sub.C():
+		if !ok {
+			t.Fatal("subscription closed unexpectedly")
+		}
+		return m
+	case <-time.After(3 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return eventlayer.Message{}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{op: opPublish, topic: "writes.db1", payload: []byte("payload")},
+		{op: opMessage, topic: "t", payload: nil},
+		{op: opSubscribe, patterns: []string{"a", "b.*"}},
+		{op: opUnsubscribe, patterns: []string{"a"}},
+		{op: opPing},
+		{op: opPong},
+	}
+	for i, f := range frames {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeFrame(w, f); err != nil {
+			t.Fatalf("frame %d: write: %v", i, err)
+		}
+		got, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("frame %d: read: %v", i, err)
+		}
+		if got.op != f.op || got.topic != f.topic || string(got.payload) != string(f.payload) ||
+			fmt.Sprint(got.patterns) != fmt.Sprint(f.patterns) {
+			t.Fatalf("frame %d: round trip %+v -> %+v", i, f, got)
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	inputs := [][]byte{
+		{0, 0, 0, 0},             // zero size
+		{0xFF, 0xFF, 0xFF, 0xFF}, // oversized
+		{0, 0, 0, 1, 99},         // unknown op
+		{0, 0, 0, 2, 1, 0},       // short publish body
+		{0, 0, 0, 4, 1, 0, 9, 0}, // truncated topic
+		{0, 0, 0, 3, 2, 0, 2},    // truncated pattern list
+	}
+	for i, in := range inputs {
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(in))); err == nil {
+			t.Errorf("case %d: garbage frame accepted", i)
+		}
+	}
+}
+
+func TestBrokerPubSub(t *testing.T) {
+	srv := newBroker(t)
+	pub := newClient(t, srv)
+	cons := newClient(t, srv)
+	sub, err := cons.Subscribe("writes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the SUBSCRIBE frame land
+	if err := pub.Publish("writes", []byte("after-image")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, sub)
+	if m.Topic != "writes" || string(m.Payload) != "after-image" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestBrokerPatternRouting(t *testing.T) {
+	srv := newBroker(t)
+	pub := newClient(t, srv)
+	cons := newClient(t, srv)
+	sub, _ := cons.Subscribe("notify.t1.*")
+	time.Sleep(30 * time.Millisecond)
+	_ = pub.Publish("notify.t2.q", []byte("no"))
+	_ = pub.Publish("notify.t1.q", []byte("yes"))
+	if m := recvOne(t, sub); m.Topic != "notify.t1.q" {
+		t.Fatalf("pattern routing broken: %+v", m)
+	}
+}
+
+func TestBrokerFanOutAcrossClients(t *testing.T) {
+	srv := newBroker(t)
+	pub := newClient(t, srv)
+	var subs []eventlayer.Subscription
+	for i := 0; i < 3; i++ {
+		c := newClient(t, srv)
+		s, _ := c.Subscribe("t")
+		subs = append(subs, s)
+	}
+	time.Sleep(30 * time.Millisecond)
+	_ = pub.Publish("t", []byte("x"))
+	for i, s := range subs {
+		if m := recvOne(t, s); string(m.Payload) != "x" {
+			t.Fatalf("client %d got %+v", i, m)
+		}
+	}
+}
+
+func TestBrokerLocalDemux(t *testing.T) {
+	// Two subscriptions on one client with different patterns: the broker
+	// sends each message once; the client demuxes locally.
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	subA, _ := c.Subscribe("a")
+	subB, _ := c.Subscribe("b")
+	time.Sleep(30 * time.Millisecond)
+	pub := newClient(t, srv)
+	_ = pub.Publish("a", []byte("for-a"))
+	_ = pub.Publish("b", []byte("for-b"))
+	if m := recvOne(t, subA); string(m.Payload) != "for-a" {
+		t.Fatalf("subA got %+v", m)
+	}
+	if m := recvOne(t, subB); string(m.Payload) != "for-b" {
+		t.Fatalf("subB got %+v", m)
+	}
+}
+
+func TestBrokerUnsubscribeStopsDelivery(t *testing.T) {
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	pub := newClient(t, srv)
+	sub, _ := c.Subscribe("t")
+	keep, _ := c.Subscribe("keep")
+	time.Sleep(30 * time.Millisecond)
+	_ = sub.Close()
+	time.Sleep(30 * time.Millisecond)
+	_ = pub.Publish("t", []byte("gone"))
+	_ = pub.Publish("keep", []byte("here"))
+	if m := recvOne(t, keep); string(m.Payload) != "here" {
+		t.Fatalf("keep got %+v", m)
+	}
+	select {
+	case m, ok := <-sub.C():
+		if ok {
+			t.Fatalf("closed subscription received %+v", m)
+		}
+	default:
+	}
+}
+
+func TestBrokerOverlappingPatternsRefcount(t *testing.T) {
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	pub := newClient(t, srv)
+	s1, _ := c.Subscribe("t")
+	s2, _ := c.Subscribe("t")
+	time.Sleep(30 * time.Millisecond)
+	_ = s1.Close() // s2 still holds the pattern
+	time.Sleep(30 * time.Millisecond)
+	_ = pub.Publish("t", []byte("x"))
+	if m := recvOne(t, s2); string(m.Payload) != "x" {
+		t.Fatalf("s2 got %+v", m)
+	}
+}
+
+func TestBrokerClientReconnects(t *testing.T) {
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	pub := newClient(t, srv)
+	sub, _ := c.Subscribe("t")
+	time.Sleep(30 * time.Millisecond)
+
+	// Sever every session server-side; clients must reconnect and
+	// re-subscribe on their own.
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.session))
+	for s := range srv.session {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		s.close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := pub.Publish("t", []byte("back")); err == nil {
+			select {
+			case m := <-sub.C():
+				if string(m.Payload) != "back" {
+					t.Fatalf("got %+v", m)
+				}
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	t.Fatal("client did not recover after broker-side disconnect")
+}
+
+func TestBrokerStats(t *testing.T) {
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	pub := newClient(t, srv)
+	_, _ = c.Subscribe("t")
+	time.Sleep(30 * time.Millisecond)
+	_ = pub.Publish("t", []byte("x"))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		p, d, _ := srv.Stats()
+		if p >= 1 && d >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("stats never advanced")
+}
+
+func TestClientClosedOperationsFail(t *testing.T) {
+	srv := newBroker(t)
+	c := newClient(t, srv)
+	_ = c.Close()
+	if err := c.Publish("t", nil); err != eventlayer.ErrBusClosed {
+		t.Fatalf("publish after close: %v", err)
+	}
+	if _, err := c.Subscribe("t"); err != eventlayer.ErrBusClosed {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", ClientOptions{DialTimeout: 100 * time.Millisecond}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestQueryIndexAblation quantifies the multi-query optimization: with the
+// interval index on, per-write cost is the candidate count instead of the
+// full query population, so a load far beyond the unindexed capacity is
+// sustained by the same node budget.
+func TestQueryIndexAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation takes seconds")
+	}
+	cfg := fastCfg()
+	// 10x the unindexed capacity of one node (20 queries at 1 000 ops/s).
+	const queries = 200
+	without, err := RunClusterPoint(cfg, 1, 1, queries, BaseWriteRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EnableQueryIndex = true
+	with, err := RunClusterPoint(cfg, 1, 1, queries, BaseWriteRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.SustainedUnder(50) {
+		t.Fatalf("unindexed node sustained %d queries (p99=%.1fms) — capacity model broken",
+			queries, without.Summary.P99MS)
+	}
+	if !with.SustainedUnder(50) {
+		t.Fatalf("indexed node failed at %d queries (p99=%.1fms, %d/%d) — index ineffective",
+			queries, with.Summary.P99MS, with.Delivered, with.Expected)
+	}
+}

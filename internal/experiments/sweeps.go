@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// BaseWriteRate is the fixed write throughput of the read-scalability
+// experiments (paper Figure 4: 1 000 ops/s).
+const BaseWriteRate = 1000
+
+// FixedQueries is the fixed query population of the write-scalability
+// experiments, scaled from the paper's 1 000 active real-time queries.
+const FixedQueries = 100
+
+// DefaultSLAs are the paper's p99 latency SLAs in milliseconds.
+var DefaultSLAs = []float64{20, 30, 50, 100}
+
+// DefaultPartitions is the paper's cluster size axis.
+var DefaultPartitions = []int{1, 2, 4, 8, 16}
+
+// Sweep is one cluster size's load sweep: every measured point plus the
+// highest sustained load level per SLA.
+type Sweep struct {
+	Partitions int
+	Points     []Point
+	// Sustained maps an SLA (p99 ms) to the highest load level (queries for
+	// Figure 4, ops/s for Figure 5) that satisfied it.
+	Sustained map[float64]int
+}
+
+// perNodeQueryCapacity estimates how many queries one matching node
+// sustains at the base write rate: capacity / writes-per-node-per-second.
+func perNodeQueryCapacity(cfg Config, opsPerSec int) int {
+	return cfg.NodeCapacity / opsPerSec
+}
+
+// Fig4 reproduces the read-scalability experiment (paper Figure 4): for each
+// query partition count, the number of serviceable real-time queries at a
+// fixed write throughput of 1 000 ops/s is found by raising the query
+// population until the p99 latency SLA is violated.
+func Fig4(cfg Config, partitions []int, slas []float64, progress func(string)) ([]Sweep, error) {
+	cfg = cfg.Defaults()
+	if len(partitions) == 0 {
+		partitions = DefaultPartitions
+	}
+	if len(slas) == 0 {
+		slas = DefaultSLAs
+	}
+	perNode := perNodeQueryCapacity(cfg, BaseWriteRate)
+	step := perNode / 3
+	if step < 1 {
+		step = 1
+	}
+	var out []Sweep
+	for _, qp := range partitions {
+		est := qp * perNode
+		sweep, err := runSweep(slas, est, step, progress, func(level int) (Point, error) {
+			return RunClusterPoint(cfg, qp, 1, level, BaseWriteRate)
+		})
+		if err != nil {
+			return nil, err
+		}
+		sweep.Partitions = qp
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// Fig5 reproduces the write-scalability experiment (paper Figure 5): for
+// each write partition count, sustainable write throughput with a fixed
+// population of active real-time queries.
+func Fig5(cfg Config, partitions []int, slas []float64, progress func(string)) ([]Sweep, error) {
+	cfg = cfg.Defaults()
+	if len(partitions) == 0 {
+		partitions = DefaultPartitions
+	}
+	if len(slas) == 0 {
+		slas = DefaultSLAs
+	}
+	perNodeRate := cfg.NodeCapacity / FixedQueries
+	step := perNodeRate / 3
+	if step < 1 {
+		step = 1
+	}
+	var out []Sweep
+	for _, wp := range partitions {
+		est := wp * perNodeRate
+		sweep, err := runSweep(slas, est, step, progress, func(level int) (Point, error) {
+			return RunClusterPoint(cfg, 1, wp, FixedQueries, level)
+		})
+		if err != nil {
+			return nil, err
+		}
+		sweep.Partitions = wp
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// runSweep raises the load level in fixed steps (the paper's methodology:
+// "we increased the workload in each experiment series until 99th percentile
+// latency exceeded a given threshold") and records the highest level
+// sustained under each SLA.
+func runSweep(slas []float64, estimate, step int, progress func(string),
+	run func(level int) (Point, error)) (Sweep, error) {
+	maxSLA := slas[0]
+	for _, s := range slas {
+		if s > maxSLA {
+			maxSLA = s
+		}
+	}
+	sweep := Sweep{Sustained: map[float64]int{}}
+	// Start well below the estimated capacity and stop once even the most
+	// permissive SLA fails (or a runaway guard trips).
+	level := step
+	if estimate/2 > step {
+		level = (estimate / 2 / step) * step
+	}
+	guard := estimate*2 + 4*step
+	for ; level <= guard; level += step {
+		p, err := run(level)
+		if err != nil {
+			return Sweep{}, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("level %d: p99=%.1fms delivered=%d/%d",
+				level, p.Summary.P99MS, p.Delivered, p.Expected))
+		}
+		sweep.Points = append(sweep.Points, p)
+		for _, sla := range slas {
+			if p.SustainedUnder(sla) && level > sweep.Sustained[sla] {
+				sweep.Sustained[sla] = level
+			}
+		}
+		if !p.SustainedUnder(maxSLA) {
+			break
+		}
+	}
+	return sweep, nil
+}
+
+// Table3a reproduces the read-heavy latency table (paper Table 3a): latency
+// statistics at ~80% of capacity — `0.8 x capacity` queries per query
+// partition at 1 000 ops/s.
+func Table3a(cfg Config, partitions []int) ([]Point, error) {
+	cfg = cfg.Defaults()
+	if len(partitions) == 0 {
+		partitions = DefaultPartitions
+	}
+	perNode := perNodeQueryCapacity(cfg, BaseWriteRate)
+	var out []Point
+	for _, qp := range partitions {
+		queries := int(0.8 * float64(qp*perNode))
+		p, err := RunClusterPoint(cfg, qp, 1, queries, BaseWriteRate)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Table3b reproduces the write-heavy latency table (paper Table 3b): a fixed
+// query population with ~66% of per-partition write capacity per write
+// partition.
+func Table3b(cfg Config, partitions []int) ([]Point, error) {
+	cfg = cfg.Defaults()
+	if len(partitions) == 0 {
+		partitions = DefaultPartitions
+	}
+	perNodeRate := cfg.NodeCapacity / FixedQueries
+	var out []Point
+	for _, wp := range partitions {
+		rate := int(0.66 * float64(wp*perNodeRate))
+		p, err := RunClusterPoint(cfg, 1, wp, FixedQueries, rate)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Fig6Pair holds matched standalone-InvaliDB and Quaestor measurements at
+// one load level.
+type Fig6Pair struct {
+	Level    int
+	InvaliDB Point
+	Quaestor Point
+}
+
+// Fig6a compares change-notification latency with and without the
+// application server under increasing query load (paper Figure 6a; the
+// paper's deployment was 16 QP x 1 WP at 1 000 ops/s).
+func Fig6a(cfg Config, qp int, levels []int, progress func(string)) ([]Fig6Pair, error) {
+	cfg = cfg.Defaults()
+	var out []Fig6Pair
+	for _, level := range levels {
+		inv, err := RunClusterPoint(cfg, qp, 1, level, BaseWriteRate)
+		if err != nil {
+			return nil, err
+		}
+		qst, err := RunQuaestorPoint(cfg, qp, 1, level, BaseWriteRate)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("queries=%d invalidb p99=%.1fms quaestor p99=%.1fms",
+				level, inv.Summary.P99MS, qst.Summary.P99MS))
+		}
+		out = append(out, Fig6Pair{Level: level, InvaliDB: inv, Quaestor: qst})
+	}
+	return out, nil
+}
+
+// Fig6b compares latency under increasing write throughput (paper Figure
+// 6b; 1 QP x 16 WP, 1 000 active queries): the application server's write
+// path caps Quaestor throughput while standalone InvaliDB keeps scaling.
+func Fig6b(cfg Config, wp int, levels []int, progress func(string)) ([]Fig6Pair, error) {
+	cfg = cfg.Defaults()
+	var out []Fig6Pair
+	for _, level := range levels {
+		inv, err := RunClusterPoint(cfg, 1, wp, FixedQueries, level)
+		if err != nil {
+			return nil, err
+		}
+		qst, err := RunQuaestorPoint(cfg, 1, wp, FixedQueries, level)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("ops/s=%d invalidb p99=%.1fms quaestor p99=%.1fms (delivered %d/%d vs %d/%d)",
+				level, inv.Summary.P99MS, qst.Summary.P99MS,
+				inv.Delivered, inv.Expected, qst.Delivered, qst.Expected))
+		}
+		out = append(out, Fig6Pair{Level: level, InvaliDB: inv, Quaestor: qst})
+	}
+	return out, nil
+}
+
+// Fig6c measures the latency distributions of the read-heavy snapshot
+// (paper Figure 6c: 24 000 queries at 1 000 ops/s — here the scaled ~80%
+// capacity point of the given cluster).
+func Fig6c(cfg Config, qp int) (Fig6Pair, error) {
+	cfg = cfg.Defaults()
+	queries := int(0.8 * float64(qp*perNodeQueryCapacity(cfg, BaseWriteRate)))
+	inv, err := RunClusterPoint(cfg, qp, 1, queries, BaseWriteRate)
+	if err != nil {
+		return Fig6Pair{}, err
+	}
+	qst, err := RunQuaestorPoint(cfg, qp, 1, queries, BaseWriteRate)
+	if err != nil {
+		return Fig6Pair{}, err
+	}
+	return Fig6Pair{Level: queries, InvaliDB: inv, Quaestor: qst}, nil
+}
+
+// Fig6d measures the latency distributions of the write-heavy snapshot
+// (paper Figure 6d: 5 000 ops/s with 1 000 queries — here ~80% of the
+// cluster's write capacity).
+func Fig6d(cfg Config, wp int) (Fig6Pair, error) {
+	cfg = cfg.Defaults()
+	rate := int(0.8 * float64(wp*cfg.NodeCapacity/FixedQueries))
+	inv, err := RunClusterPoint(cfg, 1, wp, FixedQueries, rate)
+	if err != nil {
+		return Fig6Pair{}, err
+	}
+	qst, err := RunQuaestorPoint(cfg, 1, wp, FixedQueries, rate)
+	if err != nil {
+		return Fig6Pair{}, err
+	}
+	return Fig6Pair{Level: rate, InvaliDB: inv, Quaestor: qst}, nil
+}
+
+// BaselineResult summarizes one mechanism's behaviour under the comparison
+// workload (paper §3.1 / Table 2 scaling rows).
+type BaselineResult struct {
+	Mechanism string
+	Point     Point
+	// Note captures mechanism-specific observations (poll staleness, DB
+	// query overhead, tailer lag).
+	Note string
+}
+
+// hitLatencySLA for baseline keep-up checks (generous: the question is
+// whether the mechanism collapses, not its exact latency).
+const baselineSLA = 100.0
+
+// Baselines contrasts InvaliDB's write scalability against the log-tailing
+// single-node bottleneck at a write rate beyond one node's capacity, and
+// quantifies poll-and-diff's staleness and database overhead at the same
+// query population.
+func Baselines(cfg Config, progress func(string)) ([]BaselineResult, error) {
+	cfg = cfg.Defaults()
+	perNodeRate := cfg.NodeCapacity / FixedQueries
+	rate := 2 * perNodeRate // beyond a single node, within a 4-partition cluster
+	var out []BaselineResult
+
+	inv, err := RunClusterPoint(cfg, 1, 4, FixedQueries, rate)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineResult{
+		Mechanism: "InvaliDB (4 write partitions)",
+		Point:     inv,
+		Note:      fmt.Sprintf("sustained=%v", inv.SustainedUnder(baselineSLA)),
+	})
+	if progress != nil {
+		progress("invalidb done")
+	}
+
+	lt, err := runLogTailingPoint(cfg, rate)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lt)
+	if progress != nil {
+		progress("log tailing done")
+	}
+
+	pd, err := runPollAndDiffPoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pd)
+	if progress != nil {
+		progress("poll-and-diff done")
+	}
+	return out, nil
+}
+
+// scaledPollInterval is the poll-and-diff interval used in the comparison —
+// scaled down from Meteor's 10s default the same way measurement phases are.
+const scaledPollInterval = 500 * time.Millisecond

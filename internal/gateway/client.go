@@ -1,0 +1,257 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// Client is an end-user device's connection to a gateway — the counterpart
+// of the web/mobile SDK in the paper's architecture.
+type Client struct {
+	nc  net.Conn
+	enc *json.Encoder
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	subs    map[string]*ClientSub
+	pending map[string]chan Response // request id -> reply slot
+	closed  bool
+	nextID  atomic.Uint64
+	wg      sync.WaitGroup
+
+	// Timeout bounds synchronous calls. Default 5s.
+	Timeout time.Duration
+}
+
+// DialClient connects to a gateway.
+func DialClient(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial: %w", err)
+	}
+	w := bufio.NewWriterSize(nc, 1<<14)
+	c := &Client{
+		nc:      nc,
+		w:       w,
+		enc:     json.NewEncoder(w),
+		subs:    map[string]*ClientSub{},
+		pending: map[string]chan Response{},
+		Timeout: 5 * time.Second,
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close disconnects from the gateway; server-side subscriptions are torn
+// down by the gateway.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, s := range c.subs {
+		s.closeInner()
+	}
+	c.subs = map[string]*ClientSub{}
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = map[string]chan Response{}
+	c.mu.Unlock()
+	err := c.nc.Close()
+	c.wg.Wait()
+	return err
+}
+
+// ClientSub is one real-time query subscription held by the device.
+type ClientSub struct {
+	id     string
+	c      *Client
+	events chan Response
+	closed bool
+}
+
+// ID returns the client-generated subscription identifier.
+func (s *ClientSub) ID() string { return s.id }
+
+// C streams event frames ("initial", "add", "change", "changeIndex",
+// "remove", "error").
+func (s *ClientSub) C() <-chan Response { return s.events }
+
+// Close unsubscribes.
+func (s *ClientSub) Close() error {
+	s.c.mu.Lock()
+	if _, active := s.c.subs[s.id]; !active {
+		s.c.mu.Unlock()
+		return nil
+	}
+	delete(s.c.subs, s.id)
+	s.closeInnerLocked()
+	closed := s.c.closed
+	s.c.mu.Unlock()
+	if closed {
+		return nil
+	}
+	_, err := s.c.call(Request{Op: "unsubscribe", ID: s.id})
+	return err
+}
+
+func (s *ClientSub) closeInner() {
+	s.closeInnerLocked()
+}
+
+func (s *ClientSub) closeInnerLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.events)
+	}
+}
+
+func (c *Client) newID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, c.nextID.Add(1))
+}
+
+// Subscribe opens a real-time query subscription. The first frame on the
+// returned channel carries the initial result.
+func (c *Client) Subscribe(spec query.Spec) (*ClientSub, error) {
+	id := c.newID("sub")
+	sub := &ClientSub{id: id, c: c, events: make(chan Response, 1024)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("gateway: client closed")
+	}
+	c.subs[id] = sub
+	err := c.write(Request{Op: "subscribe", ID: id, Query: &spec})
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Insert writes a document through the gateway.
+func (c *Client) Insert(collection string, doc document.Document) error {
+	_, err := c.call(Request{Op: "insert", ID: c.newID("req"), Collection: collection, Doc: doc})
+	return err
+}
+
+// Update applies a MongoDB update document.
+func (c *Client) Update(collection, key string, update map[string]any) error {
+	_, err := c.call(Request{Op: "update", ID: c.newID("req"), Collection: collection, Key: key, Update: update})
+	return err
+}
+
+// Delete removes a document.
+func (c *Client) Delete(collection, key string) error {
+	_, err := c.call(Request{Op: "delete", ID: c.newID("req"), Collection: collection, Key: key})
+	return err
+}
+
+// Query executes a pull-based query.
+func (c *Client) Query(spec query.Spec) ([]document.Document, error) {
+	r, err := c.call(Request{Op: "query", ID: c.newID("req"), Query: &spec})
+	if err != nil {
+		return nil, err
+	}
+	return r.Docs, nil
+}
+
+// call performs a synchronous request/response exchange.
+func (c *Client) call(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("gateway: client closed")
+	}
+	c.pending[req.ID] = ch
+	err := c.write(req)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return Response{}, fmt.Errorf("gateway: connection closed")
+		}
+		if r.Op == "error" {
+			return r, fmt.Errorf("gateway: %s", r.Message)
+		}
+		return r, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("gateway: request %s timed out", req.ID)
+	}
+}
+
+// write encodes a frame; caller holds c.mu.
+func (c *Client) write(req Request) error {
+	if err := c.enc.Encode(&req); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	dec := json.NewDecoder(bufio.NewReaderSize(c.nc, 1<<16))
+	dec.UseNumber()
+	for {
+		var r Response
+		if err := dec.Decode(&r); err != nil {
+			_ = c.Close()
+			return
+		}
+		if r.Doc != nil {
+			r.Doc = document.Normalize(r.Doc)
+		}
+		for i := range r.Docs {
+			r.Docs[i] = document.Normalize(r.Docs[i])
+		}
+		switch r.Op {
+		case "event":
+			c.mu.Lock()
+			sub := c.subs[r.ID]
+			if sub != nil && !sub.closed {
+				select {
+				case sub.events <- r:
+				default: // device falls behind: drop, re-sync via pull
+				}
+			}
+			c.mu.Unlock()
+		default:
+			c.mu.Lock()
+			ch := c.pending[r.ID]
+			delete(c.pending, r.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- r
+			}
+		}
+	}
+}

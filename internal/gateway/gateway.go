@@ -1,0 +1,315 @@
+// Package gateway implements the client-facing proxy of the production
+// architecture (paper Figure 1 and §7.2): end-user devices — web and mobile
+// apps — connect to a proxy that multiplexes their real-time query
+// subscriptions over the application server. Each application server at
+// Baqend holds a single WebSocket connection to such a proxy; subscriptions
+// are fanned out per client with the client-generated subscription id
+// tagging every change notification (paper §5, footnote 2).
+//
+// The wire protocol is newline-delimited JSON over TCP (a WebSocket
+// stand-in): requests carry an op ("subscribe", "unsubscribe", "insert",
+// "update", "delete", "query") and responses carry events or results tagged
+// with the request's id.
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// Request is one client frame.
+type Request struct {
+	Op string `json:"op"`
+	// ID tags subscriptions and correlates responses.
+	ID string `json:"id,omitempty"`
+	// Query for "subscribe" and "query".
+	Query *query.Spec `json:"query,omitempty"`
+	// Collection/Key/Doc/Update for write operations.
+	Collection string            `json:"collection,omitempty"`
+	Key        string            `json:"key,omitempty"`
+	Doc        document.Document `json:"doc,omitempty"`
+	Update     map[string]any    `json:"update,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	Op string `json:"op"` // "event", "result", "ok", "error"
+	ID string `json:"id,omitempty"`
+	// Event payload.
+	Type  string              `json:"type,omitempty"`
+	Key   string              `json:"key,omitempty"`
+	Doc   document.Document   `json:"doc,omitempty"`
+	Docs  []document.Document `json:"docs,omitempty"`
+	Index int                 `json:"index,omitempty"`
+	// Error payload.
+	Message string `json:"message,omitempty"`
+}
+
+// Server is the gateway listener.
+type Server struct {
+	srv *appserver.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	clients atomic.Int64
+}
+
+// Serve starts a gateway for the application server on addr
+// ("127.0.0.1:0" picks a port).
+func Serve(srv *appserver.Server, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen: %w", err)
+	}
+	g := &Server{srv: srv, ln: ln, conns: map[*conn]struct{}{}}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the gateway's listen address.
+func (g *Server) Addr() string { return g.ln.Addr().String() }
+
+// Clients reports currently connected end-user clients.
+func (g *Server) Clients() int64 { return g.clients.Load() }
+
+// Close stops the listener and disconnects all clients. The application
+// server is left running.
+func (g *Server) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	conns := make([]*conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	err := g.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+func (g *Server) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &conn{g: g, nc: nc, subs: map[string]*appserver.Subscription{}, out: make(chan Response, 1024)}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		g.conns[c] = struct{}{}
+		g.mu.Unlock()
+		g.clients.Add(1)
+		g.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// conn is one end-user client connection.
+type conn struct {
+	g  *Server
+	nc net.Conn
+
+	mu     sync.Mutex
+	subs   map[string]*appserver.Subscription // client subscription id -> sub
+	closed bool
+	out    chan Response
+	done   sync.Once
+}
+
+func (c *conn) close() {
+	c.done.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		subs := make([]*appserver.Subscription, 0, len(c.subs))
+		for _, s := range c.subs {
+			subs = append(subs, s)
+		}
+		c.subs = map[string]*appserver.Subscription{}
+		close(c.out)
+		c.mu.Unlock()
+		for _, s := range subs {
+			_ = s.Close()
+		}
+		_ = c.nc.Close()
+		c.g.mu.Lock()
+		delete(c.g.conns, c)
+		c.g.mu.Unlock()
+		c.g.clients.Add(-1)
+	})
+}
+
+// send enqueues a response; a slow client loses the oldest frame rather than
+// stalling the gateway (clients detect gaps and re-sync with a pull query,
+// exactly like the paper's weak devices discussion in §8.1).
+func (c *conn) send(r Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.out <- r:
+		return
+	default:
+	}
+	select {
+	case <-c.out:
+	default:
+	}
+	select {
+	case c.out <- r:
+	default:
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.g.wg.Done()
+	w := bufio.NewWriterSize(c.nc, 1<<16)
+	enc := json.NewEncoder(w)
+	for r := range c.out {
+		if err := enc.Encode(&r); err != nil {
+			c.close()
+			return
+		}
+		if len(c.out) == 0 {
+			if err := w.Flush(); err != nil {
+				c.close()
+				return
+			}
+		}
+	}
+	_ = w.Flush()
+}
+
+func (c *conn) readLoop() {
+	defer c.g.wg.Done()
+	defer c.close()
+	dec := json.NewDecoder(bufio.NewReaderSize(c.nc, 1<<16))
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.send(Response{Op: "error", Message: "malformed frame: " + err.Error()})
+			}
+			return
+		}
+		c.handle(&req)
+	}
+}
+
+func (c *conn) handle(req *Request) {
+	switch req.Op {
+	case "subscribe":
+		c.handleSubscribe(req)
+	case "unsubscribe":
+		c.mu.Lock()
+		sub := c.subs[req.ID]
+		delete(c.subs, req.ID)
+		c.mu.Unlock()
+		if sub != nil {
+			_ = sub.Close()
+		}
+		c.send(Response{Op: "ok", ID: req.ID})
+	case "query":
+		if req.Query == nil {
+			c.send(Response{Op: "error", ID: req.ID, Message: "query missing"})
+			return
+		}
+		docs, err := c.g.srv.Query(*req.Query)
+		if err != nil {
+			c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
+			return
+		}
+		c.send(Response{Op: "result", ID: req.ID, Docs: docs})
+	case "insert":
+		c.reply(req, c.g.srv.Insert(req.Collection, req.Doc))
+	case "update":
+		c.reply(req, c.g.srv.Update(req.Collection, req.Key, req.Update))
+	case "delete":
+		c.reply(req, c.g.srv.Delete(req.Collection, req.Key))
+	default:
+		c.send(Response{Op: "error", ID: req.ID, Message: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+func (c *conn) reply(req *Request, err error) {
+	if err != nil {
+		c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
+		return
+	}
+	c.send(Response{Op: "ok", ID: req.ID})
+}
+
+func (c *conn) handleSubscribe(req *Request) {
+	if req.Query == nil || req.ID == "" {
+		c.send(Response{Op: "error", ID: req.ID, Message: "subscribe needs id and query"})
+		return
+	}
+	c.mu.Lock()
+	if _, dup := c.subs[req.ID]; dup {
+		c.mu.Unlock()
+		c.send(Response{Op: "error", ID: req.ID, Message: "duplicate subscription id"})
+		return
+	}
+	c.mu.Unlock()
+	sub, err := c.g.srv.Subscribe(*req.Query)
+	if err != nil {
+		c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = sub.Close()
+		return
+	}
+	c.subs[req.ID] = sub
+	c.mu.Unlock()
+	c.send(Response{Op: "ok", ID: req.ID})
+	c.g.wg.Add(1)
+	go c.pump(req.ID, sub)
+}
+
+// pump forwards subscription events to the client, tagged with the client's
+// subscription id.
+func (c *conn) pump(id string, sub *appserver.Subscription) {
+	defer c.g.wg.Done()
+	for ev := range sub.C() {
+		r := Response{Op: "event", ID: id, Type: ev.Type.String(), Key: ev.Key, Doc: ev.Doc, Index: ev.Index}
+		if ev.Type == appserver.EventInitial {
+			r.Docs = ev.Docs
+		}
+		if ev.Type == appserver.EventError && ev.Err != nil {
+			r.Message = ev.Err.Error()
+		}
+		c.send(r)
+	}
+}

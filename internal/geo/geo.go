@@ -1,0 +1,191 @@
+// Package geo implements the geospatial primitives backing the query
+// engine's $geoWithin and $nearSphere operators: points, legacy boxes,
+// spherical circles, and polygons, with spherical distance on an idealized
+// Earth (the same model MongoDB's 2dsphere calculations use).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used for spherical distance,
+// matching MongoDB's 6378.1 km figure (equatorial radius).
+const EarthRadiusMeters = 6378100.0
+
+// Point is a position in degrees, longitude first (GeoJSON order).
+type Point struct {
+	Lng, Lat float64
+}
+
+// Valid reports whether the point lies within legal coordinate ranges.
+func (p Point) Valid() bool {
+	return p.Lng >= -180 && p.Lng <= 180 && p.Lat >= -90 && p.Lat <= 90 &&
+		!math.IsNaN(p.Lng) && !math.IsNaN(p.Lat)
+}
+
+// DistanceRad returns the central angle between two points in radians,
+// computed with the haversine formula (numerically stable for small angles).
+func DistanceRad(a, b Point) float64 {
+	la1, lo1 := a.Lat*math.Pi/180, a.Lng*math.Pi/180
+	la2, lo2 := b.Lat*math.Pi/180, b.Lng*math.Pi/180
+	dLat := la2 - la1
+	dLng := lo2 - lo1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLng/2)*math.Sin(dLng/2)
+	return 2 * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// DistanceMeters returns the great-circle distance between two points.
+func DistanceMeters(a, b Point) float64 {
+	return DistanceRad(a, b) * EarthRadiusMeters
+}
+
+// Shape is any region that can test point containment.
+type Shape interface {
+	Contains(p Point) bool
+}
+
+// Box is a legacy-coordinate rectangle given by two opposite corners.
+type Box struct {
+	Min, Max Point // normalized: Min.Lng <= Max.Lng, Min.Lat <= Max.Lat
+}
+
+// NewBox builds a Box from two arbitrary opposite corners.
+func NewBox(a, b Point) Box {
+	return Box{
+		Min: Point{Lng: math.Min(a.Lng, b.Lng), Lat: math.Min(a.Lat, b.Lat)},
+		Max: Point{Lng: math.Max(a.Lng, b.Lng), Lat: math.Max(a.Lat, b.Lat)},
+	}
+}
+
+// Contains reports whether p lies inside the box (inclusive bounds).
+func (b Box) Contains(p Point) bool {
+	return p.Lng >= b.Min.Lng && p.Lng <= b.Max.Lng &&
+		p.Lat >= b.Min.Lat && p.Lat <= b.Max.Lat
+}
+
+// Circle is a spherical cap: all points within RadiusRad radians of Center.
+type Circle struct {
+	Center    Point
+	RadiusRad float64
+}
+
+// Contains reports whether p lies within the spherical cap.
+func (c Circle) Contains(p Point) bool {
+	return DistanceRad(c.Center, p) <= c.RadiusRad
+}
+
+// Polygon is a simple (non-self-intersecting) planar polygon over lng/lat
+// coordinates. The ring need not be explicitly closed. MongoDB's legacy
+// $polygon uses planar semantics; that is what filtering queries rely on.
+type Polygon struct {
+	Ring []Point
+}
+
+// NewPolygon validates and builds a polygon from at least three vertices.
+func NewPolygon(ring []Point) (Polygon, error) {
+	// Drop an explicit closing vertex.
+	if len(ring) >= 2 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	if len(ring) < 3 {
+		return Polygon{}, fmt.Errorf("geo: polygon needs at least 3 distinct vertices, got %d", len(ring))
+	}
+	for i, p := range ring {
+		if !p.Valid() {
+			return Polygon{}, fmt.Errorf("geo: polygon vertex %d out of range: %+v", i, p)
+		}
+	}
+	return Polygon{Ring: ring}, nil
+}
+
+// Contains reports whether p lies inside the polygon, using the even-odd
+// ray-casting rule. Points exactly on an edge are treated as inside.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.Ring)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg.Ring[i], pg.Ring[j]
+		if onSegment(p, a, b) {
+			return true
+		}
+		if (a.Lat > p.Lat) != (b.Lat > p.Lat) {
+			x := (b.Lng-a.Lng)*(p.Lat-a.Lat)/(b.Lat-a.Lat) + a.Lng
+			if p.Lng < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+const segEps = 1e-12
+
+func onSegment(p, a, b Point) bool {
+	cross := (b.Lng-a.Lng)*(p.Lat-a.Lat) - (b.Lat-a.Lat)*(p.Lng-a.Lng)
+	if math.Abs(cross) > segEps {
+		return false
+	}
+	dot := (p.Lng-a.Lng)*(b.Lng-a.Lng) + (p.Lat-a.Lat)*(b.Lat-a.Lat)
+	if dot < 0 {
+		return false
+	}
+	sq := (b.Lng-a.Lng)*(b.Lng-a.Lng) + (b.Lat-a.Lat)*(b.Lat-a.Lat)
+	return dot <= sq
+}
+
+// ParsePoint extracts a Point from a document value. Accepted forms, as in
+// MongoDB: legacy pair [lng, lat], legacy object {lng:..., lat:...} or
+// {x:..., y:...}, and GeoJSON {type:"Point", coordinates:[lng, lat]}.
+func ParsePoint(v any) (Point, bool) {
+	switch t := v.(type) {
+	case []any:
+		if len(t) != 2 {
+			return Point{}, false
+		}
+		lng, ok1 := asFloat(t[0])
+		lat, ok2 := asFloat(t[1])
+		p := Point{Lng: lng, Lat: lat}
+		return p, ok1 && ok2 && p.Valid()
+	case map[string]any:
+		if typ, ok := t["type"].(string); ok && typ == "Point" {
+			coords, ok := t["coordinates"].([]any)
+			if !ok {
+				return Point{}, false
+			}
+			return ParsePoint(coords)
+		}
+		if lng, ok := asFloat(t["lng"]); ok {
+			if lat, ok2 := asFloat(t["lat"]); ok2 {
+				p := Point{Lng: lng, Lat: lat}
+				return p, p.Valid()
+			}
+		}
+		if x, ok := asFloat(t["x"]); ok {
+			if y, ok2 := asFloat(t["y"]); ok2 {
+				p := Point{Lng: x, Lat: y}
+				return p, p.Valid()
+			}
+		}
+		return Point{}, false
+	default:
+		return Point{}, false
+	}
+}
+
+func asFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int64:
+		return float64(t), true
+	case int:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}

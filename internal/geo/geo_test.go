@@ -1,0 +1,185 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{-180, -90}, true},
+		{Point{180, 90}, true},
+		{Point{181, 0}, false},
+		{Point{0, 91}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if c.p.Valid() != c.want {
+			t.Errorf("Valid(%+v) = %v, want %v", c.p, !c.want, c.want)
+		}
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	hamburg := Point{Lng: 9.99, Lat: 53.55}
+	berlin := Point{Lng: 13.40, Lat: 52.52}
+	d := DistanceMeters(hamburg, berlin)
+	// Real-world distance is about 255 km; allow generous slack for the
+	// spherical model.
+	if d < 240_000 || d > 270_000 {
+		t.Fatalf("Hamburg-Berlin distance = %.0f m, want ~255 km", d)
+	}
+	if DistanceMeters(hamburg, hamburg) != 0 {
+		t.Fatal("distance to self should be 0")
+	}
+}
+
+func TestDistanceAntipodal(t *testing.T) {
+	a := Point{Lng: 0, Lat: 0}
+	b := Point{Lng: 180, Lat: 0}
+	if got := DistanceRad(a, b); math.Abs(got-math.Pi) > 1e-9 {
+		t.Fatalf("antipodal distance = %v rad, want pi", got)
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := NewBox(Point{10, 10}, Point{0, 0}) // corners given in reverse order
+	if !b.Contains(Point{5, 5}) || !b.Contains(Point{0, 0}) || !b.Contains(Point{10, 10}) {
+		t.Fatal("box should contain interior and corners")
+	}
+	if b.Contains(Point{10.01, 5}) || b.Contains(Point{5, -0.01}) {
+		t.Fatal("box contains exterior point")
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Point{0, 0}, RadiusRad: 1000 / EarthRadiusMeters}
+	inside := Point{Lng: 0.005, Lat: 0} // ~557 m east
+	outside := Point{Lng: 0.02, Lat: 0} // ~2.2 km east
+	if !c.Contains(inside) {
+		t.Fatal("point within radius not contained")
+	}
+	if c.Contains(outside) {
+		t.Fatal("point beyond radius contained")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	pg, err := NewPolygon([]Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg.Contains(Point{5, 5}) {
+		t.Fatal("centroid not contained")
+	}
+	if pg.Contains(Point{15, 5}) || pg.Contains(Point{5, -1}) {
+		t.Fatal("exterior point contained")
+	}
+	if !pg.Contains(Point{0, 5}) {
+		t.Fatal("edge point should count as inside")
+	}
+	if !pg.Contains(Point{10, 10}) {
+		t.Fatal("vertex should count as inside")
+	}
+}
+
+func TestPolygonConcave(t *testing.T) {
+	// A "C" shape: notch cut from the right side.
+	pg, err := NewPolygon([]Point{{0, 0}, {10, 0}, {10, 3}, {4, 3}, {4, 7}, {10, 7}, {10, 10}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Contains(Point{7, 5}) {
+		t.Fatal("point in the notch should be outside")
+	}
+	if !pg.Contains(Point{2, 5}) {
+		t.Fatal("point in the spine should be inside")
+	}
+}
+
+func TestPolygonClosedRingAccepted(t *testing.T) {
+	pg, err := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Ring) != 3 {
+		t.Fatalf("closing vertex not dropped: %d vertices", len(pg.Ring))
+	}
+}
+
+func TestPolygonRejectsDegenerate(t *testing.T) {
+	if _, err := NewPolygon([]Point{{0, 0}, {1, 1}}); err == nil {
+		t.Fatal("2-vertex polygon accepted")
+	}
+	if _, err := NewPolygon([]Point{{0, 0}, {1, 1}, {999, 0}}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestParsePointForms(t *testing.T) {
+	cases := []any{
+		[]any{float64(9.99), float64(53.55)},
+		[]any{int64(9), int64(53)},
+		map[string]any{"lng": float64(9.99), "lat": float64(53.55)},
+		map[string]any{"x": float64(9.99), "y": float64(53.55)},
+		map[string]any{"type": "Point", "coordinates": []any{float64(9.99), float64(53.55)}},
+	}
+	for i, c := range cases {
+		if _, ok := ParsePoint(c); !ok {
+			t.Errorf("case %d: valid point form rejected: %v", i, c)
+		}
+	}
+	bad := []any{
+		"9.99,53.55",
+		[]any{float64(1)},
+		[]any{float64(500), float64(0)},
+		map[string]any{"type": "Point"},
+		map[string]any{"lng": "x", "lat": "y"},
+		nil,
+	}
+	for i, c := range bad {
+		if _, ok := ParsePoint(c); ok {
+			t.Errorf("bad case %d: invalid point form accepted: %v", i, c)
+		}
+	}
+}
+
+func TestQuickDistanceSymmetricAndTriangle(t *testing.T) {
+	f := func(a1, a2, b1, b2, c1, c2 float64) bool {
+		wrap := func(v, lim float64) float64 { return math.Mod(math.Abs(v), lim) }
+		a := Point{Lng: wrap(a1, 180), Lat: wrap(a2, 90)}
+		b := Point{Lng: -wrap(b1, 180), Lat: -wrap(b2, 90)}
+		c := Point{Lng: wrap(c1, 180), Lat: -wrap(c2, 90)}
+		dab, dba := DistanceRad(a, b), DistanceRad(b, a)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false
+		}
+		// Triangle inequality with epsilon for floating error.
+		return DistanceRad(a, c) <= dab+DistanceRad(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBoxContainsItsCorners(t *testing.T) {
+	f := func(x1, y1, x2, y2 float64) bool {
+		wrap := func(v, lim float64) float64 { return math.Mod(v, lim) }
+		a := Point{Lng: wrap(x1, 180), Lat: wrap(y1, 90)}
+		b := Point{Lng: wrap(x2, 180), Lat: wrap(y2, 90)}
+		if math.IsNaN(a.Lng) || math.IsNaN(a.Lat) || math.IsNaN(b.Lng) || math.IsNaN(b.Lat) {
+			return true
+		}
+		box := NewBox(a, b)
+		mid := Point{Lng: (a.Lng + b.Lng) / 2, Lat: (a.Lat + b.Lat) / 2}
+		return box.Contains(a) && box.Contains(b) && box.Contains(mid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package loadgen generates the paper's evaluation workload (§6.1): every
+// written document has five 10-literal string attributes and five integer
+// attributes, one of which is a unique random number; real-time queries are
+// range predicates on that number (SELECT * FROM test WHERE random >= i AND
+// random < j), and only a configured subset of queries matches written items
+// so notification throughput stays constant while matching load scales with
+// queries × writes.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// Collection is the workload's collection name, as in the paper's SQL
+// rendering (FROM test).
+const Collection = "test"
+
+// Workload generates documents and queries deterministically from a seed.
+type Workload struct {
+	rng *rand.Rand
+	// MatchingValues are the reserved `random` values: matching query i
+	// covers exactly [MatchingValues[i], MatchingValues[i]+1).
+	MatchingValues []int
+	nextKey        int
+}
+
+// matchBase is the start of the reserved value region for matching queries.
+// Non-matching inserts draw from [0, matchBase); non-matching queries cover
+// ranges above every reserved value.
+const matchBase = 1_000_000
+
+// New creates a workload with the given number of matching queries.
+func New(seed int64, matchingQueries int) *Workload {
+	w := &Workload{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < matchingQueries; i++ {
+		// Spread reserved values two apart so [v, v+1) ranges never overlap.
+		w.MatchingValues = append(w.MatchingValues, matchBase+2*i)
+	}
+	return w
+}
+
+// MatchingQuery returns the i-th matching query: a half-open range covering
+// exactly one reserved value.
+func (w *Workload) MatchingQuery(i int) query.Spec {
+	v := w.MatchingValues[i%len(w.MatchingValues)]
+	return rangeQuery(v, v+1)
+}
+
+// NonMatchingQuery returns a query whose range no written document ever
+// falls into (above the reserved region).
+func (w *Workload) NonMatchingQuery(i int) query.Spec {
+	lo := matchBase + 2*len(w.MatchingValues) + 2*i + 1
+	return rangeQuery(lo, lo+1)
+}
+
+func rangeQuery(i, j int) query.Spec {
+	return query.Spec{
+		Collection: Collection,
+		Filter: map[string]any{
+			"random": map[string]any{"$gte": int64(i), "$lt": int64(j)},
+		},
+	}
+}
+
+// Queries builds the full query population: `matching` queries that each
+// match one reserved value plus `total-matching` queries that never match.
+func (w *Workload) Queries(total, matching int) []query.Spec {
+	if matching > total {
+		matching = total
+	}
+	specs := make([]query.Spec, 0, total)
+	for i := 0; i < matching; i++ {
+		specs = append(specs, w.MatchingQuery(i))
+	}
+	for i := 0; i < total-matching; i++ {
+		specs = append(specs, w.NonMatchingQuery(i))
+	}
+	return specs
+}
+
+// Doc produces the next document. With hit true its `random` attribute is
+// the idx-th reserved value (so exactly one matching query fires); with hit
+// false it draws from the non-matching region.
+func (w *Workload) Doc(hit bool, idx int) document.Document {
+	w.nextKey++
+	var random int64
+	if hit && len(w.MatchingValues) > 0 {
+		random = int64(w.MatchingValues[idx%len(w.MatchingValues)])
+	} else {
+		random = int64(w.rng.Intn(matchBase))
+	}
+	d := document.Document{
+		"_id":    fmt.Sprintf("doc%09d", w.nextKey),
+		"random": random,
+	}
+	for i := 0; i < 5; i++ {
+		d[fmt.Sprintf("str%d", i)] = w.literal()
+	}
+	// The unique random number is one of five integer attributes.
+	for i := 1; i < 5; i++ {
+		d[fmt.Sprintf("int%d", i)] = int64(w.rng.Intn(1000))
+	}
+	return d
+}
+
+const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// literal produces a 10-literal string attribute value.
+func (w *Workload) literal() string {
+	b := make([]byte, 10)
+	for i := range b {
+		b[i] = letters[w.rng.Intn(len(letters))]
+	}
+	return string(b)
+}

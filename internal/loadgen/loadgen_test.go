@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"testing"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+func TestDocShape(t *testing.T) {
+	w := New(1, 10)
+	d := w.Doc(false, 0)
+	if _, ok := d.ID(); !ok {
+		t.Fatal("document without _id")
+	}
+	strs, ints := 0, 0
+	for k, v := range d {
+		if k == "_id" {
+			continue
+		}
+		switch v.(type) {
+		case string:
+			strs++
+			if len(v.(string)) != 10 {
+				t.Fatalf("string attribute %q has %d literals, want 10", k, len(v.(string)))
+			}
+		case int64:
+			ints++
+		}
+	}
+	if strs != 5 || ints != 5 {
+		t.Fatalf("attributes: %d strings, %d ints; want 5 and 5 (paper §6.1)", strs, ints)
+	}
+}
+
+func TestMatchingQueriesMatchExactlyOneValue(t *testing.T) {
+	w := New(1, 5)
+	for i := 0; i < 5; i++ {
+		q := query.MustCompile(w.MatchingQuery(i))
+		hit := w.Doc(true, i)
+		if !q.Match(hit) {
+			t.Fatalf("matching query %d missed its reserved document", i)
+		}
+		// A hit for a different reserved value must not match.
+		other := w.Doc(true, i+1)
+		if q.Match(other) {
+			t.Fatalf("matching query %d matched another query's document", i)
+		}
+	}
+}
+
+func TestNonMatchingQueriesNeverMatch(t *testing.T) {
+	w := New(7, 4)
+	var qs []*query.Query
+	for i := 0; i < 20; i++ {
+		qs = append(qs, query.MustCompile(w.NonMatchingQuery(i)))
+	}
+	for i := 0; i < 500; i++ {
+		d := w.Doc(i%3 == 0, i)
+		for _, q := range qs {
+			if q.Match(d) {
+				t.Fatalf("non-matching query matched document %v", d["random"])
+			}
+		}
+	}
+}
+
+func TestQueriesPopulation(t *testing.T) {
+	w := New(3, 10)
+	specs := w.Queries(25, 10)
+	if len(specs) != 25 {
+		t.Fatalf("population size = %d", len(specs))
+	}
+	// The first 10 are the matching ones.
+	hit := w.Doc(true, 0)
+	if !query.MustCompile(specs[0]).Match(hit) {
+		t.Fatal("first query should match reserved value 0")
+	}
+	// Matching capped at total.
+	if got := w.Queries(5, 10); len(got) != 5 {
+		t.Fatalf("capped population = %d", len(got))
+	}
+}
+
+func TestKeysUnique(t *testing.T) {
+	w := New(1, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id, _ := w.Doc(false, 0).ID()
+		if seen[id] {
+			t.Fatalf("duplicate key %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := New(42, 3), New(42, 3)
+	for i := 0; i < 50; i++ {
+		da, db := a.Doc(i%2 == 0, i), b.Doc(i%2 == 0, i)
+		if string(document.EncodeJSON(da)) != string(document.EncodeJSON(db)) {
+			t.Fatal("same seed produced different documents")
+		}
+	}
+}

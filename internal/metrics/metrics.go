@@ -1,0 +1,232 @@
+// Package metrics provides the latency and throughput instrumentation the
+// benchmark harness uses to reproduce the paper's measurements: streaming
+// latency recorders with average / standard deviation / percentile / max
+// statistics (Table 3) and bucketed distributions (Figure 6c/6d).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates duration samples. It is safe for concurrent
+// use and keeps every sample (the paper's experiments collect ~1000
+// notifications per run, so exact percentiles are affordable).
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     float64 // milliseconds
+	sumSq   float64
+	max     time.Duration
+}
+
+// NewLatencyRecorder creates an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.sum += ms
+	r.sumSq += ms * ms
+	if d > r.max {
+		r.max = d
+	}
+	r.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset clears all samples.
+func (r *LatencyRecorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.sum, r.sumSq, r.max = 0, 0, 0
+	r.mu.Unlock()
+}
+
+// Summary is a snapshot of latency statistics in milliseconds — the exact
+// columns of the paper's Table 3 (average, standard deviation, 99th
+// percentile, maximum).
+type Summary struct {
+	Count int
+	AvgMS float64
+	StdMS float64
+	P50MS float64
+	P95MS float64
+	P99MS float64
+	MaxMS float64
+}
+
+// Snapshot computes the summary of all samples recorded so far.
+func (r *LatencyRecorder) Snapshot() Summary {
+	r.mu.Lock()
+	n := len(r.samples)
+	if n == 0 {
+		r.mu.Unlock()
+		return Summary{}
+	}
+	samples := append([]time.Duration(nil), r.samples...)
+	sum, sumSq, max := r.sum, r.sumSq, r.max
+	r.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count: n,
+		AvgMS: mean,
+		StdMS: math.Sqrt(variance),
+		P50MS: percentile(samples, 0.50),
+		P95MS: percentile(samples, 0.95),
+		P99MS: percentile(samples, 0.99),
+		MaxMS: float64(max) / float64(time.Millisecond),
+	}
+}
+
+// percentile computes the pth percentile (0..1) of sorted samples using the
+// nearest-rank method, in milliseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
+}
+
+// String renders the summary as the paper's table row format.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg=%.1fms std=%.1fms p99=%.1fms max=%.0fms (n=%d)",
+		s.AvgMS, s.StdMS, s.P99MS, s.MaxMS, s.Count)
+}
+
+// Histogram buckets latency samples for distribution plots (Figure 6c/6d).
+type Histogram struct {
+	// BucketMS is the bucket width in milliseconds.
+	BucketMS float64
+	// UpperMS is the inclusive upper bound; samples beyond it land in the
+	// overflow bucket.
+	UpperMS float64
+
+	mu       sync.Mutex
+	buckets  []uint64
+	overflow uint64
+	total    uint64
+}
+
+// NewHistogram creates a histogram with the given bucket width and range.
+func NewHistogram(bucketMS, upperMS float64) *Histogram {
+	n := int(math.Ceil(upperMS / bucketMS))
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{BucketMS: bucketMS, UpperMS: upperMS, buckets: make([]uint64, n)}
+}
+
+// Record adds a sample.
+func (h *Histogram) Record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.mu.Lock()
+	idx := int(ms / h.BucketMS)
+	if idx >= len(h.buckets) {
+		h.overflow++
+	} else {
+		h.buckets[idx]++
+	}
+	h.total++
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bar: the bucket's lower bound in milliseconds and
+// the relative frequency of samples in it.
+type Bucket struct {
+	LowerMS   float64
+	Frequency float64
+}
+
+// Buckets returns the normalized distribution (frequencies sum to 1 across
+// buckets plus overflow).
+func (h *Histogram) Buckets() (buckets []Bucket, overflow float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil, 0
+	}
+	out := make([]Bucket, len(h.buckets))
+	for i, c := range h.buckets {
+		out[i] = Bucket{LowerMS: float64(i) * h.BucketMS, Frequency: float64(c) / float64(h.total)}
+	}
+	return out, float64(h.overflow) / float64(h.total)
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Counter is a concurrency-safe event counter with rate computation.
+type Counter struct {
+	mu    sync.Mutex
+	n     uint64
+	since time.Time
+}
+
+// NewCounter creates a counter with its rate window starting now.
+func NewCounter() *Counter {
+	return &Counter{since: time.Now()}
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// RatePerSecond returns the average rate since the last Reset (or creation).
+func (c *Counter) RatePerSecond() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.since).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed
+}
+
+// Reset zeroes the counter and restarts the rate window.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.since = time.Now()
+	c.mu.Unlock()
+}

@@ -1,0 +1,200 @@
+// Package quaestor implements the query-result caching layer of the
+// Quaestor architecture (paper §4, §7; Gessert et al., VLDB 2017) on top of
+// InvaliDB: pull-based query results are cached at the application server,
+// and InvaliDB's low-latency change notifications invalidate stale entries
+// the moment a write changes a result — the consistent query caching scheme
+// that gave Baqend order-of-magnitude latency and throughput improvements
+// for pull-based queries.
+package quaestor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// Options tunes the cache.
+type Options struct {
+	// MaxEntries bounds the number of cached queries; the least recently
+	// used entry is evicted beyond it. Default 1024.
+	MaxEntries int
+}
+
+// Cache is an InvaliDB-invalidated query result cache.
+type Cache struct {
+	server *appserver.Server
+	opts   Options
+
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	lru     []uint64 // least recently used first (small caches: linear is fine)
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type entry struct {
+	spec   query.Spec
+	result []document.Document
+	valid  bool
+	sub    *appserver.Subscription
+	done   chan struct{}
+}
+
+// New creates a cache over an application server.
+func New(server *appserver.Server, opts Options) *Cache {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 1024
+	}
+	return &Cache{server: server, opts: opts, entries: map[uint64]*entry{}}
+}
+
+// Stats reports cache effectiveness.
+func (c *Cache) Stats() (hits, misses, invalidations uint64) {
+	return c.hits.Load(), c.misses.Load(), c.invalidations.Load()
+}
+
+// Query serves a pull-based query through the cache. The bool reports
+// whether the result came from cache. On a miss the query is executed,
+// cached, and registered with InvaliDB for invalidation: any result change
+// marks the entry stale, so the next read re-executes against the database.
+func (c *Cache) Query(spec query.Spec) ([]document.Document, bool, error) {
+	q, err := query.Compile(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	hash := core.TenantQueryHash(c.server.Tenant(), q)
+
+	c.mu.Lock()
+	e, ok := c.entries[hash]
+	if ok && e.valid {
+		c.touchLocked(hash)
+		result := e.result
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return result, true, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	result, err := c.server.Query(spec)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok = c.entries[hash]; ok {
+		// Revalidate the existing entry (its invalidation subscription is
+		// still live).
+		e.result = result
+		e.valid = true
+		c.touchLocked(hash)
+		return result, false, nil
+	}
+	e = &entry{spec: spec, result: result, valid: true, done: make(chan struct{})}
+	sub, err := c.server.Subscribe(spec)
+	if err != nil {
+		// Degraded mode: serve uncached rather than fail the read — the
+		// pull-based path must survive a real-time outage (§5).
+		return result, false, nil
+	}
+	e.sub = sub
+	c.entries[hash] = e
+	c.lru = append(c.lru, hash)
+	go c.watch(hash, e)
+	c.evictLocked()
+	return result, false, nil
+}
+
+// watch invalidates the entry whenever InvaliDB reports a result change.
+func (c *Cache) watch(hash uint64, e *entry) {
+	for {
+		select {
+		case <-e.done:
+			return
+		case ev, ok := <-e.sub.C():
+			if !ok {
+				return
+			}
+			switch ev.Type {
+			case appserver.EventInitial:
+				// The bootstrap snapshot; the cached pull result stands.
+			case appserver.EventError:
+				// Real-time path lost: drop the entry entirely so reads fall
+				// back to the database.
+				c.mu.Lock()
+				c.dropLocked(hash)
+				c.mu.Unlock()
+				return
+			default:
+				c.invalidations.Add(1)
+				c.mu.Lock()
+				if cur := c.entries[hash]; cur == e {
+					cur.valid = false
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (c *Cache) touchLocked(hash uint64) {
+	for i, h := range c.lru {
+		if h == hash {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			c.lru = append(c.lru, hash)
+			return
+		}
+	}
+}
+
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.opts.MaxEntries && len(c.lru) > 0 {
+		c.dropLocked(c.lru[0])
+	}
+}
+
+func (c *Cache) dropLocked(hash uint64) {
+	e, ok := c.entries[hash]
+	if !ok {
+		return
+	}
+	delete(c.entries, hash)
+	for i, h := range c.lru {
+		if h == hash {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			break
+		}
+	}
+	close(e.done)
+	if e.sub != nil {
+		_ = e.sub.Close()
+	}
+}
+
+// Len returns the number of cached queries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Close drops all entries and their invalidation subscriptions.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for hash := range c.entries {
+		c.dropLocked(hash)
+	}
+	if len(c.entries) != 0 {
+		return fmt.Errorf("quaestor: %d entries survived close", len(c.entries))
+	}
+	return nil
+}

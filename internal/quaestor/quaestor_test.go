@@ -1,0 +1,143 @@
+package quaestor
+
+import (
+	"testing"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+)
+
+func newStack(t *testing.T) (*appserver.Server, *Cache) {
+	t.Helper()
+	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{})
+	cluster, err := core.NewCluster(bus, core.Options{
+		TickInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.Open(storage.Options{})
+	srv, err := appserver.New(db, bus, appserver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := New(srv, Options{})
+	t.Cleanup(func() {
+		_ = cache.Close()
+		_ = srv.Close()
+		cluster.Stop()
+		_ = bus.Close()
+	})
+	return srv, cache
+}
+
+func spec() query.Spec {
+	return query.Spec{Collection: "articles", Filter: map[string]any{"year": map[string]any{"$gte": 2018}}}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	srv, cache := newStack(t)
+	if err := srv.Insert("articles", document.Document{"_id": "1", "year": 2020}); err != nil {
+		t.Fatal(err)
+	}
+	r1, cached, err := cache.Query(spec())
+	if err != nil || cached {
+		t.Fatalf("first read: cached=%v err=%v", cached, err)
+	}
+	if len(r1) != 1 {
+		t.Fatalf("result = %v", r1)
+	}
+	r2, cached, err := cache.Query(spec())
+	if err != nil || !cached {
+		t.Fatalf("second read should hit: cached=%v err=%v", cached, err)
+	}
+	if len(r2) != 1 {
+		t.Fatalf("cached result = %v", r2)
+	}
+	hits, misses, _ := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestInvalidationOnWrite(t *testing.T) {
+	srv, cache := newStack(t)
+	if err := srv.Insert("articles", document.Document{"_id": "1", "year": 2020}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.Query(spec()); err != nil {
+		t.Fatal(err)
+	}
+	// A relevant write must invalidate: the next read re-executes and sees
+	// the new record (no stale cache served).
+	if err := srv.Insert("articles", document.Document{"_id": "2", "year": 2021}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		result, cached, err := cache.Query(spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(result) == 2 {
+			if cached {
+				// Fresh data may be served from cache only after a
+				// revalidating miss filled it; both orders are fine as long
+				// as the data is current.
+			}
+			_, _, inv := cache.Stats()
+			if inv == 0 {
+				t.Fatal("no invalidation recorded despite result change")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cache kept serving stale result")
+}
+
+func TestIrrelevantWriteKeepsCacheValid(t *testing.T) {
+	srv, cache := newStack(t)
+	_ = srv.Insert("articles", document.Document{"_id": "1", "year": 2020})
+	_, _, _ = cache.Query(spec())
+	// A write outside the result must not invalidate.
+	if err := srv.Insert("articles", document.Document{"_id": "old", "year": 1999}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	_, cached, err := cache.Query(spec())
+	if err != nil || !cached {
+		t.Fatalf("irrelevant write invalidated the cache: cached=%v err=%v", cached, err)
+	}
+}
+
+func TestEvictionBeyondMaxEntries(t *testing.T) {
+	srv, cache := newStack(t)
+	cache.opts.MaxEntries = 3
+	for i := 0; i < 6; i++ {
+		s := query.Spec{Collection: "articles", Filter: map[string]any{"year": 2000 + i}}
+		if _, _, err := cache.Query(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() > 3 {
+		t.Fatalf("cache grew to %d entries, cap 3", cache.Len())
+	}
+	_ = srv // keep the stack alive
+}
+
+func TestBadQueryRejected(t *testing.T) {
+	_, cache := newStack(t)
+	if _, _, err := cache.Query(query.Spec{}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}

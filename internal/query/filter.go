@@ -1,0 +1,584 @@
+// Package query implements the MongoDB-compatible query engine used by both
+// the pull-based storage engine and InvaliDB's real-time matching layer. The
+// paper (§5.3) calls this the "pluggable query engine": it owns query
+// parsing, after-image interpretation, matching decisions, and result
+// ordering, so that both engines produce identical output for identical
+// input.
+package query
+
+import (
+	"regexp"
+	"strings"
+
+	"invalidb/internal/document"
+	"invalidb/internal/geo"
+)
+
+// Filter is a parsed predicate tree that can be evaluated against a document.
+type Filter interface {
+	// Match reports whether the document satisfies the predicate.
+	Match(d document.Document) bool
+}
+
+// andFilter matches when every child matches. An empty conjunction matches
+// everything (the `{}` filter).
+type andFilter struct{ children []Filter }
+
+func (f *andFilter) Match(d document.Document) bool {
+	for _, c := range f.children {
+		if !c.Match(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// orFilter matches when at least one child matches.
+type orFilter struct{ children []Filter }
+
+func (f *orFilter) Match(d document.Document) bool {
+	for _, c := range f.children {
+		if c.Match(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// norFilter matches when no child matches.
+type norFilter struct{ children []Filter }
+
+func (f *norFilter) Match(d document.Document) bool {
+	for _, c := range f.children {
+		if c.Match(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldFilter applies one or more predicates to a dotted field path. All
+// predicates must hold ({age: {$gt: 5, $lt: 9}} is a conjunction).
+type fieldFilter struct {
+	path  string
+	preds []predicate
+}
+
+func (f *fieldFilter) Match(d document.Document) bool {
+	vals := document.Lookup(d, f.path)
+	for _, p := range f.preds {
+		if !p.eval(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// predicate is a single field-level operator ($eq, $gt, $regex, ...).
+// eval receives the values produced by document.Lookup for the field path —
+// one entry per array branch, with document.Missing marking absent branches.
+type predicate interface {
+	eval(vals []any) bool
+}
+
+// candidates expands lookup values with MongoDB's implicit array semantics:
+// for scalar-oriented operators, an array value matches when any of its
+// elements matches, and the array itself is also a candidate (so {a: [1,2]}
+// can equal-match a stored [1,2]).
+func candidates(vals []any) []any {
+	out := make([]any, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+		if arr, ok := v.([]any); ok {
+			out = append(out, arr...)
+		}
+	}
+	return out
+}
+
+// eqPred implements $eq (and bare {field: value} equality). A null operand
+// also matches missing fields, as in MongoDB.
+type eqPred struct{ operand any }
+
+func (p eqPred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		if document.IsMissing(v) {
+			if p.operand == nil {
+				return true
+			}
+			continue
+		}
+		if document.Equal(v, p.operand) {
+			return true
+		}
+	}
+	return false
+}
+
+// nePred implements $ne: the negation of $eq over all candidates.
+type nePred struct{ operand any }
+
+func (p nePred) eval(vals []any) bool { return !(eqPred{p.operand}).eval(vals) }
+
+// cmpOp is the kind of range comparison.
+type cmpOp uint8
+
+const (
+	opGT cmpOp = iota
+	opGTE
+	opLT
+	opLTE
+)
+
+// cmpPred implements $gt/$gte/$lt/$lte. Range comparisons only consider
+// candidates in the same type bracket as the operand (numbers never compare
+// greater than strings, etc.), matching MongoDB behaviour.
+type cmpPred struct {
+	op      cmpOp
+	operand any
+}
+
+func (p cmpPred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		if document.IsMissing(v) || !sameBracket(v, p.operand) {
+			continue
+		}
+		c := document.Compare(v, p.operand)
+		switch p.op {
+		case opGT:
+			if c > 0 {
+				return true
+			}
+		case opGTE:
+			if c >= 0 {
+				return true
+			}
+		case opLT:
+			if c < 0 {
+				return true
+			}
+		case opLTE:
+			if c <= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameBracket(a, b any) bool {
+	return bracketOf(a) == bracketOf(b)
+}
+
+// bracketOf mirrors document's type bracketing for range-comparison gating.
+func bracketOf(v any) int {
+	switch v.(type) {
+	case nil:
+		return 1
+	case int64, float64, int, float32:
+		return 2
+	case string:
+		return 3
+	case map[string]any, document.Document:
+		return 4
+	case []any:
+		return 5
+	case bool:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// inPred implements $in: any candidate equals any operand. Operands may
+// include regexes (as parsed *regexp.Regexp), which match string candidates.
+type inPred struct {
+	operands []any
+	regexes  []*regexp.Regexp
+}
+
+func (p inPred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		if document.IsMissing(v) {
+			for _, o := range p.operands {
+				if o == nil {
+					return true
+				}
+			}
+			continue
+		}
+		for _, o := range p.operands {
+			if document.Equal(v, o) {
+				return true
+			}
+		}
+		if s, ok := v.(string); ok {
+			for _, re := range p.regexes {
+				if re.MatchString(s) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ninPred implements $nin: the negation of $in.
+type ninPred struct{ in inPred }
+
+func (p ninPred) eval(vals []any) bool { return !p.in.eval(vals) }
+
+// existsPred implements $exists.
+type existsPred struct{ want bool }
+
+func (p existsPred) eval(vals []any) bool {
+	present := false
+	for _, v := range vals {
+		if !document.IsMissing(v) {
+			present = true
+			break
+		}
+	}
+	return present == p.want
+}
+
+// modPred implements $mod: value % divisor == remainder, integers only.
+type modPred struct {
+	divisor, remainder int64
+}
+
+func (p modPred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		var n int64
+		switch t := v.(type) {
+		case int64:
+			n = t
+		case float64:
+			n = int64(t)
+		default:
+			continue
+		}
+		if n%p.divisor == p.remainder {
+			return true
+		}
+	}
+	return false
+}
+
+// regexPred implements $regex on string candidates.
+type regexPred struct{ re *regexp.Regexp }
+
+func (p regexPred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		if s, ok := v.(string); ok && p.re.MatchString(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// sizePred implements $size: the field value is an array of exactly n
+// elements. It applies to the array itself, not its elements.
+type sizePred struct{ n int }
+
+func (p sizePred) eval(vals []any) bool {
+	for _, v := range vals {
+		if arr, ok := v.([]any); ok && len(arr) == p.n {
+			return true
+		}
+	}
+	return false
+}
+
+// allPred implements $all: the field's array (or single value) contains every
+// operand. Operands may be $elemMatch sub-filters.
+type allPred struct {
+	operands []any
+	elems    []Filter // $elemMatch entries
+}
+
+func (p allPred) eval(vals []any) bool {
+	for _, v := range vals {
+		if document.IsMissing(v) {
+			continue
+		}
+		if p.allIn(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p allPred) allIn(v any) bool {
+	arr, isArr := v.([]any)
+	for _, o := range p.operands {
+		found := false
+		if isArr {
+			for _, e := range arr {
+				if document.Equal(e, o) {
+					found = true
+					break
+				}
+			}
+		} else if document.Equal(v, o) {
+			found = true
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, em := range p.elems {
+		if !isArr {
+			return false
+		}
+		found := false
+		for _, e := range arr {
+			if matchElem(em, e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// elemMatchPred implements $elemMatch: any element of the array satisfies
+// the embedded filter.
+type elemMatchPred struct{ sub Filter }
+
+func (p elemMatchPred) eval(vals []any) bool {
+	for _, v := range vals {
+		arr, ok := v.([]any)
+		if !ok {
+			continue
+		}
+		for _, e := range arr {
+			if matchElem(p.sub, e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchElem evaluates a filter against a single array element. Document
+// elements are matched directly; scalar elements are wrapped under a
+// sentinel field so operator-only $elemMatch forms ({$gt: 5}) can reuse the
+// standard field machinery.
+func matchElem(f Filter, e any) bool {
+	if m, ok := e.(map[string]any); ok {
+		if f.Match(document.Document(m)) {
+			return true
+		}
+	}
+	return f.Match(document.Document{elemSentinel: e})
+}
+
+// elemSentinel is the synthetic field name scalar $elemMatch operands are
+// evaluated under. It contains a NUL byte so it cannot collide with a real
+// field.
+const elemSentinel = "\x00elem"
+
+// typePred implements $type with string aliases.
+type typePred struct{ name string }
+
+func (p typePred) eval(vals []any) bool {
+	for _, v := range candidates(vals) {
+		if document.IsMissing(v) {
+			continue
+		}
+		if typeNameMatches(p.name, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeNameMatches(name string, v any) bool {
+	switch name {
+	case "null":
+		return v == nil
+	case "bool":
+		_, ok := v.(bool)
+		return ok
+	case "int", "long":
+		_, ok := v.(int64)
+		return ok
+	case "double":
+		_, ok := v.(float64)
+		return ok
+	case "number":
+		switch v.(type) {
+		case int64, float64:
+			return true
+		}
+		return false
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "object":
+		switch v.(type) {
+		case map[string]any, document.Document:
+			return true
+		}
+		return false
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	default:
+		return false
+	}
+}
+
+// geoWithinPred implements $geoWithin for $box, $centerSphere, $polygon and
+// GeoJSON $geometry polygons.
+type geoWithinPred struct{ shape geo.Shape }
+
+func (p geoWithinPred) eval(vals []any) bool {
+	for _, v := range vals {
+		if pt, ok := geo.ParsePoint(v); ok {
+			if p.shape.Contains(pt) {
+				return true
+			}
+			continue
+		}
+		// A field holding an array of points matches when any point is inside.
+		if arr, ok := v.([]any); ok {
+			for _, e := range arr {
+				if pt, ok := geo.ParsePoint(e); ok && p.shape.Contains(pt) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nearSpherePred implements $nearSphere with $maxDistance (radians) as a
+// pure filter: distance ordering is delegated to an explicit sort in the
+// pull-based engine, since real-time matching is per-record.
+type nearSpherePred struct {
+	center geo.Point
+	maxRad float64
+}
+
+func (p nearSpherePred) eval(vals []any) bool {
+	for _, v := range vals {
+		if pt, ok := geo.ParsePoint(v); ok {
+			if geo.DistanceRad(p.center, pt) <= p.maxRad {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// notPred negates a field-level predicate ({field: {$not: {...}}}).
+type notPred struct{ inner predicate }
+
+func (p notPred) eval(vals []any) bool { return !p.inner.eval(vals) }
+
+// multiPred bundles several predicates into one (used by $not over an
+// operator document with multiple operators).
+type multiPred struct{ preds []predicate }
+
+func (p multiPred) eval(vals []any) bool {
+	for _, q := range p.preds {
+		if !q.eval(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// textFilter implements the top-level $text operator: case-insensitive term
+// search over every string value in the document (this engine is index-free,
+// so the "text index" spans all string fields). Terms are OR-ed, quoted
+// phrases must all be present, and -negated terms must be absent, following
+// MongoDB's $search grammar.
+type textFilter struct {
+	terms    []string
+	phrases  []string
+	negated  []string
+	caseSens bool
+}
+
+func (f *textFilter) Match(d document.Document) bool {
+	text := collectText(map[string]any(d))
+	if !f.caseSens {
+		text = strings.ToLower(text)
+	}
+	for _, n := range f.negated {
+		if strings.Contains(text, n) {
+			return false
+		}
+	}
+	for _, ph := range f.phrases {
+		if !strings.Contains(text, ph) {
+			return false
+		}
+	}
+	if len(f.terms) == 0 {
+		return len(f.phrases) > 0 // phrase-only queries already passed
+	}
+	for _, term := range f.terms {
+		if containsWord(text, term) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectText(v any) string {
+	var sb strings.Builder
+	var walk func(any)
+	walk = func(v any) {
+		switch t := v.(type) {
+		case string:
+			sb.WriteString(t)
+			sb.WriteByte(' ')
+		case map[string]any:
+			for _, e := range t {
+				walk(e)
+			}
+		case document.Document:
+			walk(map[string]any(t))
+		case []any:
+			for _, e := range t {
+				walk(e)
+			}
+		}
+	}
+	walk(v)
+	return sb.String()
+}
+
+func containsWord(text, word string) bool {
+	idx := 0
+	for {
+		i := strings.Index(text[idx:], word)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(word)
+		startOK := start == 0 || isWordBoundary(text[start-1])
+		endOK := end == len(text) || isWordBoundary(text[end])
+		if startOK && endOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordBoundary(b byte) bool {
+	return !(b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9')
+}
+
+// matchAll is the empty filter.
+type matchAll struct{}
+
+func (matchAll) Match(document.Document) bool { return true }

@@ -1,0 +1,272 @@
+package query
+
+import (
+	"testing"
+
+	"invalidb/internal/document"
+)
+
+// mustFilter parses a filter document or fails the test.
+func mustFilter(t *testing.T, raw map[string]any) Filter {
+	t.Helper()
+	f, err := ParseFilter(raw)
+	if err != nil {
+		t.Fatalf("ParseFilter(%v): %v", raw, err)
+	}
+	return f
+}
+
+func doc(kv ...any) document.Document {
+	d := document.Document{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		d[kv[i].(string)] = kv[i+1]
+	}
+	return document.Normalize(d)
+}
+
+type matchCase struct {
+	name   string
+	filter map[string]any
+	doc    document.Document
+	want   bool
+}
+
+func runMatchCases(t *testing.T, cases []matchCase) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := mustFilter(t, c.filter)
+			if got := f.Match(c.doc); got != c.want {
+				t.Errorf("Match(%v, %v) = %v, want %v", c.filter, c.doc, got, c.want)
+			}
+		})
+	}
+}
+
+func TestMatchEquality(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"bare equal", map[string]any{"a": 5}, doc("a", 5), true},
+		{"bare unequal", map[string]any{"a": 5}, doc("a", 6), false},
+		{"numeric cross-type", map[string]any{"a": 5}, doc("a", 5.0), true},
+		{"explicit $eq", map[string]any{"a": map[string]any{"$eq": "x"}}, doc("a", "x"), true},
+		{"missing field", map[string]any{"a": 5}, doc("b", 5), false},
+		{"null matches null", map[string]any{"a": nil}, doc("a", nil), true},
+		{"null matches missing", map[string]any{"a": nil}, doc("b", 1), true},
+		{"array contains", map[string]any{"tags": "db"}, doc("tags", []any{"db", "go"}), true},
+		{"array itself equal", map[string]any{"tags": []any{"db", "go"}}, doc("tags", []any{"db", "go"}), true},
+		{"array order matters for whole-array", map[string]any{"tags": []any{"go", "db"}}, doc("tags", []any{"db", "go"}), false},
+		{"nested doc exact", map[string]any{"a": map[string]any{"b": 1}}, doc("a", map[string]any{"b": 1}), true},
+		{"nested doc extra field", map[string]any{"a": map[string]any{"b": 1}}, doc("a", map[string]any{"b": 1, "c": 2}), false},
+		{"dotted path", map[string]any{"a.b": 1}, doc("a", map[string]any{"b": 1, "c": 2}), true},
+		{"dotted path through array", map[string]any{"a.b": 2}, doc("a", []any{map[string]any{"b": 1}, map[string]any{"b": 2}}), true},
+	})
+}
+
+func TestMatchNe(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"ne hit", map[string]any{"a": map[string]any{"$ne": 5}}, doc("a", 6), true},
+		{"ne miss", map[string]any{"a": map[string]any{"$ne": 5}}, doc("a", 5), false},
+		{"ne on missing matches", map[string]any{"a": map[string]any{"$ne": 5}}, doc("b", 1), true},
+		{"ne rejects array containing", map[string]any{"a": map[string]any{"$ne": 5}}, doc("a", []any{1, 5}), false},
+		{"ne null rejects missing", map[string]any{"a": map[string]any{"$ne": nil}}, doc("b", 1), false},
+	})
+}
+
+func TestMatchRangeComparisons(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"gt hit", map[string]any{"n": map[string]any{"$gt": 5}}, doc("n", 6), true},
+		{"gt equal", map[string]any{"n": map[string]any{"$gt": 5}}, doc("n", 5), false},
+		{"gte equal", map[string]any{"n": map[string]any{"$gte": 5}}, doc("n", 5), true},
+		{"lt hit", map[string]any{"n": map[string]any{"$lt": 5}}, doc("n", 4.5), true},
+		{"lte hit", map[string]any{"n": map[string]any{"$lte": 5}}, doc("n", 5.0), true},
+		{"range conjunction", map[string]any{"n": map[string]any{"$gte": 10, "$lt": 20}}, doc("n", 15), true},
+		{"range conjunction out", map[string]any{"n": map[string]any{"$gte": 10, "$lt": 20}}, doc("n", 20), false},
+		{"string range", map[string]any{"s": map[string]any{"$gt": "m"}}, doc("s", "z"), true},
+		{"type bracket gate: number vs string", map[string]any{"n": map[string]any{"$gt": 5}}, doc("n", "zzz"), false},
+		{"type bracket gate: string vs number", map[string]any{"s": map[string]any{"$lt": "a"}}, doc("s", 1), false},
+		{"gt over array elements", map[string]any{"n": map[string]any{"$gt": 5}}, doc("n", []any{1, 9}), true},
+		{"gt on missing", map[string]any{"n": map[string]any{"$gt": 5}}, doc("m", 9), false},
+	})
+}
+
+func TestMatchInNin(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"in hit", map[string]any{"a": map[string]any{"$in": []any{1, 2, 3}}}, doc("a", 2), true},
+		{"in miss", map[string]any{"a": map[string]any{"$in": []any{1, 2, 3}}}, doc("a", 4), false},
+		{"in with array field", map[string]any{"a": map[string]any{"$in": []any{2}}}, doc("a", []any{1, 2}), true},
+		{"in with null matches missing", map[string]any{"a": map[string]any{"$in": []any{nil}}}, doc("b", 0), true},
+		{"in with regex", map[string]any{"a": map[string]any{"$in": []any{map[string]any{"$regex": "^ab"}}}}, doc("a", "abc"), true},
+		{"nin hit", map[string]any{"a": map[string]any{"$nin": []any{1, 2}}}, doc("a", 3), true},
+		{"nin miss", map[string]any{"a": map[string]any{"$nin": []any{1, 2}}}, doc("a", 2), false},
+		{"nin on missing matches", map[string]any{"a": map[string]any{"$nin": []any{1}}}, doc("b", 1), true},
+	})
+}
+
+func TestMatchLogical(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"and both", map[string]any{"$and": []any{
+			map[string]any{"a": 1}, map[string]any{"b": 2},
+		}}, doc("a", 1, "b", 2), true},
+		{"and one fails", map[string]any{"$and": []any{
+			map[string]any{"a": 1}, map[string]any{"b": 3},
+		}}, doc("a", 1, "b", 2), false},
+		{"or second", map[string]any{"$or": []any{
+			map[string]any{"a": 9}, map[string]any{"b": 2},
+		}}, doc("a", 1, "b", 2), true},
+		{"or none", map[string]any{"$or": []any{
+			map[string]any{"a": 9}, map[string]any{"b": 9},
+		}}, doc("a", 1, "b", 2), false},
+		{"nor", map[string]any{"$nor": []any{
+			map[string]any{"a": 9}, map[string]any{"b": 9},
+		}}, doc("a", 1, "b", 2), true},
+		{"nor fails", map[string]any{"$nor": []any{
+			map[string]any{"a": 1},
+		}}, doc("a", 1), false},
+		{"implicit top-level and", map[string]any{"a": 1, "b": 2}, doc("a", 1, "b", 2), true},
+		{"nested or in and", map[string]any{
+			"$and": []any{
+				map[string]any{"$or": []any{map[string]any{"a": 1}, map[string]any{"a": 2}}},
+				map[string]any{"b": map[string]any{"$gt": 0}},
+			},
+		}, doc("a", 2, "b", 1), true},
+		{"not operator", map[string]any{"a": map[string]any{"$not": map[string]any{"$gt": 5}}}, doc("a", 3), true},
+		{"not operator miss", map[string]any{"a": map[string]any{"$not": map[string]any{"$gt": 5}}}, doc("a", 7), false},
+		{"not matches missing", map[string]any{"a": map[string]any{"$not": map[string]any{"$gt": 5}}}, doc("b", 7), true},
+	})
+}
+
+func TestMatchExistsTypeMod(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"exists true", map[string]any{"a": map[string]any{"$exists": true}}, doc("a", nil), true},
+		{"exists true miss", map[string]any{"a": map[string]any{"$exists": true}}, doc("b", 1), false},
+		{"exists false", map[string]any{"a": map[string]any{"$exists": false}}, doc("b", 1), true},
+		{"type number", map[string]any{"a": map[string]any{"$type": "number"}}, doc("a", 3.5), true},
+		{"type int", map[string]any{"a": map[string]any{"$type": "int"}}, doc("a", 3), true},
+		{"type double vs int", map[string]any{"a": map[string]any{"$type": "double"}}, doc("a", 3), false},
+		{"type string", map[string]any{"a": map[string]any{"$type": "string"}}, doc("a", "x"), true},
+		{"type array", map[string]any{"a": map[string]any{"$type": "array"}}, doc("a", []any{1}), true},
+		{"type object", map[string]any{"a": map[string]any{"$type": "object"}}, doc("a", map[string]any{}), true},
+		{"type null", map[string]any{"a": map[string]any{"$type": "null"}}, doc("a", nil), true},
+		{"mod hit", map[string]any{"a": map[string]any{"$mod": []any{4, 1}}}, doc("a", 9), true},
+		{"mod miss", map[string]any{"a": map[string]any{"$mod": []any{4, 0}}}, doc("a", 9), false},
+		{"mod on float", map[string]any{"a": map[string]any{"$mod": []any{4, 1}}}, doc("a", 9.7), true},
+	})
+}
+
+func TestMatchRegex(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"regex hit", map[string]any{"s": map[string]any{"$regex": "^ba"}}, doc("s", "baqend"), true},
+		{"regex miss", map[string]any{"s": map[string]any{"$regex": "^ba"}}, doc("s", "abaqend"), false},
+		{"regex i option", map[string]any{"s": map[string]any{"$regex": "^ba", "$options": "i"}}, doc("s", "BAqend"), true},
+		{"regex over array", map[string]any{"s": map[string]any{"$regex": "go"}}, doc("s", []any{"rust", "golang"}), true},
+		{"regex on number no match", map[string]any{"s": map[string]any{"$regex": "1"}}, doc("s", 1), false},
+		{"not regex", map[string]any{"s": map[string]any{"$not": "^ba"}}, doc("s", "zz"), true},
+	})
+}
+
+func TestMatchArrayOperators(t *testing.T) {
+	runMatchCases(t, []matchCase{
+		{"size hit", map[string]any{"a": map[string]any{"$size": 2}}, doc("a", []any{1, 2}), true},
+		{"size miss", map[string]any{"a": map[string]any{"$size": 2}}, doc("a", []any{1}), false},
+		{"size non-array", map[string]any{"a": map[string]any{"$size": 1}}, doc("a", 5), false},
+		{"all hit", map[string]any{"a": map[string]any{"$all": []any{1, 2}}}, doc("a", []any{3, 2, 1}), true},
+		{"all miss", map[string]any{"a": map[string]any{"$all": []any{1, 4}}}, doc("a", []any{3, 2, 1}), false},
+		{"all single scalar", map[string]any{"a": map[string]any{"$all": []any{5}}}, doc("a", 5), true},
+		{"elemMatch doc", map[string]any{"a": map[string]any{"$elemMatch": map[string]any{
+			"b": 1, "c": map[string]any{"$gt": 5},
+		}}}, doc("a", []any{
+			map[string]any{"b": 1, "c": 9},
+			map[string]any{"b": 2, "c": 1},
+		}), true},
+		{"elemMatch needs one element with both", map[string]any{"a": map[string]any{"$elemMatch": map[string]any{
+			"b": 1, "c": map[string]any{"$gt": 5},
+		}}}, doc("a", []any{
+			map[string]any{"b": 1, "c": 1},
+			map[string]any{"b": 2, "c": 9},
+		}), false},
+		{"elemMatch scalar ops", map[string]any{"a": map[string]any{"$elemMatch": map[string]any{
+			"$gte": 80, "$lt": 85,
+		}}}, doc("a", []any{int64(70), int64(82)}), true},
+		{"elemMatch scalar miss", map[string]any{"a": map[string]any{"$elemMatch": map[string]any{
+			"$gte": 80, "$lt": 85,
+		}}}, doc("a", []any{int64(70), int64(90)}), false},
+		{"all with elemMatch", map[string]any{"a": map[string]any{"$all": []any{
+			map[string]any{"$elemMatch": map[string]any{"b": 1}},
+			map[string]any{"$elemMatch": map[string]any{"b": 2}},
+		}}}, doc("a", []any{map[string]any{"b": 1}, map[string]any{"b": 2}}), true},
+	})
+}
+
+func TestMatchText(t *testing.T) {
+	article := doc("title", "NoSQL Databases in Action", "body", "Streams and queries")
+	runMatchCases(t, []matchCase{
+		{"single term", map[string]any{"$text": map[string]any{"$search": "nosql"}}, article, true},
+		{"terms are OR", map[string]any{"$text": map[string]any{"$search": "missing streams"}}, article, true},
+		{"all terms absent", map[string]any{"$text": map[string]any{"$search": "kafka flink"}}, article, false},
+		{"phrase present", map[string]any{"$text": map[string]any{"$search": `"databases in action"`}}, article, true},
+		{"phrase absent", map[string]any{"$text": map[string]any{"$search": `"action in databases"`}}, article, false},
+		{"negation excludes", map[string]any{"$text": map[string]any{"$search": "nosql -streams"}}, article, false},
+		{"negation passes", map[string]any{"$text": map[string]any{"$search": "nosql -kafka"}}, article, true},
+		{"word boundary", map[string]any{"$text": map[string]any{"$search": "base"}}, article, false},
+		{"case sensitive", map[string]any{"$text": map[string]any{"$search": "nosql", "$caseSensitive": true}}, article, false},
+	})
+}
+
+func TestMatchGeo(t *testing.T) {
+	hh := doc("name", "Hamburg", "loc", []any{9.99, 53.55})
+	runMatchCases(t, []matchCase{
+		{"box contains", map[string]any{"loc": map[string]any{"$geoWithin": map[string]any{
+			"$box": []any{[]any{9.0, 53.0}, []any{11.0, 54.0}},
+		}}}, hh, true},
+		{"box excludes", map[string]any{"loc": map[string]any{"$geoWithin": map[string]any{
+			"$box": []any{[]any{0.0, 0.0}, []any{1.0, 1.0}},
+		}}}, hh, false},
+		{"centerSphere contains", map[string]any{"loc": map[string]any{"$geoWithin": map[string]any{
+			"$centerSphere": []any{[]any{10.0, 53.5}, 0.01},
+		}}}, hh, true},
+		{"polygon contains", map[string]any{"loc": map[string]any{"$geoWithin": map[string]any{
+			"$polygon": []any{[]any{9.0, 53.0}, []any{11.0, 53.0}, []any{11.0, 54.0}, []any{9.0, 54.0}},
+		}}}, hh, true},
+		{"geojson polygon", map[string]any{"loc": map[string]any{"$geoWithin": map[string]any{
+			"$geometry": map[string]any{"type": "Polygon", "coordinates": []any{
+				[]any{[]any{9.0, 53.0}, []any{11.0, 53.0}, []any{11.0, 54.0}, []any{9.0, 54.0}, []any{9.0, 53.0}},
+			}},
+		}}}, hh, true},
+		{"nearSphere within", map[string]any{"loc": map[string]any{
+			"$nearSphere": []any{10.0, 53.5}, "$maxDistance": 0.01,
+		}}, hh, true},
+		{"nearSphere beyond", map[string]any{"loc": map[string]any{
+			"$nearSphere": []any{20.0, 40.0}, "$maxDistance": 0.01,
+		}}, hh, false},
+		{"nearSphere geojson meters", map[string]any{"loc": map[string]any{
+			"$nearSphere": map[string]any{
+				"$geometry":    map[string]any{"type": "Point", "coordinates": []any{10.0, 53.5}},
+				"$maxDistance": 50000.0,
+			},
+		}}, hh, true},
+		{"geo on missing field", map[string]any{"nowhere": map[string]any{"$geoWithin": map[string]any{
+			"$box": []any{[]any{0.0, 0.0}, []any{1.0, 1.0}},
+		}}}, hh, false},
+	})
+}
+
+func TestMatchEmptyFilterMatchesAll(t *testing.T) {
+	f := mustFilter(t, map[string]any{})
+	if !f.Match(doc("anything", 1)) {
+		t.Fatal("empty filter must match everything")
+	}
+}
+
+func TestPaperEvaluationQueryShape(t *testing.T) {
+	// The evaluation workload's query: SELECT * FROM test WHERE random >= i AND random < j.
+	f := mustFilter(t, map[string]any{"random": map[string]any{"$gte": 100, "$lt": 101}})
+	if !f.Match(doc("random", 100)) {
+		t.Fatal("boundary inclusive miss")
+	}
+	if f.Match(doc("random", 101)) {
+		t.Fatal("boundary exclusive hit")
+	}
+	if f.Match(doc("random", 99)) {
+		t.Fatal("below range hit")
+	}
+}

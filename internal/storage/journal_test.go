@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(Options{})
+	db.AttachJournal(j)
+	c := db.C("c")
+	_, _ = c.Insert(document.Document{"_id": "a", "n": 1})
+	_, _ = c.FindAndModify("a", map[string]any{"$inc": map[string]any{"n": 1}}, false)
+	_, _ = c.Insert(document.Document{"_id": "b", "n": 5})
+	_, _ = c.Delete("b")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.JournalErr() != nil {
+		t.Fatal(db.JournalErr())
+	}
+	if j.Appended() != 4 {
+		t.Fatalf("Appended = %d", j.Appended())
+	}
+
+	db2 := Open(Options{})
+	applied, err := db2.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 4 {
+		t.Fatalf("recovered %d records, want 4", applied)
+	}
+	d, ver, ok := db2.C("c").Get("a")
+	if !ok || d["n"] != int64(2) {
+		t.Fatalf("recovered a = %v (ok=%v)", d, ok)
+	}
+	// Versions survive recovery (InvaliDB staleness depends on them).
+	origDoc, origVer, _ := db.C("c").Get("a")
+	if ver != origVer || !document.Equal(map[string]any(d), map[string]any(origDoc)) {
+		t.Fatalf("version/doc drift: %d vs %d", ver, origVer)
+	}
+	if _, _, ok := db2.C("c").Get("b"); ok {
+		t.Fatal("deleted record resurrected by recovery")
+	}
+	// New writes continue the version sequence.
+	ai, err := db2.C("c").Insert(document.Document{"_id": "post", "n": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Version <= origVer {
+		t.Fatalf("post-recovery version %d not beyond recovered max %d", ai.Version, origVer)
+	}
+}
+
+func TestJournalTornTailIgnored(t *testing.T) {
+	path := journalPath(t)
+	j, _ := OpenJournal(path, JournalOptions{})
+	db := Open(Options{})
+	db.AttachJournal(j)
+	for i := 0; i < 5; i++ {
+		_, _ = db.C("c").Insert(document.Document{"_id": fmt.Sprint(i), "n": i})
+	}
+	_ = j.Close()
+
+	// Simulate a crash mid-append: append garbage / a partial record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Write([]byte{0, 0, 0, 50, 1, 2, 3, 4, 9, 9}) // claims 50 bytes, has 2
+	_ = f.Close()
+
+	db2 := Open(Options{})
+	applied, err := db2.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 5 {
+		t.Fatalf("recovered %d records, want 5 intact", applied)
+	}
+	if db2.C("c").Len() != 5 {
+		t.Fatalf("Len = %d", db2.C("c").Len())
+	}
+}
+
+func TestJournalCorruptChecksumStopsReplay(t *testing.T) {
+	path := journalPath(t)
+	j, _ := OpenJournal(path, JournalOptions{})
+	db := Open(Options{})
+	db.AttachJournal(j)
+	_, _ = db.C("c").Insert(document.Document{"_id": "a"})
+	_, _ = db.C("c").Insert(document.Document{"_id": "b"})
+	_ = j.Close()
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF // flip a payload bit in the last record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open(Options{})
+	applied, err := db2.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("recovered %d records, want 1 (corrupt tail discarded)", applied)
+	}
+}
+
+func TestRecoverRequiresEmptyDB(t *testing.T) {
+	path := journalPath(t)
+	j, _ := OpenJournal(path, JournalOptions{})
+	db := Open(Options{})
+	db.AttachJournal(j)
+	_, _ = db.C("c").Insert(document.Document{"_id": "a"})
+	_ = j.Close()
+	if _, err := db.Recover(path); err == nil {
+		t.Fatal("recover into a non-empty database accepted")
+	}
+}
+
+func TestJournalSyncEvery(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, JournalOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(Options{})
+	db.AttachJournal(j)
+	_, _ = db.C("c").Insert(document.Document{"_id": "a"})
+	// With SyncEvery=1 the record is durable without Close.
+	db2 := Open(Options{})
+	applied, err := db2.Recover(path)
+	if err != nil || applied != 1 {
+		t.Fatalf("applied=%d err=%v", applied, err)
+	}
+	_ = j.Close()
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := j.Append(&document.AfterImage{Collection: "c", Key: "k", Version: 1, Op: document.OpInsert, Doc: document.Document{}}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestRecoveredDatabaseServesQueries(t *testing.T) {
+	path := journalPath(t)
+	j, _ := OpenJournal(path, JournalOptions{})
+	db := Open(Options{})
+	db.AttachJournal(j)
+	for i := 0; i < 20; i++ {
+		_, _ = db.C("c").Insert(document.Document{"_id": fmt.Sprintf("k%02d", i), "n": i})
+	}
+	for i := 0; i < 5; i++ {
+		_, _ = db.C("c").Delete(fmt.Sprintf("k%02d", i))
+	}
+	_ = j.Close()
+
+	db2 := Open(Options{})
+	if _, err := db2.Recover(path); err != nil {
+		t.Fatal(err)
+	}
+	_ = db2.C("c").EnsureIndex("n")
+	q := query.MustCompile(query.Spec{
+		Collection: "c",
+		Filter:     map[string]any{"n": map[string]any{"$gte": 10}},
+		Sort:       []query.SortKey{{Path: "n"}},
+		Limit:      3,
+	})
+	docs, err := db2.C("c").Find(q)
+	if err != nil || len(docs) != 3 {
+		t.Fatalf("find after recovery: %v %v", docs, err)
+	}
+	if docs[0]["n"] != int64(10) {
+		t.Fatalf("first = %v", docs[0])
+	}
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"invalidb/internal/document"
+)
+
+// Oplog is the database's capped operation log: a ring buffer of after-images
+// in commit order. It exists for the log-tailing baseline (§3.1) — consumers
+// tail the log to observe every write — and mirrors MongoDB's capped oplog
+// collection, including its failure mode: a tailer that falls behind by more
+// than the ring's capacity is cut off and must restart.
+type Oplog struct {
+	mu      sync.Mutex
+	ring    []*document.AfterImage
+	cap     int
+	nextSeq uint64 // sequence of the next entry to be appended (1-based)
+	tailers map[*Tailer]struct{}
+}
+
+func newOplog(capacity int) *Oplog {
+	return &Oplog{
+		ring:    make([]*document.AfterImage, capacity),
+		cap:     capacity,
+		nextSeq: 1,
+		tailers: map[*Tailer]struct{}{},
+	}
+}
+
+func (o *Oplog) append(ai *document.AfterImage) {
+	o.mu.Lock()
+	o.ring[int(o.nextSeq-1)%o.cap] = ai
+	o.nextSeq++
+	for t := range o.tailers {
+		t.notify()
+	}
+	o.mu.Unlock()
+}
+
+// LastSeq returns the sequence number of the most recent entry (0 when the
+// log is empty).
+func (o *Oplog) LastSeq() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nextSeq - 1
+}
+
+// firstSeq returns the oldest retained sequence (caller holds o.mu).
+func (o *Oplog) firstSeqLocked() uint64 {
+	if o.nextSeq-1 <= uint64(o.cap) {
+		return 1
+	}
+	return o.nextSeq - uint64(o.cap)
+}
+
+// ErrTailerLagged is returned when a tailer's position has been overwritten.
+var ErrTailerLagged = fmt.Errorf("storage: oplog tailer fell behind the capped log")
+
+// Tailer streams after-images from a start position onward. Use Next to pull
+// entries; it blocks until an entry is available or the tailer is closed.
+type Tailer struct {
+	log    *Oplog
+	pos    uint64 // next sequence to deliver
+	wake   chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Tail opens a tailer starting after the given sequence number (0 streams
+// the full retained log).
+func (o *Oplog) Tail(afterSeq uint64) *Tailer {
+	t := &Tailer{
+		log:    o,
+		pos:    afterSeq + 1,
+		wake:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	o.mu.Lock()
+	o.tailers[t] = struct{}{}
+	o.mu.Unlock()
+	return t
+}
+
+func (t *Tailer) notify() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the next after-image in commit order. It blocks until one is
+// available. It returns ErrTailerLagged when the capped log overwrote the
+// tailer's position, and a nil after-image with nil error when the tailer is
+// closed.
+func (t *Tailer) Next() (*document.AfterImage, error) {
+	for {
+		t.log.mu.Lock()
+		first := t.log.firstSeqLocked()
+		last := t.log.nextSeq - 1
+		if t.pos < first {
+			t.log.mu.Unlock()
+			return nil, fmt.Errorf("%w: at %d, oldest retained %d", ErrTailerLagged, t.pos, first)
+		}
+		if t.pos <= last {
+			ai := t.log.ring[int(t.pos-1)%t.log.cap]
+			t.pos++
+			t.log.mu.Unlock()
+			return ai, nil
+		}
+		t.log.mu.Unlock()
+		select {
+		case <-t.wake:
+		case <-t.closed:
+			return nil, nil
+		}
+	}
+}
+
+// TryNext is the non-blocking variant of Next: ok reports whether an entry
+// was available.
+func (t *Tailer) TryNext() (ai *document.AfterImage, ok bool, err error) {
+	t.log.mu.Lock()
+	defer t.log.mu.Unlock()
+	first := t.log.firstSeqLocked()
+	last := t.log.nextSeq - 1
+	if t.pos < first {
+		return nil, false, fmt.Errorf("%w: at %d, oldest retained %d", ErrTailerLagged, t.pos, first)
+	}
+	if t.pos > last {
+		return nil, false, nil
+	}
+	ai = t.log.ring[int(t.pos-1)%t.log.cap]
+	t.pos++
+	return ai, true, nil
+}
+
+// Close detaches the tailer; a blocked Next returns nil, nil.
+func (t *Tailer) Close() {
+	t.once.Do(func() {
+		close(t.closed)
+		t.log.mu.Lock()
+		delete(t.log.tailers, t)
+		t.log.mu.Unlock()
+	})
+}

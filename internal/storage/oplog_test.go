@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"invalidb/internal/document"
+)
+
+func TestOplogRecordsAllWrites(t *testing.T) {
+	db := newDB()
+	c := db.C("c")
+	_, _ = c.Insert(document.Document{"_id": "1", "n": 1})
+	_, _ = c.FindAndModify("1", map[string]any{"$inc": map[string]any{"n": 1}}, false)
+	_, _ = c.Delete("1")
+
+	tailer := db.Oplog().Tail(0)
+	defer tailer.Close()
+	var ops []document.Op
+	for i := 0; i < 3; i++ {
+		ai, err := tailer.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, ai.Op)
+	}
+	want := []document.Op{document.OpInsert, document.OpUpdate, document.OpDelete}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestOplogTailBlocksUntilWrite(t *testing.T) {
+	db := newDB()
+	tailer := db.Oplog().Tail(db.Oplog().LastSeq())
+	defer tailer.Close()
+	got := make(chan *document.AfterImage, 1)
+	go func() {
+		ai, _ := tailer.Next()
+		got <- ai
+	}()
+	select {
+	case <-got:
+		t.Fatal("Next returned before any write")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_, _ = db.C("c").Insert(document.Document{"_id": "x"})
+	select {
+	case ai := <-got:
+		if ai == nil || ai.Key != "x" {
+			t.Fatalf("tailer delivered %+v", ai)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tailer did not wake on write")
+	}
+}
+
+func TestOplogLaggedTailer(t *testing.T) {
+	db := Open(Options{Shards: 1, OplogCapacity: 8})
+	c := db.C("c")
+	tailer := db.Oplog().Tail(0)
+	defer tailer.Close()
+	for i := 0; i < 20; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i)})
+	}
+	_, err := tailer.Next()
+	if !errors.Is(err, ErrTailerLagged) {
+		t.Fatalf("err = %v, want ErrTailerLagged", err)
+	}
+}
+
+func TestOplogTryNext(t *testing.T) {
+	db := newDB()
+	tailer := db.Oplog().Tail(0)
+	defer tailer.Close()
+	if _, ok, err := tailer.TryNext(); ok || err != nil {
+		t.Fatalf("TryNext on empty log: ok=%v err=%v", ok, err)
+	}
+	_, _ = db.C("c").Insert(document.Document{"_id": "1"})
+	ai, ok, err := tailer.TryNext()
+	if !ok || err != nil || ai.Key != "1" {
+		t.Fatalf("TryNext after write: %+v ok=%v err=%v", ai, ok, err)
+	}
+}
+
+func TestOplogCloseUnblocksNext(t *testing.T) {
+	db := newDB()
+	tailer := db.Oplog().Tail(0)
+	done := make(chan struct{})
+	go func() {
+		ai, err := tailer.Next()
+		if ai != nil || err != nil {
+			t.Errorf("closed tailer returned %v, %v", ai, err)
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tailer.Close()
+	tailer.Close() // idempotent
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Next")
+	}
+}
+
+func TestOplogStartMidStream(t *testing.T) {
+	db := newDB()
+	c := db.C("c")
+	for i := 0; i < 5; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i)})
+	}
+	mark := db.Oplog().LastSeq()
+	_, _ = c.Insert(document.Document{"_id": "after"})
+	tailer := db.Oplog().Tail(mark)
+	defer tailer.Close()
+	ai, err := tailer.Next()
+	if err != nil || ai.Key != "after" {
+		t.Fatalf("mid-stream tail delivered %+v, %v", ai, err)
+	}
+}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// TestQuickFindAgreesWithEngine is the storage/engine alignment property the
+// paper's pluggable-engine design requires (§5.3: both query engines must
+// produce the same output for the same input): every document returned by
+// Find matches the filter, appears in comparator order, and every stored
+// document matching the filter appears unless cut by the window.
+func TestQuickFindAgreesWithEngine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(Options{Shards: 3})
+		c := db.C("p")
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			doc := document.Document{
+				"_id": fmt.Sprintf("k%03d", i),
+				"a":   int64(rng.Intn(10)),
+				"b":   int64(rng.Intn(5)),
+			}
+			if rng.Intn(5) == 0 {
+				delete(doc, "a") // missing fields exercise bracket ordering
+			}
+			if _, err := c.Insert(doc); err != nil {
+				return false
+			}
+		}
+		lo := int64(rng.Intn(8))
+		q := query.MustCompile(query.Spec{
+			Collection: "p",
+			Filter:     map[string]any{"a": map[string]any{"$gte": lo}},
+			Sort:       []query.SortKey{{Path: "b", Desc: rng.Intn(2) == 0}, {Path: "a"}},
+			Offset:     rng.Intn(4),
+			Limit:      rng.Intn(6), // 0 = unbounded
+		})
+		got, err := c.Find(q)
+		if err != nil {
+			return false
+		}
+		// (1) every returned document matches and is ordered.
+		for i, d := range got {
+			if !q.Match(d) {
+				return false
+			}
+			if i > 0 && q.Compare(got[i-1], d) > 0 {
+				return false
+			}
+		}
+		// (2) the window size is consistent with the full matching count.
+		total, err := c.Count(q)
+		if err != nil {
+			return false
+		}
+		want := total - q.Offset
+		if want < 0 {
+			want = 0
+		}
+		if q.Limit > 0 && want > q.Limit {
+			want = q.Limit
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUpdateOperatorsPreserveID checks that no update operator mix can
+// detach a record from its primary key.
+func TestQuickUpdateOperatorsPreserveID(t *testing.T) {
+	ops := []func(r *rand.Rand) map[string]any{
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"$set": map[string]any{fmt.Sprintf("f%d", r.Intn(4)): r.Intn(100)}}
+		},
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"$inc": map[string]any{"n": 1}}
+		},
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"$unset": map[string]any{fmt.Sprintf("f%d", r.Intn(4)): 1}}
+		},
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"$push": map[string]any{"arr": r.Intn(10)}}
+		},
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"$pop": map[string]any{"arr": int64(1)}}
+		},
+		func(r *rand.Rand) map[string]any {
+			return map[string]any{"plain": r.Intn(10)} // replacement form
+		},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(Options{})
+		c := db.C("c")
+		if _, err := c.Insert(document.Document{"_id": "k", "n": 0}); err != nil {
+			return false
+		}
+		var lastVer uint64
+		for i := 0; i < 20; i++ {
+			ai, err := c.FindAndModify("k", ops[rng.Intn(len(ops))](rng), false)
+			if err != nil {
+				return false
+			}
+			if ai.Doc["_id"] != "k" || ai.Version <= lastVer {
+				return false
+			}
+			lastVer = ai.Version
+			d, ver, ok := c.Get("k")
+			if !ok || ver != ai.Version || !document.Equal(map[string]any(d), map[string]any(ai.Doc)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOplogOrderMatchesVersions: oplog entries appear in strictly
+// increasing version order (the property log tailing relies on).
+func TestQuickOplogOrderMatchesVersions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(Options{OplogCapacity: 256})
+		c := db.C("c")
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(10))
+			if _, _, ok := c.Get(key); !ok {
+				_, _ = c.Insert(document.Document{"_id": key, "n": 0})
+			} else if rng.Intn(4) == 0 {
+				_, _ = c.Delete(key)
+			} else {
+				_, _ = c.FindAndModify(key, map[string]any{"$inc": map[string]any{"n": 1}}, false)
+			}
+		}
+		tailer := db.Oplog().Tail(0)
+		defer tailer.Close()
+		var last uint64
+		for {
+			ai, ok, err := tailer.TryNext()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				return true
+			}
+			if ai.Version <= last {
+				return false
+			}
+			last = ai.Version
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

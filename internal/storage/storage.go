@@ -1,0 +1,377 @@
+// Package storage implements the pull-based document database InvaliDB sits
+// on top of. It stands in for the sharded MongoDB deployment of the paper's
+// prototype: collections are hash-sharded by primary key, every record
+// carries a strictly increasing version, writes produce fully specified
+// after-images (the FindAndModify pattern from §5.4), queries execute through
+// the shared pluggable query engine, and a capped oplog supports the
+// log-tailing baseline.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Shards is the number of hash partitions per collection. Zero selects
+	// the default of 8.
+	Shards int
+	// OplogCapacity bounds the capped operation log. Zero selects 65536.
+	OplogCapacity int
+}
+
+// DB is an in-memory, sharded document database. Attach a Journal for
+// durability across restarts (see AttachJournal/Recover).
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	shards      int
+	seq         atomic.Uint64 // global version/oplog sequence
+	oplog       *Oplog
+	journal     *Journal
+	journalErr  atomic.Pointer[error]
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.OplogCapacity <= 0 {
+		opts.OplogCapacity = 65536
+	}
+	return &DB{
+		collections: map[string]*Collection{},
+		shards:      opts.Shards,
+		oplog:       newOplog(opts.OplogCapacity),
+	}
+}
+
+// C returns the named collection, creating it on first access.
+func (db *DB) C(name string) *Collection {
+	db.mu.RLock()
+	c := db.collections[name]
+	db.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c = db.collections[name]; c != nil {
+		return c
+	}
+	c = &Collection{name: name, db: db, shards: make([]*shard, db.shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{docs: map[string]*record{}}
+	}
+	db.collections[name] = c
+	return c
+}
+
+// Oplog exposes the database's capped operation log.
+func (db *DB) Oplog() *Oplog { return db.oplog }
+
+// commit records a completed write in the oplog and the attached journal.
+func (db *DB) commit(ai *document.AfterImage) {
+	db.oplog.append(ai)
+	db.journalAppend(ai)
+}
+
+// nextSeq returns the next global sequence number. Sequence numbers double
+// as record versions, so versions are strictly increasing across the whole
+// database — even across delete/re-insert cycles of the same key, which is
+// what InvaliDB's staleness avoidance relies on.
+func (db *DB) nextSeq() uint64 { return db.seq.Add(1) }
+
+// Collection is a hash-sharded set of documents keyed by "_id".
+type Collection struct {
+	name   string
+	db     *DB
+	shards []*shard
+
+	idxMu   sync.RWMutex
+	indexes map[string]*hashIndex
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*record
+}
+
+type record struct {
+	doc     document.Document
+	version uint64
+}
+
+// Entry is a versioned result item, the form initial results are handed to
+// the InvaliDB cluster in.
+type Entry struct {
+	Key     string
+	Version uint64
+	Doc     document.Document
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+func (c *Collection) shardFor(key string) *shard {
+	return c.shards[document.HashKey(key)%uint64(len(c.shards))]
+}
+
+// ErrDuplicateKey is returned by Insert when the primary key already exists.
+var ErrDuplicateKey = fmt.Errorf("storage: duplicate key")
+
+// ErrNotFound is returned by operations that target a missing document.
+var ErrNotFound = fmt.Errorf("storage: not found")
+
+// Insert stores a new document and returns its after-image. The document
+// must carry an "_id"; it is deep-copied, so the caller keeps ownership of
+// its value.
+func (c *Collection) Insert(d document.Document) (*document.AfterImage, error) {
+	d = document.Normalize(d)
+	key, ok := d.ID()
+	if !ok {
+		return nil, fmt.Errorf("storage: insert into %s: document has no _id", c.name)
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if _, exists := s.docs[key]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrDuplicateKey, c.name, key)
+	}
+	stored := d.Clone()
+	ver := c.db.nextSeq()
+	s.docs[key] = &record{doc: stored, version: ver}
+	c.indexAdd(key, stored)
+	s.mu.Unlock()
+
+	ai := &document.AfterImage{Collection: c.name, Key: key, Version: ver, Op: document.OpInsert, Doc: stored.Clone()}
+	c.db.commit(ai)
+	return ai, nil
+}
+
+// Replace overwrites an existing document wholesale and returns the
+// after-image.
+func (c *Collection) Replace(key string, d document.Document) (*document.AfterImage, error) {
+	d = document.Normalize(d)
+	if id, ok := d.ID(); ok && id != key {
+		return nil, fmt.Errorf("storage: replace %s/%s: _id mismatch (%s)", c.name, key, id)
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	rec, exists := s.docs[key]
+	if !exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, key)
+	}
+	old := rec.doc
+	stored := d.Clone()
+	stored["_id"] = key
+	ver := c.db.nextSeq()
+	s.docs[key] = &record{doc: stored, version: ver}
+	c.indexRemove(key, old)
+	c.indexAdd(key, stored)
+	s.mu.Unlock()
+
+	ai := &document.AfterImage{Collection: c.name, Key: key, Version: ver, Op: document.OpUpdate, Doc: stored.Clone()}
+	c.db.commit(ai)
+	return ai, nil
+}
+
+// FindAndModify applies a MongoDB update document (operator form such as
+// {$set: ..., $inc: ...}, or a full replacement document) to the keyed
+// record and returns the after-image — the primitive the application server
+// uses to feed InvaliDB (§5.4). With upsert true a missing record is created
+// by applying the update to an empty document.
+func (c *Collection) FindAndModify(key string, update map[string]any, upsert bool) (*document.AfterImage, error) {
+	update = map[string]any(document.Normalize(document.Document(update)))
+	s := c.shardFor(key)
+	s.mu.Lock()
+	rec, exists := s.docs[key]
+	var base document.Document
+	var old document.Document
+	op := document.OpUpdate
+	switch {
+	case exists:
+		base = rec.doc.Clone()
+		old = rec.doc
+	case upsert:
+		base = document.Document{"_id": key}
+		op = document.OpInsert
+	default:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, key)
+	}
+	updated, err := applyUpdate(base, update)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("storage: update %s/%s: %w", c.name, key, err)
+	}
+	updated["_id"] = key
+	ver := c.db.nextSeq()
+	s.docs[key] = &record{doc: updated, version: ver}
+	if old != nil {
+		c.indexRemove(key, old)
+	}
+	c.indexAdd(key, updated)
+	s.mu.Unlock()
+
+	ai := &document.AfterImage{Collection: c.name, Key: key, Version: ver, Op: op, Doc: updated.Clone()}
+	c.db.commit(ai)
+	return ai, nil
+}
+
+// Delete removes a document and returns the delete after-image (a nil
+// document, as the paper notes: "the after-image of a deleted entity is
+// null").
+func (c *Collection) Delete(key string) (*document.AfterImage, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	rec, exists := s.docs[key]
+	if !exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, key)
+	}
+	delete(s.docs, key)
+	ver := c.db.nextSeq()
+	c.indexRemove(key, rec.doc)
+	s.mu.Unlock()
+
+	ai := &document.AfterImage{Collection: c.name, Key: key, Version: ver, Op: document.OpDelete}
+	c.db.commit(ai)
+	return ai, nil
+}
+
+// Get returns a copy of the document stored under key along with its
+// version.
+func (c *Collection) Get(key string) (document.Document, uint64, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	rec, ok := s.docs[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, 0, false
+	}
+	doc := rec.doc.Clone()
+	ver := rec.version
+	s.mu.RUnlock()
+	return doc, ver, true
+}
+
+// Len returns the number of documents in the collection.
+func (c *Collection) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += len(s.docs)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Find executes a query and returns the matching documents with sort, offset,
+// limit and projection applied.
+func (c *Collection) Find(q *query.Query) ([]document.Document, error) {
+	entries, err := c.FindEntries(q)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]document.Document, len(entries))
+	for i, e := range entries {
+		docs[i] = e.Doc
+	}
+	return docs, nil
+}
+
+// FindEntries executes a query and returns versioned entries — the form the
+// application server ships to InvaliDB as the initial result. Projections
+// are applied to the returned documents but matching and sorting always see
+// the full record.
+func (c *Collection) FindEntries(q *query.Query) ([]Entry, error) {
+	if q.Collection != c.name {
+		return nil, fmt.Errorf("storage: query targets %q, collection is %q", q.Collection, c.name)
+	}
+	matched := c.scan(q)
+
+	sortEntries(matched, q)
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			matched = nil
+		} else {
+			matched = matched[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	if len(q.Projection) > 0 {
+		for i := range matched {
+			matched[i].Doc = q.Project(matched[i].Doc)
+		}
+	}
+	return matched, nil
+}
+
+// scan gathers matching entries, using a hash index when the query pins an
+// indexed path to a constant, and falling back to a full collection scan.
+func (c *Collection) scan(q *query.Query) []Entry {
+	if keys, ok := c.indexCandidates(q); ok {
+		var out []Entry
+		for _, key := range keys {
+			s := c.shardFor(key)
+			s.mu.RLock()
+			rec, exists := s.docs[key]
+			if exists && q.Match(rec.doc) {
+				out = append(out, Entry{Key: key, Version: rec.version, Doc: rec.doc.Clone()})
+			}
+			s.mu.RUnlock()
+		}
+		return out
+	}
+	var out []Entry
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for key, rec := range s.docs {
+			if q.Match(rec.doc) {
+				out = append(out, Entry{Key: key, Version: rec.version, Doc: rec.doc.Clone()})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Count returns the number of documents matching the query's filter
+// (ignoring limit/offset).
+func (c *Collection) Count(q *query.Query) (int, error) {
+	if q.Collection != c.name {
+		return 0, fmt.Errorf("storage: query targets %q, collection is %q", q.Collection, c.name)
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for _, rec := range s.docs {
+			if q.Match(rec.doc) {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n, nil
+}
+
+// sortEntries orders results by the query comparator. Even without an
+// explicit sort, limit/offset windows need the total order the engine
+// defines (primary-key ascending) so pull-based and real-time results agree.
+func sortEntries(entries []Entry, q *query.Query) {
+	if len(entries) < 2 {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return q.Compare(entries[i].Doc, entries[j].Doc) < 0 })
+}

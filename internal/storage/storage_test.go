@@ -1,0 +1,489 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+func newDB() *DB { return Open(Options{Shards: 4, OplogCapacity: 128}) }
+
+func art(id string, title string, year int) document.Document {
+	return document.Document{"_id": id, "title": title, "year": year}
+}
+
+func TestInsertGet(t *testing.T) {
+	db := newDB()
+	c := db.C("articles")
+	ai, err := c.Insert(art("1", "DB Fun", 2018))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Op != document.OpInsert || ai.Key != "1" || ai.Version == 0 {
+		t.Fatalf("bad after-image: %+v", ai)
+	}
+	d, ver, ok := c.Get("1")
+	if !ok || ver != ai.Version {
+		t.Fatalf("Get: ok=%v ver=%d want %d", ok, ver, ai.Version)
+	}
+	if d["title"] != "DB Fun" || d["year"] != int64(2018) {
+		t.Fatalf("stored document mangled: %v", d)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	c := newDB().C("c")
+	if _, err := c.Insert(art("1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Insert(art("1", "b", 2))
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate insert: err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestInsertWithoutID(t *testing.T) {
+	if _, err := newDB().C("c").Insert(document.Document{"x": 1}); err == nil {
+		t.Fatal("insert without _id accepted")
+	}
+}
+
+func TestInsertIsolatesCallerValue(t *testing.T) {
+	c := newDB().C("c")
+	d := art("1", "orig", 1)
+	if _, err := c.Insert(d); err != nil {
+		t.Fatal(err)
+	}
+	d["title"] = "mutated"
+	got, _, _ := c.Get("1")
+	if got["title"] != "orig" {
+		t.Fatal("caller mutation leaked into storage")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	c := newDB().C("c")
+	first, _ := c.Insert(art("1", "a", 1))
+	ai, err := c.Replace("1", document.Document{"title": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Version <= first.Version {
+		t.Fatal("version did not increase on replace")
+	}
+	d, _, _ := c.Get("1")
+	if d["title"] != "b" || d["_id"] != "1" {
+		t.Fatalf("replace result: %v", d)
+	}
+	if _, ok := d["year"]; ok {
+		t.Fatal("replace kept an old field")
+	}
+	if _, err := c.Replace("nope", document.Document{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("replace missing: %v", err)
+	}
+	if _, err := c.Replace("1", document.Document{"_id": "2"}); err == nil {
+		t.Fatal("replace with mismatched _id accepted")
+	}
+}
+
+func TestFindAndModifyOperators(t *testing.T) {
+	c := newDB().C("c")
+	if _, err := c.Insert(document.Document{"_id": "1", "n": 10, "tags": []any{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	ai, err := c.FindAndModify("1", map[string]any{
+		"$set":  map[string]any{"title": "T"},
+		"$inc":  map[string]any{"n": 5},
+		"$push": map[string]any{"tags": "b"},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Doc["n"] != int64(15) || ai.Doc["title"] != "T" {
+		t.Fatalf("after-image: %v", ai.Doc)
+	}
+	if tags := ai.Doc["tags"].([]any); len(tags) != 2 || tags[1] != "b" {
+		t.Fatalf("push failed: %v", ai.Doc["tags"])
+	}
+	// After-image must equal stored state.
+	d, ver, _ := c.Get("1")
+	if !document.Equal(map[string]any(d), map[string]any(ai.Doc)) || ver != ai.Version {
+		t.Fatal("after-image diverges from stored record")
+	}
+}
+
+func TestFindAndModifyReplacementForm(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(document.Document{"_id": "1", "a": 1, "b": 2})
+	ai, err := c.FindAndModify("1", map[string]any{"z": 9}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Doc["z"] != int64(9) || ai.Doc["_id"] != "1" {
+		t.Fatalf("replacement: %v", ai.Doc)
+	}
+	if _, ok := ai.Doc["a"]; ok {
+		t.Fatal("replacement kept old field")
+	}
+}
+
+func TestFindAndModifyUpsert(t *testing.T) {
+	c := newDB().C("c")
+	ai, err := c.FindAndModify("new", map[string]any{"$set": map[string]any{"x": 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Op != document.OpInsert {
+		t.Fatalf("upsert op = %v, want insert", ai.Op)
+	}
+	if _, err := c.FindAndModify("missing", map[string]any{"$set": map[string]any{"x": 1}}, false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("non-upsert on missing: %v", err)
+	}
+}
+
+func TestFindAndModifyRejectsBadUpdate(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(document.Document{"_id": "1", "s": "x"})
+	cases := []map[string]any{
+		{"$inc": map[string]any{"s": 1}},
+		{"$inc": map[string]any{"n": "not a number"}},
+		{"$bogus": map[string]any{"a": 1}},
+		{"$set": map[string]any{"_id": "2"}},
+		{"$set": map[string]any{"": 1}},
+		{"$set": 5},
+		{"$push": map[string]any{"s": 1}},
+		{"$rename": map[string]any{"s": 7}},
+	}
+	for i, u := range cases {
+		if _, err := c.FindAndModify("1", u, false); err == nil {
+			t.Errorf("case %d: bad update accepted: %v", i, u)
+		}
+	}
+	// Failed updates must not change state or version.
+	d, _, _ := c.Get("1")
+	if d["s"] != "x" {
+		t.Fatal("failed update mutated the record")
+	}
+}
+
+func TestUpdateOperatorMatrix(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(document.Document{
+		"_id": "1", "n": 10, "f": 1.5, "arr": []any{1, 2, 2, 3}, "old": "v",
+		"lo": 5, "hi": 5,
+	})
+	_, err := c.FindAndModify("1", map[string]any{
+		"$mul":      map[string]any{"n": 3},
+		"$min":      map[string]any{"lo": 2},
+		"$max":      map[string]any{"hi": 9},
+		"$pull":     map[string]any{"arr": 2},
+		"$rename":   map[string]any{"old": "renamed"},
+		"$addToSet": map[string]any{"set": map[string]any{"$each": []any{"a", "a", "b"}}},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ := c.Get("1")
+	if d["n"] != int64(30) {
+		t.Errorf("$mul: %v", d["n"])
+	}
+	if d["lo"] != int64(2) || d["hi"] != int64(9) {
+		t.Errorf("$min/$max: lo=%v hi=%v", d["lo"], d["hi"])
+	}
+	if arr := d["arr"].([]any); len(arr) != 2 {
+		t.Errorf("$pull: %v", arr)
+	}
+	if _, ok := d["old"]; ok || d["renamed"] != "v" {
+		t.Errorf("$rename: %v", d)
+	}
+	if set := d["set"].([]any); len(set) != 2 {
+		t.Errorf("$addToSet dedup: %v", set)
+	}
+	// $pop both ends.
+	_, _ = c.FindAndModify("1", map[string]any{"$pop": map[string]any{"arr": 1}}, false)
+	_, _ = c.FindAndModify("1", map[string]any{"$pop": map[string]any{"arr": -1}}, false)
+	d, _, _ = c.Get("1")
+	if arr := d["arr"].([]any); len(arr) != 0 {
+		t.Errorf("$pop: %v", arr)
+	}
+	// $push $each, $inc on missing, $mul on missing.
+	_, _ = c.FindAndModify("1", map[string]any{
+		"$push": map[string]any{"arr": map[string]any{"$each": []any{7, 8}}},
+		"$inc":  map[string]any{"fresh": 4},
+		"$mul":  map[string]any{"fresh2": 4},
+	}, false)
+	d, _, _ = c.Get("1")
+	if arr := d["arr"].([]any); len(arr) != 2 {
+		t.Errorf("$push $each: %v", arr)
+	}
+	if d["fresh"] != int64(4) || d["fresh2"] != int64(0) {
+		t.Errorf("$inc/$mul on missing: %v %v", d["fresh"], d["fresh2"])
+	}
+	// $currentDate writes a string timestamp.
+	_, _ = c.FindAndModify("1", map[string]any{"$currentDate": map[string]any{"ts": true}}, false)
+	d, _, _ = c.Get("1")
+	if _, ok := d["ts"].(string); !ok {
+		t.Errorf("$currentDate: %T", d["ts"])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newDB().C("c")
+	ins, _ := c.Insert(art("1", "a", 1))
+	ai, err := c.Delete("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Op != document.OpDelete || ai.Doc != nil {
+		t.Fatalf("delete after-image: %+v", ai)
+	}
+	if ai.Version <= ins.Version {
+		t.Fatal("delete version did not increase")
+	}
+	if _, _, ok := c.Get("1"); ok {
+		t.Fatal("document survived delete")
+	}
+	if _, err := c.Delete("1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestVersionsMonotonicAcrossReinsert(t *testing.T) {
+	c := newDB().C("c")
+	a, _ := c.Insert(art("1", "a", 1))
+	d, _ := c.Delete("1")
+	b, _ := c.Insert(art("1", "b", 2))
+	if !(a.Version < d.Version && d.Version < b.Version) {
+		t.Fatalf("versions not monotonic: %d %d %d", a.Version, d.Version, b.Version)
+	}
+}
+
+func TestFindFilterSortWindow(t *testing.T) {
+	c := newDB().C("articles")
+	years := []int{2018, 2018, 2017, 2017, 2016, 2016}
+	titles := []string{"DB Fun", "No SQL!", "BaaS For Dummies", "Query Languages", "Streams in Action", "SaaS For Dummies"}
+	ids := []string{"5", "8", "3", "4", "7", "9"}
+	for i := range ids {
+		if _, err := c.Insert(art(ids[i], titles[i], years[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query.MustCompile(query.Spec{
+		Collection: "articles",
+		Sort:       []query.SortKey{{Path: "year", Desc: true}},
+		Offset:     2,
+		Limit:      3,
+	})
+	docs, err := c.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range docs {
+		id, _ := d.ID()
+		got = append(got, id)
+	}
+	want := []string{"3", "4", "7"} // Figure 3's visible result
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("window = %v, want %v", got, want)
+	}
+}
+
+func TestFindOffsetBeyondResult(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(art("1", "a", 1))
+	q := query.MustCompile(query.Spec{Collection: "c", Offset: 10})
+	docs, err := c.Find(q)
+	if err != nil || len(docs) != 0 {
+		t.Fatalf("offset beyond result: %v, %v", docs, err)
+	}
+}
+
+func TestFindWrongCollection(t *testing.T) {
+	c := newDB().C("c")
+	q := query.MustCompile(query.Spec{Collection: "other"})
+	if _, err := c.Find(q); err == nil {
+		t.Fatal("cross-collection query accepted")
+	}
+}
+
+func TestFindProjection(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(document.Document{"_id": "1", "a": 1, "b": 2})
+	q := query.MustCompile(query.Spec{Collection: "c", Projection: []string{"a"}})
+	docs, _ := c.Find(q)
+	if len(docs) != 1 || docs[0]["a"] != int64(1) {
+		t.Fatalf("projection result: %v", docs)
+	}
+	if _, ok := docs[0]["b"]; ok {
+		t.Fatal("projection leaked field")
+	}
+}
+
+func TestFindEntriesVersions(t *testing.T) {
+	c := newDB().C("c")
+	ai, _ := c.Insert(art("1", "a", 1))
+	q := query.MustCompile(query.Spec{Collection: "c"})
+	entries, err := c.FindEntries(q)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v %v", entries, err)
+	}
+	if entries[0].Version != ai.Version || entries[0].Key != "1" {
+		t.Fatalf("entry metadata: %+v", entries[0])
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := newDB().C("c")
+	for i := 0; i < 10; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i), "n": i})
+	}
+	q := query.MustCompile(query.Spec{
+		Collection: "c",
+		Filter:     map[string]any{"n": map[string]any{"$gte": 5}},
+		Limit:      2, // Count ignores the window
+	})
+	n, err := c.Count(q)
+	if err != nil || n != 5 {
+		t.Fatalf("Count = %d, %v; want 5", n, err)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestIndexedFindMatchesScan(t *testing.T) {
+	c := newDB().C("c")
+	if err := c.EnsureIndex("cat"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i), "cat": fmt.Sprint(i % 5), "n": i})
+	}
+	// Mutate some: moves between index buckets.
+	for i := 0; i < 20; i++ {
+		_, _ = c.FindAndModify(fmt.Sprint(i), map[string]any{"$set": map[string]any{"cat": "9"}}, false)
+	}
+	for i := 40; i < 45; i++ {
+		_, _ = c.Delete(fmt.Sprint(i))
+	}
+	q := query.MustCompile(query.Spec{Collection: "c", Filter: map[string]any{"cat": "9", "n": map[string]any{"$lt": 10}}})
+	docs, err := c.Find(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 10 {
+		t.Fatalf("indexed find returned %d docs, want 10", len(docs))
+	}
+	if got := c.Indexes(); len(got) != 1 || got[0] != "cat" {
+		t.Fatalf("Indexes() = %v", got)
+	}
+}
+
+func TestIndexBackfill(t *testing.T) {
+	c := newDB().C("c")
+	for i := 0; i < 20; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i), "cat": i % 2})
+	}
+	if err := c.EnsureIndex("cat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureIndex("cat"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	q := query.MustCompile(query.Spec{Collection: "c", Filter: map[string]any{"cat": 1}})
+	docs, _ := c.Find(q)
+	if len(docs) != 10 {
+		t.Fatalf("backfilled index find: %d docs, want 10", len(docs))
+	}
+}
+
+func TestMultikeyIndex(t *testing.T) {
+	c := newDB().C("c")
+	_ = c.EnsureIndex("tags")
+	_, _ = c.Insert(document.Document{"_id": "1", "tags": []any{"go", "db"}})
+	_, _ = c.Insert(document.Document{"_id": "2", "tags": []any{"rust"}})
+	q := query.MustCompile(query.Spec{Collection: "c", Filter: map[string]any{"tags": "db"}})
+	docs, _ := c.Find(q)
+	if len(docs) != 1 {
+		t.Fatalf("multikey index lookup: %d docs, want 1", len(docs))
+	}
+	id, _ := docs[0].ID()
+	if id != "1" {
+		t.Fatalf("wrong doc: %s", id)
+	}
+}
+
+func TestConcurrentWritersDistinctKeys(t *testing.T) {
+	c := newDB().C("c")
+	_ = c.EnsureIndex("g")
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("%d-%d", w, i)
+				if _, err := c.Insert(document.Document{"_id": key, "g": w, "i": i}); err != nil {
+					t.Errorf("insert %s: %v", key, err)
+					return
+				}
+				if _, err := c.FindAndModify(key, map[string]any{"$inc": map[string]any{"i": 1}}, false); err != nil {
+					t.Errorf("update %s: %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", c.Len(), workers*perWorker)
+	}
+	q := query.MustCompile(query.Spec{Collection: "c", Filter: map[string]any{"g": 3}})
+	n, _ := c.Count(q)
+	if n != perWorker {
+		t.Fatalf("group count = %d, want %d", n, perWorker)
+	}
+}
+
+func TestConcurrentSameKeyVersionsUnique(t *testing.T) {
+	c := newDB().C("c")
+	_, _ = c.Insert(document.Document{"_id": "k", "n": 0})
+	const writers = 8
+	const updates = 100
+	versions := make(chan uint64, writers*updates)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				ai, err := c.FindAndModify("k", map[string]any{"$inc": map[string]any{"n": 1}}, false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				versions <- ai.Version
+			}
+		}()
+	}
+	wg.Wait()
+	close(versions)
+	seen := map[uint64]bool{}
+	for v := range versions {
+		if seen[v] {
+			t.Fatalf("duplicate version %d", v)
+		}
+		seen[v] = true
+	}
+	d, _, _ := c.Get("k")
+	if d["n"] != int64(writers*updates) {
+		t.Fatalf("lost updates: n = %v, want %d", d["n"], writers*updates)
+	}
+}

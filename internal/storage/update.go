@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"invalidb/internal/document"
+)
+
+// applyUpdate executes a MongoDB update document against a working copy of a
+// record. Operator documents ({$set: ...}) modify fields; a document without
+// any $-operators replaces the record wholesale (the _id is reinstated by the
+// caller). The input document is mutated and returned.
+func applyUpdate(d document.Document, update map[string]any) (document.Document, error) {
+	if !hasUpdateOperator(update) {
+		repl := document.Document(update).Clone()
+		return repl, nil
+	}
+	for op, rawArgs := range update {
+		args, ok := rawArgs.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("%s expects a field document", op)
+		}
+		for path, arg := range args {
+			if err := validateUpdatePath(path); err != nil {
+				return nil, err
+			}
+			if err := applyOperator(d, op, path, arg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+func hasUpdateOperator(update map[string]any) bool {
+	for k := range update {
+		if strings.HasPrefix(k, "$") {
+			return true
+		}
+	}
+	return false
+}
+
+func validateUpdatePath(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty update path")
+	}
+	if path == "_id" {
+		return fmt.Errorf("cannot update _id")
+	}
+	for _, seg := range strings.Split(path, ".") {
+		if seg == "" {
+			return fmt.Errorf("update path %q has an empty segment", path)
+		}
+	}
+	return nil
+}
+
+func applyOperator(d document.Document, op, path string, arg any) error {
+	switch op {
+	case "$set":
+		return document.Set(d, path, arg)
+	case "$unset":
+		document.Unset(d, path)
+		return nil
+	case "$inc":
+		return applyArith(d, path, arg, "$inc")
+	case "$mul":
+		return applyArith(d, path, arg, "$mul")
+	case "$min":
+		return applyMinMax(d, path, arg, true)
+	case "$max":
+		return applyMinMax(d, path, arg, false)
+	case "$push":
+		return applyPush(d, path, arg)
+	case "$addToSet":
+		return applyAddToSet(d, path, arg)
+	case "$pull":
+		return applyPull(d, path, arg)
+	case "$pop":
+		return applyPop(d, path, arg)
+	case "$rename":
+		return applyRename(d, path, arg)
+	case "$currentDate":
+		return document.Set(d, path, time.Now().UTC().Format(time.RFC3339Nano))
+	default:
+		return fmt.Errorf("unsupported update operator %q", op)
+	}
+}
+
+func applyArith(d document.Document, path string, arg any, op string) error {
+	switch arg.(type) {
+	case int64, float64:
+	default:
+		return fmt.Errorf("%s operand for %q is not a number", op, path)
+	}
+	cur := document.Get(d, path)
+	if document.IsMissing(cur) {
+		if op == "$mul" {
+			return document.Set(d, path, int64(0))
+		}
+		return document.Set(d, path, arg)
+	}
+	switch c := cur.(type) {
+	case int64:
+		switch a := arg.(type) {
+		case int64:
+			if op == "$inc" {
+				return document.Set(d, path, c+a)
+			}
+			return document.Set(d, path, c*a)
+		case float64:
+			if op == "$inc" {
+				return document.Set(d, path, float64(c)+a)
+			}
+			return document.Set(d, path, float64(c)*a)
+		}
+	case float64:
+		switch a := arg.(type) {
+		case int64:
+			if op == "$inc" {
+				return document.Set(d, path, c+float64(a))
+			}
+			return document.Set(d, path, c*float64(a))
+		case float64:
+			if op == "$inc" {
+				return document.Set(d, path, c+a)
+			}
+			return document.Set(d, path, c*a)
+		}
+	default:
+		return fmt.Errorf("%s target %q is not a number", op, path)
+	}
+	return fmt.Errorf("%s operand for %q is not a number", op, path)
+}
+
+func applyMinMax(d document.Document, path string, arg any, min bool) error {
+	cur := document.Get(d, path)
+	if document.IsMissing(cur) {
+		return document.Set(d, path, arg)
+	}
+	c := document.Compare(arg, cur)
+	if (min && c < 0) || (!min && c > 0) {
+		return document.Set(d, path, arg)
+	}
+	return nil
+}
+
+func applyPush(d document.Document, path string, arg any) error {
+	items := []any{arg}
+	if m, ok := arg.(map[string]any); ok {
+		if each, ok := m["$each"]; ok {
+			arr, ok := each.([]any)
+			if !ok {
+				return fmt.Errorf("$push $each for %q is not an array", path)
+			}
+			items = arr
+		}
+	}
+	cur := document.Get(d, path)
+	var arr []any
+	if a, ok := cur.([]any); ok {
+		arr = a
+	} else if !document.IsMissing(cur) && cur != nil {
+		return fmt.Errorf("$push target %q is not an array", path)
+	}
+	arr = append(arr, items...)
+	return document.Set(d, path, arr)
+}
+
+func applyAddToSet(d document.Document, path string, arg any) error {
+	items := []any{arg}
+	if m, ok := arg.(map[string]any); ok {
+		if each, ok := m["$each"]; ok {
+			arr, ok := each.([]any)
+			if !ok {
+				return fmt.Errorf("$addToSet $each for %q is not an array", path)
+			}
+			items = arr
+		}
+	}
+	cur := document.Get(d, path)
+	var arr []any
+	if a, ok := cur.([]any); ok {
+		arr = a
+	} else if !document.IsMissing(cur) && cur != nil {
+		return fmt.Errorf("$addToSet target %q is not an array", path)
+	}
+	for _, item := range items {
+		dup := false
+		for _, e := range arr {
+			if document.Equal(e, item) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			arr = append(arr, item)
+		}
+	}
+	return document.Set(d, path, arr)
+}
+
+func applyPull(d document.Document, path string, arg any) error {
+	cur := document.Get(d, path)
+	arr, ok := cur.([]any)
+	if !ok {
+		if document.IsMissing(cur) {
+			return nil
+		}
+		return fmt.Errorf("$pull target %q is not an array", path)
+	}
+	out := arr[:0:0]
+	for _, e := range arr {
+		if !document.Equal(e, arg) {
+			out = append(out, e)
+		}
+	}
+	return document.Set(d, path, out)
+}
+
+func applyPop(d document.Document, path string, arg any) error {
+	cur := document.Get(d, path)
+	arr, ok := cur.([]any)
+	if !ok {
+		if document.IsMissing(cur) {
+			return nil
+		}
+		return fmt.Errorf("$pop target %q is not an array", path)
+	}
+	if len(arr) == 0 {
+		return nil
+	}
+	dir, _ := arg.(int64)
+	if dir == -1 {
+		return document.Set(d, path, arr[1:])
+	}
+	return document.Set(d, path, arr[:len(arr)-1])
+}
+
+func applyRename(d document.Document, path string, arg any) error {
+	newPath, ok := arg.(string)
+	if !ok {
+		return fmt.Errorf("$rename target for %q must be a string", path)
+	}
+	if err := validateUpdatePath(newPath); err != nil {
+		return err
+	}
+	v := document.Get(d, path)
+	if document.IsMissing(v) {
+		return nil
+	}
+	document.Unset(d, path)
+	return document.Set(d, newPath, v)
+}

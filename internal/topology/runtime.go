@@ -1,0 +1,448 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Topology is a running dataflow. Create one with Builder.Build, start it
+// with Start, and tear it down with Stop.
+type Topology struct {
+	cfg     Config
+	comps   map[string]*component
+	order   []string
+	acker   *acker
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	halted  atomic.Bool
+}
+
+type component struct {
+	top    *Topology
+	def    *componentDef
+	tasks  []*task
+	routes map[string][]*route // stream -> downstream subscriptions
+}
+
+type route struct {
+	sub    *subscription
+	target *component
+	rr     atomic.Uint64 // round-robin cursor for shuffle grouping
+}
+
+type task struct {
+	comp  *component
+	id    int
+	in    chan *Tuple
+	spout Spout
+	bolt  Bolt
+
+	executed atomic.Uint64
+	emitted  atomic.Uint64
+	acked    atomic.Uint64
+	failed   atomic.Uint64
+
+	pending     chan struct{}   // spout max-pending semaphore (nil = unlimited)
+	completions chan completion // ack/fail results, drained on the spout goroutine
+	rng         *rand.Rand
+	rngMu       sync.Mutex
+}
+
+// completion is an ack or fail verdict for a spout root tuple. Completions
+// are queued and delivered on the spout's own task goroutine (as in Storm),
+// so Spout implementations never see Ack/Fail concurrently with NextTuple.
+type completion struct {
+	id MsgID
+	ok bool
+}
+
+func newTopology(b *Builder, cfg Config) (*Topology, error) {
+	t := &Topology{
+		cfg:     cfg,
+		comps:   map[string]*component{},
+		order:   append([]string(nil), b.order...),
+		stopped: make(chan struct{}),
+	}
+	if cfg.EnableAcking {
+		t.acker = newAcker(cfg.AckTimeout)
+	}
+	for _, id := range b.order {
+		def := b.components[id]
+		comp := &component{top: t, def: def, routes: map[string][]*route{}}
+		for i := 0; i < def.parallelism; i++ {
+			tk := &task{
+				comp: comp,
+				id:   i,
+				rng:  rand.New(rand.NewSource(int64(len(id))*7919 + int64(i) + 1)),
+			}
+			if def.bolt != nil {
+				tk.in = make(chan *Tuple, cfg.QueueSize)
+				tk.bolt = def.bolt()
+			} else {
+				tk.spout = def.spout()
+				if cfg.EnableAcking {
+					if cfg.MaxSpoutPending > 0 {
+						tk.pending = make(chan struct{}, cfg.MaxSpoutPending)
+					}
+					qlen := 4 * cfg.QueueSize
+					if cfg.MaxSpoutPending > 0 && 2*cfg.MaxSpoutPending > qlen {
+						qlen = 2 * cfg.MaxSpoutPending
+					}
+					tk.completions = make(chan completion, qlen)
+				}
+			}
+			comp.tasks = append(comp.tasks, tk)
+		}
+		t.comps[id] = comp
+	}
+	// Resolve routes: for every bolt subscription, register a route on the
+	// upstream component's stream.
+	for _, id := range b.order {
+		def := b.components[id]
+		for i := range def.subs {
+			sub := &def.subs[i]
+			up := t.comps[sub.from]
+			up.routes[sub.stream] = append(up.routes[sub.stream], &route{sub: sub, target: t.comps[id]})
+		}
+	}
+	return t, nil
+}
+
+// Start prepares all bolts, opens all spouts, and begins processing.
+func (t *Topology) Start() error {
+	if !t.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("topology: already started")
+	}
+	if t.acker != nil {
+		t.acker.start(&t.wg, t.stopped)
+	}
+	// Prepare bolts before any spout can emit.
+	for _, id := range t.order {
+		comp := t.comps[id]
+		if comp.def.bolt == nil {
+			continue
+		}
+		for _, tk := range comp.tasks {
+			if err := tk.bolt.Prepare(&BoltContext{TaskID: tk.id}, &taskCollector{task: tk}); err != nil {
+				return fmt.Errorf("topology: prepare %s[%d]: %w", id, tk.id, err)
+			}
+			t.wg.Add(1)
+			go tk.boltLoop(&t.wg)
+		}
+	}
+	for _, id := range t.order {
+		comp := t.comps[id]
+		if comp.def.spout == nil {
+			continue
+		}
+		for _, tk := range comp.tasks {
+			tk := tk
+			ctx := &SpoutContext{TaskID: tk.id, Emit: tk.spoutEmit}
+			if err := tk.spout.Open(ctx); err != nil {
+				return fmt.Errorf("topology: open %s[%d]: %w", id, tk.id, err)
+			}
+			t.wg.Add(1)
+			go tk.spoutLoop(&t.wg)
+		}
+	}
+	return nil
+}
+
+// Stop halts all tasks. In-flight tuples are dropped — with acking enabled
+// their trees would simply replay on a restarted topology, matching Storm's
+// kill semantics.
+func (t *Topology) Stop() {
+	if !t.halted.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.stopped)
+	t.wg.Wait()
+	for _, id := range t.order {
+		comp := t.comps[id]
+		for _, tk := range comp.tasks {
+			if tk.spout != nil {
+				tk.spout.Close()
+			}
+			if tk.bolt != nil {
+				tk.bolt.Cleanup()
+			}
+		}
+	}
+}
+
+// TaskStats is a point-in-time snapshot of one task's counters.
+type TaskStats struct {
+	Component string
+	TaskID    int
+	Executed  uint64
+	Emitted   uint64
+	Acked     uint64
+	Failed    uint64
+	QueueLen  int
+}
+
+// Stats snapshots all task counters.
+func (t *Topology) Stats() []TaskStats {
+	var out []TaskStats
+	for _, id := range t.order {
+		comp := t.comps[id]
+		for _, tk := range comp.tasks {
+			s := TaskStats{
+				Component: id,
+				TaskID:    tk.id,
+				Executed:  tk.executed.Load(),
+				Emitted:   tk.emitted.Load(),
+				Acked:     tk.acked.Load(),
+				Failed:    tk.failed.Load(),
+			}
+			if tk.in != nil {
+				s.QueueLen = len(tk.in)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// spoutLoop drives NextTuple until the topology stops, interleaving
+// completion delivery so Ack/Fail run on this goroutine.
+func (tk *task) spoutLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	idle := time.Duration(0)
+	for {
+		tk.drainCompletions()
+		select {
+		case <-tk.comp.top.stopped:
+			return
+		default:
+		}
+		if tk.spout.NextTuple() {
+			idle = 0
+			continue
+		}
+		// Back off while the spout has nothing to emit, capped at 1ms to
+		// keep wake-up latency low; completions cut the nap short.
+		if idle < time.Millisecond {
+			idle += 100 * time.Microsecond
+		}
+		if tk.completions != nil {
+			select {
+			case <-tk.comp.top.stopped:
+				return
+			case c := <-tk.completions:
+				tk.deliver(c)
+			case <-time.After(idle):
+			}
+			continue
+		}
+		select {
+		case <-tk.comp.top.stopped:
+			return
+		case <-time.After(idle):
+		}
+	}
+}
+
+func (tk *task) drainCompletions() {
+	if tk.completions == nil {
+		return
+	}
+	for {
+		select {
+		case c := <-tk.completions:
+			tk.deliver(c)
+		default:
+			return
+		}
+	}
+}
+
+func (tk *task) deliver(c completion) {
+	if c.ok {
+		tk.spout.Ack(c.id)
+	} else {
+		tk.spout.Fail(c.id)
+	}
+}
+
+// spoutEmit injects a root tuple.
+func (tk *task) spoutEmit(values Values) MsgID {
+	top := tk.comp.top
+	var root uint64
+	if top.acker != nil {
+		if tk.pending != nil {
+			select {
+			case tk.pending <- struct{}{}:
+			case <-top.stopped:
+				return 0
+			}
+		}
+		root = tk.nextID()
+		top.acker.register(root, tk)
+	}
+	tk.emitted.Add(1)
+	tk.comp.fanOut(tk, DefaultStream, &Tuple{root: root}, values, -1)
+	if top.acker != nil {
+		// Seal the registration: if the fan-out reached no consumer the
+		// tree completes immediately.
+		top.acker.seal(root)
+	}
+	return MsgID(root)
+}
+
+// releasePending frees one max-pending slot after ack or fail.
+func (tk *task) releasePending() {
+	if tk.pending != nil {
+		select {
+		case <-tk.pending:
+		default:
+		}
+	}
+}
+
+func (tk *task) nextID() uint64 {
+	tk.rngMu.Lock()
+	defer tk.rngMu.Unlock()
+	for {
+		if v := tk.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// boltLoop consumes the task's input queue.
+func (tk *task) boltLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-tk.comp.top.stopped:
+			return
+		case tup := <-tk.in:
+			tk.executed.Add(1)
+			tk.bolt.Execute(tup)
+		}
+	}
+}
+
+// fanOut routes a tuple's values to every downstream subscriber of the
+// component's stream. directTask >= 0 restricts direct-grouping routes to
+// that task index.
+func (comp *component) fanOut(from *task, stream string, anchor *Tuple, values Values, directTask int) {
+	top := comp.top
+	for _, r := range comp.routes[stream] {
+		var targets []*task
+		tasks := r.target.tasks
+		switch r.sub.kind {
+		case groupShuffle:
+			targets = []*task{tasks[r.rr.Add(1)%uint64(len(tasks))]}
+		case groupFields:
+			h := hashFields(values, r.sub.indexes)
+			targets = []*task{tasks[h%uint64(len(tasks))]}
+		case groupBroadcast:
+			targets = tasks
+		case groupGlobal:
+			targets = tasks[:1]
+		case groupDirect:
+			if directTask < 0 {
+				continue // non-direct emit skips direct routes
+			}
+			targets = []*task{tasks[directTask%len(tasks)]}
+		}
+		for _, target := range targets {
+			tup := &Tuple{
+				Component: comp.def.id,
+				Stream:    stream,
+				Values:    values,
+				fields:    comp.def.outputs[stream],
+				root:      anchor.root,
+				taskID:    from.id,
+			}
+			if top.acker != nil && tup.root != 0 {
+				tup.edge = from.nextID()
+				top.acker.update(tup.root, tup.edge)
+			}
+			select {
+			case target.in <- tup:
+			case <-top.stopped:
+				return
+			}
+		}
+	}
+}
+
+// taskCollector implements Collector for one bolt task.
+type taskCollector struct {
+	task *task
+}
+
+func (c *taskCollector) Emit(anchor *Tuple, values Values) {
+	c.emit(DefaultStream, anchor, values, -1)
+}
+
+func (c *taskCollector) EmitStream(stream string, anchor *Tuple, values Values) {
+	c.emit(stream, anchor, values, -1)
+}
+
+func (c *taskCollector) EmitDirect(taskID int, anchor *Tuple, values Values) {
+	if taskID < 0 {
+		taskID = 0
+	}
+	c.emit(DefaultStream, anchor, values, taskID)
+}
+
+func (c *taskCollector) EmitDirectStream(stream string, taskID int, anchor *Tuple, values Values) {
+	if taskID < 0 {
+		taskID = 0
+	}
+	c.emit(stream, anchor, values, taskID)
+}
+
+func (c *taskCollector) emit(stream string, anchor *Tuple, values Values, direct int) {
+	c.task.emitted.Add(1)
+	if anchor == nil {
+		anchor = &Tuple{}
+	}
+	c.task.comp.fanOut(c.task, stream, anchor, values, direct)
+}
+
+func (c *taskCollector) Ack(t *Tuple) {
+	c.task.acked.Add(1)
+	top := c.task.comp.top
+	if top.acker != nil && t.root != 0 {
+		top.acker.update(t.root, t.edge)
+	}
+}
+
+func (c *taskCollector) Fail(t *Tuple) {
+	c.task.failed.Add(1)
+	top := c.task.comp.top
+	if top.acker != nil && t.root != 0 {
+		top.acker.fail(t.root)
+	}
+}
+
+// hashFields computes an FNV-1a hash over the selected value positions.
+func hashFields(values Values, indexes []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, idx := range indexes {
+		var s string
+		if idx < len(values) {
+			s = fmt.Sprint(values[idx])
+		}
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,336 @@
+// Package topology is a from-scratch stream-processing runtime modeled on
+// Apache Storm, the system the InvaliDB prototype used for workload
+// distribution (paper §5.4). It provides the Storm primitives the paper's
+// design relies on: spouts and bolts with configurable parallelism, tuple
+// routing through shuffle/fields/broadcast/global/direct groupings, and
+// at-least-once delivery via Storm's XOR-ledger acker with timeout-based
+// replay. InvaliDB's filtering and sorting stages are expressed as bolts on
+// this runtime.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// Values are the positional payload of a tuple.
+type Values []any
+
+// DefaultStream is the stream id used when a component emits without naming
+// a stream, mirroring Storm's "default" stream.
+const DefaultStream = "default"
+
+// Tuple is one data item flowing through the topology.
+type Tuple struct {
+	// Component is the id of the component that emitted the tuple.
+	Component string
+	// Stream is the named output stream the tuple was emitted on.
+	Stream string
+	// Values is the positional payload, aligned with the emitting
+	// component's declared output fields for the stream.
+	Values Values
+
+	fields []string
+	root   uint64 // ack root (0 for unanchored tuples)
+	edge   uint64 // this delivery's ack ledger id
+	taskID int    // emitting task index
+}
+
+// Get returns the value of a named output field.
+func (t *Tuple) Get(field string) (any, bool) {
+	for i, f := range t.fields {
+		if f == field && i < len(t.Values) {
+			return t.Values[i], true
+		}
+	}
+	return nil, false
+}
+
+// MsgID identifies a spout tuple for ack/fail callbacks.
+type MsgID uint64
+
+// SpoutContext is handed to a spout at open time.
+type SpoutContext struct {
+	// TaskID is this instance's index within the component's parallelism.
+	TaskID int
+	// Emit injects a new root tuple into the topology. With ackEnabled
+	// topologies the returned MsgID is echoed via Ack or Fail.
+	Emit func(values Values) MsgID
+}
+
+// Spout produces the topology's input. NextTuple is called in a loop by the
+// runtime; it should emit at most a few tuples per call and return false
+// when no input is currently available (the runtime then backs off briefly).
+type Spout interface {
+	Open(ctx *SpoutContext) error
+	NextTuple() bool
+	// Ack signals that the tuple tree rooted at the MsgID was fully
+	// processed; Fail signals a timeout or explicit failure (the spout
+	// decides whether to replay).
+	Ack(id MsgID)
+	Fail(id MsgID)
+	Close()
+}
+
+// BoltContext is handed to a bolt at prepare time.
+type BoltContext struct {
+	TaskID int
+}
+
+// Collector lets a bolt emit and acknowledge tuples.
+type Collector interface {
+	// Emit sends values downstream on the default stream, anchored to the
+	// given input tuple so failures propagate to the spout (anchor may be
+	// nil for unanchored emits).
+	Emit(anchor *Tuple, values Values)
+	// EmitStream sends values on a named output stream.
+	EmitStream(stream string, anchor *Tuple, values Values)
+	// EmitDirect sends values to one specific task of every component
+	// subscribed to the default stream with direct grouping.
+	EmitDirect(taskID int, anchor *Tuple, values Values)
+	// EmitDirectStream is EmitDirect on a named stream.
+	EmitDirectStream(stream string, taskID int, anchor *Tuple, values Values)
+	// Ack marks the input tuple as fully processed by this bolt.
+	Ack(t *Tuple)
+	// Fail marks the tuple tree as failed, triggering spout replay.
+	Fail(t *Tuple)
+}
+
+// Bolt processes tuples. Execute must Ack or Fail every input tuple exactly
+// once when acking is enabled.
+type Bolt interface {
+	Prepare(ctx *BoltContext, out Collector) error
+	Execute(t *Tuple)
+	Cleanup()
+}
+
+// groupingKind enumerates Storm's stream groupings.
+type groupingKind int
+
+const (
+	groupShuffle groupingKind = iota
+	groupFields
+	groupBroadcast
+	groupGlobal
+	groupDirect
+)
+
+type subscription struct {
+	from    string
+	stream  string
+	kind    groupingKind
+	fields  []string
+	indexes []int // resolved field indexes into the upstream declaration
+}
+
+type componentDef struct {
+	id          string
+	parallelism int
+	outputs     map[string][]string // stream -> declared fields
+	spout       func() Spout
+	bolt        func() Bolt
+	subs        []subscription
+}
+
+// Builder assembles a topology definition.
+type Builder struct {
+	components map[string]*componentDef
+	order      []string
+	err        error
+}
+
+// NewBuilder creates an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{components: map[string]*componentDef{}}
+}
+
+func (b *Builder) add(def *componentDef) {
+	if b.err != nil {
+		return
+	}
+	if def.id == "" {
+		b.err = fmt.Errorf("topology: empty component id")
+		return
+	}
+	if _, dup := b.components[def.id]; dup {
+		b.err = fmt.Errorf("topology: duplicate component %q", def.id)
+		return
+	}
+	if def.parallelism <= 0 {
+		b.err = fmt.Errorf("topology: component %q: parallelism must be positive", def.id)
+		return
+	}
+	b.components[def.id] = def
+	b.order = append(b.order, def.id)
+}
+
+// SetSpout registers a spout component. The factory is invoked once per
+// task. Output fields name the default stream's tuple positions for fields
+// grouping.
+func (b *Builder) SetSpout(id string, factory func() Spout, parallelism int, outputFields ...string) {
+	b.add(&componentDef{
+		id: id, parallelism: parallelism, spout: factory,
+		outputs: map[string][]string{DefaultStream: outputFields},
+	})
+}
+
+// BoltDecl continues a bolt declaration with grouping subscriptions.
+type BoltDecl struct {
+	b   *Builder
+	def *componentDef
+}
+
+// SetBolt registers a bolt component and returns a declaration to attach
+// groupings and extra output streams to.
+func (b *Builder) SetBolt(id string, factory func() Bolt, parallelism int, outputFields ...string) *BoltDecl {
+	def := &componentDef{
+		id: id, parallelism: parallelism, bolt: factory,
+		outputs: map[string][]string{DefaultStream: outputFields},
+	}
+	b.add(def)
+	return &BoltDecl{b: b, def: def}
+}
+
+// DeclareStream declares an additional named output stream with its fields,
+// mirroring Storm's OutputFieldsDeclarer.declareStream.
+func (d *BoltDecl) DeclareStream(stream string, fields ...string) *BoltDecl {
+	d.def.outputs[stream] = fields
+	return d
+}
+
+// ShuffleGrouping subscribes the bolt to a component's default stream with
+// round-robin distribution.
+func (d *BoltDecl) ShuffleGrouping(from string) *BoltDecl {
+	return d.ShuffleGroupingStream(from, DefaultStream)
+}
+
+// ShuffleGroupingStream is ShuffleGrouping on a named stream.
+func (d *BoltDecl) ShuffleGroupingStream(from, stream string) *BoltDecl {
+	d.def.subs = append(d.def.subs, subscription{from: from, stream: stream, kind: groupShuffle})
+	return d
+}
+
+// FieldsGrouping subscribes with hash partitioning on the named upstream
+// fields: tuples with equal field values always reach the same task.
+func (d *BoltDecl) FieldsGrouping(from string, fields ...string) *BoltDecl {
+	return d.FieldsGroupingStream(from, DefaultStream, fields...)
+}
+
+// FieldsGroupingStream is FieldsGrouping on a named stream.
+func (d *BoltDecl) FieldsGroupingStream(from, stream string, fields ...string) *BoltDecl {
+	d.def.subs = append(d.def.subs, subscription{from: from, stream: stream, kind: groupFields, fields: fields})
+	return d
+}
+
+// BroadcastGrouping subscribes with replication to every task.
+func (d *BoltDecl) BroadcastGrouping(from string) *BoltDecl {
+	return d.BroadcastGroupingStream(from, DefaultStream)
+}
+
+// BroadcastGroupingStream is BroadcastGrouping on a named stream.
+func (d *BoltDecl) BroadcastGroupingStream(from, stream string) *BoltDecl {
+	d.def.subs = append(d.def.subs, subscription{from: from, stream: stream, kind: groupBroadcast})
+	return d
+}
+
+// GlobalGrouping subscribes with delivery to task 0 only.
+func (d *BoltDecl) GlobalGrouping(from string) *BoltDecl {
+	return d.GlobalGroupingStream(from, DefaultStream)
+}
+
+// GlobalGroupingStream is GlobalGrouping on a named stream.
+func (d *BoltDecl) GlobalGroupingStream(from, stream string) *BoltDecl {
+	d.def.subs = append(d.def.subs, subscription{from: from, stream: stream, kind: groupGlobal})
+	return d
+}
+
+// DirectGrouping subscribes with sender-chosen task routing (EmitDirect) on
+// the default stream.
+func (d *BoltDecl) DirectGrouping(from string) *BoltDecl {
+	return d.DirectGroupingStream(from, DefaultStream)
+}
+
+// DirectGroupingStream is DirectGrouping on a named stream.
+func (d *BoltDecl) DirectGroupingStream(from, stream string) *BoltDecl {
+	d.def.subs = append(d.def.subs, subscription{from: from, stream: stream, kind: groupDirect})
+	return d
+}
+
+// Config tunes a running topology.
+type Config struct {
+	// QueueSize is the per-task input queue capacity. Zero selects 1024.
+	QueueSize int
+	// EnableAcking activates the XOR acker for at-least-once delivery.
+	EnableAcking bool
+	// AckTimeout fails tuple trees not completed in time. Zero selects 30s.
+	AckTimeout time.Duration
+	// MaxSpoutPending throttles each spout task to this many incomplete
+	// root tuples (0 = unlimited). Only meaningful with acking.
+	MaxSpoutPending int
+}
+
+// Build validates the definition and instantiates a runnable topology.
+func (b *Builder) Build(cfg Config) (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.components) == 0 {
+		return nil, fmt.Errorf("topology: no components")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 30 * time.Second
+	}
+	hasSpout := false
+	for _, id := range b.order {
+		def := b.components[id]
+		if def.spout != nil {
+			hasSpout = true
+			if len(def.subs) > 0 {
+				return nil, fmt.Errorf("topology: spout %q cannot subscribe to streams", id)
+			}
+			continue
+		}
+		if len(def.subs) == 0 {
+			return nil, fmt.Errorf("topology: bolt %q has no input grouping", id)
+		}
+		for i := range def.subs {
+			sub := &def.subs[i]
+			up, ok := b.components[sub.from]
+			if !ok {
+				return nil, fmt.Errorf("topology: bolt %q subscribes to unknown component %q", id, sub.from)
+			}
+			streamFields, declared := up.outputs[sub.stream]
+			if !declared {
+				return nil, fmt.Errorf("topology: bolt %q subscribes to undeclared stream %q of %q", id, sub.stream, sub.from)
+			}
+			if sub.kind == groupFields {
+				if len(sub.fields) == 0 {
+					return nil, fmt.Errorf("topology: bolt %q: fields grouping on %q without fields", id, sub.from)
+				}
+				for _, f := range sub.fields {
+					idx := fieldIndex(streamFields, f)
+					if idx < 0 {
+						return nil, fmt.Errorf("topology: bolt %q: stream %q of %q does not declare output field %q", id, sub.stream, sub.from, f)
+					}
+					sub.indexes = append(sub.indexes, idx)
+				}
+			}
+		}
+	}
+	if !hasSpout {
+		return nil, fmt.Errorf("topology: no spout")
+	}
+	return newTopology(b, cfg)
+}
+
+func fieldIndex(fields []string, name string) int {
+	for i, f := range fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
