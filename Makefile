@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Allocation smoke: the routing hot path must stay at 0 allocs/op.
+bench-smoke:
+	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
+
+check: vet build race bench-smoke

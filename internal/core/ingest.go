@@ -19,6 +19,8 @@ type busSpout struct {
 	sub     eventlayer.Subscription
 	ctx     *topology.SpoutContext
 	dropped uint64
+	// timer bounds the blocking receive in NextTuple (reused across calls).
+	timer *time.Timer
 }
 
 func newBusSpout(bus eventlayer.Bus, topic string) topology.Spout {
@@ -44,6 +46,28 @@ func (s *busSpout) NextTuple() bool {
 		s.ctx.Emit(topology.Values{msg.Payload})
 		return true
 	default:
+	}
+	// Nothing buffered: block on the subscription for up to a millisecond so
+	// a freshly published message is ingested immediately rather than after
+	// the runtime's poll backoff — the dominant term of the paper's
+	// single-write notification latency. The bound keeps completion delivery
+	// and shutdown responsive.
+	if s.timer == nil {
+		s.timer = time.NewTimer(time.Millisecond)
+	} else {
+		s.timer.Reset(time.Millisecond)
+	}
+	select {
+	case msg, ok := <-s.sub.C():
+		if !s.timer.Stop() {
+			<-s.timer.C
+		}
+		if !ok {
+			return false
+		}
+		s.ctx.Emit(topology.Values{msg.Payload})
+		return true
+	case <-s.timer.C:
 		return false
 	}
 }
@@ -95,13 +119,21 @@ func (s *tickSpout) Close()              {}
 
 // Tuple kinds flowing between cluster stages.
 const (
-	kindSubscribe = "subscribe"
-	kindCancel    = "cancel"
-	kindExtend    = "extend"
-	kindWrite     = "write"
-	kindDelta     = "delta"  // filtering-stage output for sorted queries
-	kindExpire    = "expire" // all subscriptions of a query timed out
+	kindSubscribe  = "subscribe"
+	kindCancel     = "cancel"
+	kindExtend     = "extend"
+	kindWrite      = "write"
+	kindWriteBatch = "writeBatch" // several after-images in one tuple
+	kindDelta      = "delta"      // filtering-stage output for sorted queries
+	kindExpire     = "expire"     // all subscriptions of a query timed out
 )
+
+// writeBatch carries several after-images of one write partition in a single
+// tuple: the write-ingestion stage amortizes routing and channel sends over
+// the batch instead of paying one tuple per write per query partition.
+type writeBatch struct {
+	events []*WriteEvent
+}
 
 // subscribePayload is the parsed subscription handed to matching and sorting
 // nodes. Matching nodes receive the result entries of their own write
@@ -221,42 +253,106 @@ func TenantQueryHash(tenant string, q *query.Query) uint64 {
 	return q.Hash() ^ document.HashKey("tenant:"+tenant)
 }
 
+// maxWriteBatch bounds how many after-images a single batch tuple carries.
+// Batches flush at this cap or when the bolt's input queue drains (Idle),
+// whichever comes first, so latency under light load stays at one queue
+// drain rather than a timer tick.
+const maxWriteBatch = 64
+
+// writeColumnBatch accumulates the after-images destined for one write
+// partition column together with their anchor tuples (unacked until flush).
+type writeColumnBatch struct {
+	events  []*WriteEvent
+	anchors []*topology.Tuple
+}
+
 // writeIngestBolt is a stateless write ingestion node (§5.1): it parses
-// after-images, hashes the primary key to a write partition, and delivers
-// the image to every matching node of that partition column.
+// after-images and hashes the primary key to a write partition. Instead of
+// one tuple per write per query partition, writes are buffered per column
+// and delivered as a single batch tuple per (query partition, column) pair,
+// amortizing routing and channel sends across the batch. Anchors are acked
+// only after their batch is emitted, so reliability semantics are unchanged:
+// a failed batch fails every write in it.
 type writeIngestBolt struct {
-	c   *Cluster
-	out topology.Collector
+	c    *Cluster
+	out  topology.Collector
+	cols []writeColumnBatch // one per write partition
 }
 
 func newWriteIngestBolt(c *Cluster) topology.Bolt { return &writeIngestBolt{c: c} }
 
 func (b *writeIngestBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
 	b.out = out
+	b.cols = make([]writeColumnBatch, b.c.opts.WritePartitions)
 	return nil
 }
 
 func (b *writeIngestBolt) Execute(t *topology.Tuple) {
-	defer b.out.Ack(t)
 	raw, _ := t.Get("payload")
 	data, ok := raw.([]byte)
 	if !ok {
+		b.out.Ack(t)
 		return
 	}
 	env, err := DecodeEnvelope(data)
 	if err != nil || env.Kind != KindWrite {
+		b.out.Ack(t)
 		return
 	}
 	img, err := b.c.opts.Engine.DecodeImage(env.Write.Image)
 	if err != nil {
+		b.out.Ack(t)
 		return
 	}
 	b.c.registerTenant(env.Write.Tenant)
 	we := &WriteEvent{Tenant: env.Write.Tenant, Image: img}
 	w := int(document.HashKey(img.Key) % uint64(b.c.opts.WritePartitions))
-	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
-		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindWrite, "", we})
+	col := &b.cols[w]
+	col.events = append(col.events, we)
+	col.anchors = append(col.anchors, t)
+	if len(col.events) >= maxWriteBatch {
+		b.flush(w)
 	}
+}
+
+// Idle flushes every pending column batch once the input queue drains; under
+// load batches fill to maxWriteBatch before the queue ever empties.
+func (b *writeIngestBolt) Idle() {
+	for w := range b.cols {
+		if len(b.cols[w].events) > 0 {
+			b.flush(w)
+		}
+	}
+}
+
+func (b *writeIngestBolt) flush(w int) {
+	col := &b.cols[w]
+	if len(col.events) == 1 {
+		// Single-event fast path: a batch wrapper would cost two extra
+		// allocations per write under light (latency-sensitive) load, where
+		// batches rarely grow past one.
+		t := col.anchors[0]
+		vals := topology.Values{kindWrite, "", col.events[0]}
+		for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
+			b.out.EmitDirect(b.c.gridTask(qp, w), t, vals)
+		}
+		b.out.Ack(t)
+		col.events = col.events[:0] // nothing escaped but the event itself
+		col.anchors = col.anchors[:0]
+		return
+	}
+	batch := &writeBatch{events: col.events}
+	vals := topology.Values{kindWriteBatch, "", batch}
+	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
+		b.out.EmitDirectBatch(b.c.gridTask(qp, w), col.anchors, vals)
+	}
+	for _, a := range col.anchors {
+		b.out.Ack(a)
+	}
+	// The batch escapes into downstream tuples, so start a fresh events slice;
+	// the anchors slice stays local and can be reused.
+	col.events = nil
+	col.anchors = col.anchors[:0]
 }
 
 func (b *writeIngestBolt) Cleanup() {}

@@ -31,7 +31,10 @@ type matchQuery struct {
 	slack   int
 	subs    map[string]time.Time // subscription id -> TTL deadline
 	tracked map[string]uint64    // key -> version of this partition's matching records
-	seq     uint64
+	// trackedCK mirrors tracked as composite keys when the query index is
+	// enabled, so queryIndex.remove touches only this query's trackers.
+	trackedCK map[string]struct{}
+	seq       uint64
 }
 
 // retainedImage is one entry of the write-stream retention buffer (§5.1):
@@ -40,6 +43,81 @@ type matchQuery struct {
 type retainedImage struct {
 	we *WriteEvent
 	at time.Time
+}
+
+// retentionRing is the retention buffer as a circular queue: pushes append
+// at the tail, pruning advances the head, and neither copies the surviving
+// entries the way the former append-based buffer did on every tick.
+type retentionRing struct {
+	buf  []retainedImage
+	head int // index of the oldest entry
+	n    int
+}
+
+func (r *retentionRing) push(ri retainedImage) {
+	if r.n == len(r.buf) {
+		size := 2 * len(r.buf)
+		if size == 0 {
+			size = 64
+		}
+		grown := make([]retainedImage, size)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ri
+	r.n++
+}
+
+// prune drops entries older than cutoff. Entries are pushed in time order,
+// so pruning stops at the first survivor; dropped slots are zeroed to
+// release their WriteEvents to the collector.
+func (r *retentionRing) prune(cutoff time.Time) {
+	for r.n > 0 && r.buf[r.head].at.Before(cutoff) {
+		r.buf[r.head] = retainedImage{}
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+}
+
+// each visits every retained entry, oldest first.
+func (r *retentionRing) each(fn func(*retainedImage)) {
+	for i := 0; i < r.n; i++ {
+		fn(&r.buf[(r.head+i)%len(r.buf)])
+	}
+}
+
+// keyInterner builds tenant\x00collection\x00key composite keys in a reused
+// buffer and interns the resulting strings, so the per-write key costs one
+// allocation the first time a record is seen and none afterwards.
+type keyInterner struct {
+	buf  []byte
+	keys map[string]string
+}
+
+func newKeyInterner() *keyInterner {
+	return &keyInterner{keys: map[string]string{}}
+}
+
+func (ki *keyInterner) key(tenant, collection, key string) string {
+	ki.buf = append(ki.buf[:0], tenant...)
+	ki.buf = append(ki.buf, 0)
+	ki.buf = append(ki.buf, collection...)
+	ki.buf = append(ki.buf, 0)
+	ki.buf = append(ki.buf, key...)
+	if s, ok := ki.keys[string(ki.buf)]; ok { // no alloc: compiler-optimized lookup
+		return s
+	}
+	s := string(ki.buf)
+	ki.keys[s] = s
+	return s
+}
+
+// forget drops an interned key (called when the staleness table prunes it);
+// the key re-interns on next use.
+func (ki *keyInterner) forget(ck string) {
+	delete(ki.keys, ck)
 }
 
 // matchBolt is a matching node: the grid cell at (query partition, write
@@ -55,9 +133,18 @@ type matchBolt struct {
 	queries   map[uint64]*matchQuery
 	latest    map[string]uint64 // composite key -> newest version seen
 	latestAt  map[string]time.Time
-	retention []retainedImage
+	retention retentionRing
 	bucket    *tokenBucket
 	qindex    *queryIndex // nil unless Options.EnableQueryIndex
+
+	// now is the node's coarse clock, advanced by tick tuples: the staleness
+	// table and retention buffer only need tick-interval resolution, so the
+	// hot path spends no time.Now() calls per write.
+	now time.Time
+	// interner builds and caches composite record keys.
+	interner *keyInterner
+	// cands is the reusable candidate scratch map for the query index probe.
+	cands map[uint64]*matchQuery
 }
 
 func newMatchBolt(c *Cluster) topology.Bolt { return &matchBolt{c: c} }
@@ -69,22 +156,31 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	b.queries = map[uint64]*matchQuery{}
 	b.latest = map[string]uint64{}
 	b.latestAt = map[string]time.Time{}
+	b.now = time.Now()
+	b.interner = newKeyInterner()
 	if cap := b.c.opts.NodeCapacity; cap > 0 {
 		b.bucket = newTokenBucket(float64(cap))
 	}
 	if b.c.opts.EnableQueryIndex {
 		b.qindex = newQueryIndex()
+		b.cands = map[uint64]*matchQuery{}
 	}
 	return nil
 }
 
 func (b *matchBolt) Execute(t *topology.Tuple) {
 	defer b.out.Ack(t)
-	kindV, _ := t.Get("kind")
 	if t.Component == "tick" {
-		b.handleTick(time.Now())
+		// Tick tuples carry their emission timestamp; reusing it keeps the
+		// node's coarse clock consistent without another time.Now() call.
+		now, _ := t.Values[0].(time.Time)
+		if now.IsZero() {
+			now = time.Now()
+		}
+		b.handleTick(now)
 		return
 	}
+	kindV, _ := t.Get("kind")
 	kind, _ := kindV.(string)
 	payloadV, _ := t.Get("payload")
 	switch kind {
@@ -104,20 +200,27 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 		if p, ok := payloadV.(*WriteEvent); ok {
 			b.handleWrite(t, p)
 		}
+	case kindWriteBatch:
+		if p, ok := payloadV.(*writeBatch); ok {
+			for _, we := range p.events {
+				b.handleWrite(t, we)
+			}
+		}
 	}
 }
 
 func (b *matchBolt) Cleanup() {}
 
 // compositeKey namespaces a record key by tenant and collection for the
-// node-level staleness table.
+// node-level staleness table. The hot path goes through the per-bolt
+// interner instead; this helper remains for cold paths and tests.
 func compositeKey(tenant, collection, key string) string {
 	return tenant + "\x00" + collection + "\x00" + key
 }
 
 func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 	img := we.Image
-	ck := compositeKey(we.Tenant, img.Collection, img.Key)
+	ck := b.interner.key(we.Tenant, img.Collection, img.Key)
 	// Staleness avoidance (§5.1): writes are versioned, so an after-image is
 	// ignored whenever a more recent version for the same item has already
 	// been received (e.g. an update arriving after the item's delete).
@@ -125,19 +228,20 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 		return
 	}
 	b.latest[ck] = img.Version
-	b.latestAt[ck] = time.Now()
-	b.retention = append(b.retention, retainedImage{we: we, at: time.Now()})
+	b.latestAt[ck] = b.now
+	b.retention.push(retainedImage{we: we, at: b.now})
 
 	// The node's matching budget: evaluating one after-image against every
 	// registered query costs len(queries) match-operations — unless the
 	// multi-query index narrows the probe to candidates.
 	if b.qindex != nil {
-		cands := b.qindex.candidates(we, ck)
+		clear(b.cands)
+		cands := b.qindex.candidatesInto(we, ck, b.cands)
 		if b.bucket != nil {
 			b.bucket.take(float64(len(cands) + 1))
 		}
 		for _, mq := range cands {
-			b.processImage(t, mq, we)
+			b.processImage(t, mq, we, ck)
 		}
 		return
 	}
@@ -149,14 +253,16 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 		b.bucket.take(float64(cost))
 	}
 	for _, mq := range b.queries {
-		b.processImage(t, mq, we)
+		b.processImage(t, mq, we, ck)
 	}
 }
 
 // processImage derives the result change (if any) a single after-image
 // causes for a single query, by comparing current against former matching
-// status (§5.1).
-func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEvent) {
+// status (§5.1). ck is the write's composite key — identical to the query's
+// tracker key whenever the tenant/collection guard passes, so callers hand
+// down the interned key instead of re-concatenating it per query.
+func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEvent, ck string) {
 	img := we.Image
 	if we.Tenant != mq.tenant || img.Collection != mq.q.Collection {
 		return
@@ -170,7 +276,7 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 	case isMatch && !wasTracked:
 		mq.tracked[img.Key] = img.Version
 		if b.qindex != nil {
-			b.qindex.track(compositeKey(mq.tenant, mq.q.Collection, img.Key), mq)
+			b.qindex.track(ck, mq)
 		}
 		b.emit(t, mq, MatchAdd, img.Key, img.Version, img.Doc)
 	case isMatch && wasTracked:
@@ -179,7 +285,7 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 	case !isMatch && wasTracked:
 		delete(mq.tracked, img.Key)
 		if b.qindex != nil {
-			b.qindex.untrack(compositeKey(mq.tenant, mq.q.Collection, img.Key), mq)
+			b.qindex.untrack(ck, mq)
 		}
 		b.emit(t, mq, MatchRemove, img.Key, img.Version, img.Doc)
 	default:
@@ -250,7 +356,7 @@ func (b *matchBolt) handleSubscribe(t *topology.Tuple, p *subscribePayload) {
 			mq.tracked[e.Key] = e.Version
 		}
 		if b.qindex != nil {
-			b.qindex.track(compositeKey(mq.tenant, mq.q.Collection, e.Key), mq)
+			b.qindex.track(b.interner.key(mq.tenant, mq.q.Collection, e.Key), mq)
 		}
 	}
 	// Replay the retention buffer against the query to close the
@@ -259,14 +365,14 @@ func (b *matchBolt) handleSubscribe(t *topology.Tuple, p *subscribePayload) {
 	// each key's newest retained image is applied — the per-query tracked
 	// map forgets versions when items leave the result, so replaying an
 	// older image (e.g. the insert preceding a delete) would resurrect it.
-	for _, r := range b.retention {
+	b.retention.each(func(r *retainedImage) {
 		img := r.we.Image
-		ck := compositeKey(r.we.Tenant, img.Collection, img.Key)
+		ck := b.interner.key(r.we.Tenant, img.Collection, img.Key)
 		if img.Version < b.latest[ck] {
-			continue // superseded within the retention window
+			return // superseded within the retention window
 		}
-		b.processImage(t, mq, r.we)
-	}
+		b.processImage(t, mq, r.we, ck)
+	})
 }
 
 func (b *matchBolt) handleCancel(t *topology.Tuple, p *CancelRequest) {
@@ -298,9 +404,18 @@ func (b *matchBolt) handleExtend(p *ExtendRequest) {
 	mq.subs[p.SubscriptionID] = time.Now().Add(ttl)
 }
 
-// handleTick expires subscriptions whose TTL lapsed and prunes the retention
-// buffer and staleness table beyond the retention window.
+// handleTick advances the coarse clock, expires subscriptions whose TTL
+// lapsed, and prunes the retention buffer and staleness table beyond the
+// retention window.
+//
+// Both expiry loops delete from the map they are ranging over. The Go spec
+// explicitly permits this: a deleted entry is simply not produced later in
+// the iteration, which is exactly the semantics wanted here — every live
+// entry is visited once, deletions take effect immediately, no snapshot is
+// needed. This is intentional, not incidental (see
+// TestHandleTickExpiresManyInOneTick).
 func (b *matchBolt) handleTick(now time.Time) {
+	b.now = now
 	for hash, mq := range b.queries {
 		for sid, deadline := range mq.subs {
 			if now.After(deadline) {
@@ -320,17 +435,12 @@ func (b *matchBolt) handleTick(now time.Time) {
 		}
 	}
 	cutoff := now.Add(-b.c.opts.RetentionTime)
-	firstLive := 0
-	for firstLive < len(b.retention) && b.retention[firstLive].at.Before(cutoff) {
-		firstLive++
-	}
-	if firstLive > 0 {
-		b.retention = append([]retainedImage(nil), b.retention[firstLive:]...)
-	}
+	b.retention.prune(cutoff)
 	for ck, at := range b.latestAt {
 		if at.Before(cutoff) {
 			delete(b.latestAt, ck)
 			delete(b.latest, ck)
+			b.interner.forget(ck)
 		}
 	}
 }
@@ -366,7 +476,15 @@ func (tb *tokenBucket) take(n float64) {
 	if tb.tokens < 0 {
 		wait := time.Duration(-tb.tokens / tb.rate * float64(time.Second))
 		time.Sleep(wait)
-		tb.last = time.Now()
-		tb.tokens = 0
+		// Credit the tokens accrued while sleeping instead of zeroing the
+		// balance: sleeps routinely overshoot their deadline, and resetting
+		// to zero discarded that accrual, making throttled nodes deliver
+		// measurably less than their configured budget.
+		now = time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		tb.last = now
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
 	}
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/query"
+	"invalidb/internal/topology"
+)
+
+// newMatchHarness builds a matchBolt wired to a throwaway cluster whose
+// topology is never started, so handler methods can be driven directly.
+func newMatchHarness(t *testing.T, opts Options) *matchBolt {
+	t.Helper()
+	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{})
+	cluster, err := NewCluster(bus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bus.Close() })
+	bolt := newMatchBolt(cluster).(*matchBolt)
+	if err := bolt.Prepare(&topology.BoltContext{TaskID: 0}, nopCollector{}); err != nil {
+		t.Fatal(err)
+	}
+	return bolt
+}
+
+func subscribeFor(b *matchBolt, q *query.Query, sid string, ttl time.Duration) {
+	b.handleSubscribe(nil, &subscribePayload{
+		req:  &SubscribeRequest{Tenant: "t", SubscriptionID: sid},
+		q:    q,
+		hash: TenantQueryHash("t", q),
+		ttl:  ttl,
+	})
+}
+
+// TestHandleTickExpiresManyInOneTick pins the map-deletion-during-range
+// semantics of handleTick: multiple subscriptions of multiple queries lapse
+// within a single tick, and all of them — but only them — are expired, with
+// the query index cleaned up alongside.
+func TestHandleTickExpiresManyInOneTick(t *testing.T) {
+	b := newMatchHarness(t, Options{EnableQueryIndex: true})
+	for i := 0; i < 5; i++ {
+		q := query.MustCompile(rangeSpec(i*10, i*10+10))
+		ttl := 10 * time.Millisecond
+		if i == 4 {
+			ttl = time.Hour // the survivor
+		}
+		for s := 0; s < 3; s++ {
+			subscribeFor(b, q, fmt.Sprintf("s%d-%d", i, s), ttl)
+		}
+	}
+	if len(b.queries) != 5 {
+		t.Fatalf("registered %d queries, want 5", len(b.queries))
+	}
+	b.handleTick(time.Now().Add(30 * time.Minute))
+	if len(b.queries) != 1 {
+		t.Fatalf("%d queries survive the tick, want 1", len(b.queries))
+	}
+	for _, mq := range b.queries {
+		if len(mq.subs) != 3 {
+			t.Fatalf("survivor holds %d subscriptions, want 3", len(mq.subs))
+		}
+	}
+	// The index must have forgotten the expired queries: exactly one interval
+	// remains registered.
+	remaining := 0
+	for _, tree := range b.qindex.trees {
+		remaining += tree.size
+	}
+	if remaining != 1 || len(b.qindex.unindexed) != 0 {
+		t.Fatalf("index still holds %d intervals / %d unindexed after expiry",
+			remaining, len(b.qindex.unindexed))
+	}
+}
+
+// TestQueryIndexRemoveLeavesOtherTrackersIntact is the regression test for
+// queryIndex.remove: deregistering one query must drop exactly its own
+// tracker entries, even when the node tracks many keys on behalf of other
+// queries (the former implementation scanned — and could only be validated
+// against — every tracker on the node).
+func TestQueryIndexRemoveLeavesOtherTrackersIntact(t *testing.T) {
+	qi := newQueryIndex()
+	target := mkMatchQuery(t, rangeSpec(0, 10))
+	qi.add(target)
+	targetKeys := []string{compositeKey("t", "c", "a"), compositeKey("t", "c", "b")}
+	for _, ck := range targetKeys {
+		qi.track(ck, target)
+	}
+	var others []*matchQuery
+	for i := 0; i < 20; i++ {
+		spec := query.Spec{Collection: "c", Filter: map[string]any{
+			"n":   map[string]any{"$gte": int64(0), "$lt": int64(10)},
+			"tag": fmt.Sprintf("q%d", i), // distinct query identity
+		}}
+		mq := mkMatchQuery(t, spec)
+		others = append(others, mq)
+		qi.add(mq)
+		for j := 0; j < 10; j++ {
+			qi.track(compositeKey("t", "c", fmt.Sprintf("k%d-%d", i, j)), mq)
+		}
+	}
+	qi.remove(target)
+	if target.trackedCK != nil {
+		t.Fatal("removed query keeps its tracked-key set")
+	}
+	for _, ck := range targetKeys {
+		if _, ok := qi.trackers[ck]; ok {
+			t.Fatalf("tracker %q survives the removal of its only query", ck)
+		}
+	}
+	if len(qi.trackers) != 20*10 {
+		t.Fatalf("%d trackers remain, want %d", len(qi.trackers), 20*10)
+	}
+	// Every other query is still forced into the candidate set for a key it
+	// tracks, even with the write's value outside its interval.
+	ck := compositeKey("t", "c", "k7-3")
+	cands := qi.candidates(writeEvent("k7-3", 5000), ck)
+	if _, ok := cands[others[7].hash]; !ok {
+		t.Fatal("unrelated query lost its tracker entry")
+	}
+	if _, ok := cands[target.hash]; ok {
+		t.Fatal("removed query still probed")
+	}
+}
+
+// TestTokenBucketCreditsSleepOvershoot pins the drift fix in take: a sleep
+// that overshoots its deadline (Go sleeps never return early, and in
+// practice always overshoot by microseconds or more) must credit the tokens
+// accrued while sleeping rather than resetting the balance to zero.
+func TestTokenBucketCreditsSleepOvershoot(t *testing.T) {
+	tb := newTokenBucket(1e6) // 1 token per microsecond
+	tb.tokens = 0
+	tb.last = time.Now()
+	start := time.Now()
+	tb.take(5000) // 5ms deficit forces a sleep
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("bucket did not throttle: took %v for a 5ms deficit", elapsed)
+	}
+	if tb.tokens <= 0 {
+		t.Fatalf("sleep overshoot discarded: tokens = %v, want > 0", tb.tokens)
+	}
+	if tb.tokens > tb.burst {
+		t.Fatalf("credit exceeds burst: tokens = %v, burst = %v", tb.tokens, tb.burst)
+	}
+}
+
+// TestTokenBucketSustainedRate bounds the delivered rate from both sides
+// with generous tolerances: the bucket must block (budget enforced) yet not
+// fall far below its configured rate (the drift bug's symptom).
+func TestTokenBucketSustainedRate(t *testing.T) {
+	const rate = 20000.0
+	tb := newTokenBucket(rate)
+	tb.tokens = 0 // no free initial burst
+	tb.last = time.Now()
+	start := time.Now()
+	for taken := 0.0; taken < 4000; taken += 100 {
+		tb.take(100) // 4000 tokens at 20k/s: ideal 200ms
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("bucket delivered 4000 tokens in %v, budget not enforced", elapsed)
+	}
+	if elapsed > 600*time.Millisecond {
+		t.Fatalf("bucket needed %v for a 200ms budget: drifting below rate", elapsed)
+	}
+}

@@ -68,7 +68,9 @@ func (qi *queryIndex) add(mq *matchQuery) {
 	qi.unindexed[mq.hash] = mq
 }
 
-// remove deregisters a query and its tracker entries.
+// remove deregisters a query and its tracker entries. The query's own
+// tracked-key set makes this O(keys tracked by this query) rather than a
+// scan over every tracker on the node.
 func (qi *queryIndex) remove(mq *matchQuery) {
 	if at, ok := qi.ivByQuery[mq.hash]; ok {
 		delete(qi.ivByQuery, mq.hash)
@@ -80,12 +82,15 @@ func (qi *queryIndex) remove(mq *matchQuery) {
 		}
 	}
 	delete(qi.unindexed, mq.hash)
-	for ck, set := range qi.trackers {
-		delete(set, mq.hash)
-		if len(set) == 0 {
-			delete(qi.trackers, ck)
+	for ck := range mq.trackedCK {
+		if set := qi.trackers[ck]; set != nil {
+			delete(set, mq.hash)
+			if len(set) == 0 {
+				delete(qi.trackers, ck)
+			}
 		}
 	}
+	mq.trackedCK = nil
 }
 
 // track records that a query's result partition now contains the record.
@@ -96,6 +101,10 @@ func (qi *queryIndex) track(ck string, mq *matchQuery) {
 		qi.trackers[ck] = set
 	}
 	set[mq.hash] = mq
+	if mq.trackedCK == nil {
+		mq.trackedCK = map[string]struct{}{}
+	}
+	mq.trackedCK[ck] = struct{}{}
 }
 
 // untrack removes a tracker entry.
@@ -106,12 +115,20 @@ func (qi *queryIndex) untrack(ck string, mq *matchQuery) {
 			delete(qi.trackers, ck)
 		}
 	}
+	delete(mq.trackedCK, ck)
 }
 
 // candidates collects every query whose result could change with this
-// after-image. The returned map is keyed by query hash.
+// after-image into a freshly allocated map (convenience wrapper used by
+// tests; the hot path passes a reusable scratch map to candidatesInto).
 func (qi *queryIndex) candidates(we *WriteEvent, ck string) map[uint64]*matchQuery {
-	out := map[uint64]*matchQuery{}
+	return qi.candidatesInto(we, ck, map[uint64]*matchQuery{})
+}
+
+// candidatesInto fills out with every candidate query, keyed by query hash,
+// and returns it. The caller owns (and clears) the scratch map, so the
+// per-write probe allocates nothing once the map has grown to steady state.
+func (qi *queryIndex) candidatesInto(we *WriteEvent, ck string, out map[uint64]*matchQuery) map[uint64]*matchQuery {
 	for h, mq := range qi.unindexed {
 		out[h] = mq
 	}

@@ -29,8 +29,10 @@ func (nopCollector) EmitStream(string, *topology.Tuple, topology.Values) {}
 func (nopCollector) EmitDirect(int, *topology.Tuple, topology.Values)    {}
 func (nopCollector) EmitDirectStream(string, int, *topology.Tuple, topology.Values) {
 }
-func (nopCollector) Ack(*topology.Tuple)  {}
-func (nopCollector) Fail(*topology.Tuple) {}
+func (nopCollector) EmitBatch([]*topology.Tuple, topology.Values)            {}
+func (nopCollector) EmitDirectBatch(int, []*topology.Tuple, topology.Values) {}
+func (nopCollector) Ack(*topology.Tuple)                                     {}
+func (nopCollector) Fail(*topology.Tuple)                                    {}
 
 func newSortHarness(t *testing.T, spec query.Spec, slack int) *sortHarness {
 	t.Helper()

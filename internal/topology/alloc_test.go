@@ -1,0 +1,59 @@
+package topology
+
+import "testing"
+
+// hashSink keeps RouteHash calls from being optimized away.
+var hashSink uint64
+
+// TestRouteHashNoAllocs pins the zero-allocation contract of the routing
+// hash for the key types that appear on the hot path. A type that falls
+// back to fmt.Sprint would show up here immediately.
+func TestRouteHashNoAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		vals Values
+		idx  []int
+	}{
+		{"string", Values{"user:12345", 7}, []int{0}},
+		{"uint64", Values{uint64(987654321), 7}, []int{0}},
+		{"int", Values{42, 7}, []int{0}},
+		{"bytes", Values{[]byte("user:12345"), 7}, []int{0}},
+		{"multi", Values{"tenant-a", uint64(99), int64(-3)}, []int{0, 1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if n := testing.AllocsPerRun(1000, func() {
+				hashSink += RouteHash(tc.vals, tc.idx)
+			}); n != 0 {
+				t.Fatalf("RouteHash(%s) allocates %.1f per call, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+// TestTupleRecycling verifies that a tuple released through Ack is reusable:
+// after a full emit/ack cycle the pool serves reset tuples with no stale
+// anchors or done flags left behind.
+func TestTupleRecycling(t *testing.T) {
+	tup := tuplePool.Get().(*Tuple)
+	tup.Component = "c"
+	tup.Stream = "s"
+	tup.Values = Values{1}
+	tup.root = 9
+	tup.edge = 9
+	tup.extraRoots = append(tup.extraRoots, 1, 2)
+	tup.extraEdges = append(tup.extraEdges, 3, 4)
+	tup.done = true
+	recycleTuple(tup)
+	got := tuplePool.Get().(*Tuple)
+	// The pool may hand back a different object under parallel tests; only
+	// inspect the one we recycled.
+	if got != tup {
+		t.Skip("pool returned a different tuple; nothing to assert")
+	}
+	if got.Component != "" || got.Stream != "" || got.Values != nil ||
+		got.root != 0 || got.edge != 0 ||
+		len(got.extraRoots) != 0 || len(got.extraEdges) != 0 || got.done {
+		t.Fatalf("recycled tuple not reset: %+v", got)
+	}
+}

@@ -50,6 +50,29 @@ type task struct {
 	completions chan completion // ack/fail results, drained on the spout goroutine
 	rng         *rand.Rand
 	rngMu       sync.Mutex
+	rootScratch []uint64 // reused by batch emits to gather anchor roots
+}
+
+// tuplePool recycles Tuple objects across deliveries. A tuple is drawn in
+// fanOut and returned the moment the receiving bolt acks or fails it, so a
+// steady-state topology routes without allocating tuples at all.
+var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
+
+// recycleTuple resets a delivered tuple and returns it to the pool. The
+// extra-anchor slices keep their capacity so multi-anchored batch tuples
+// recycle allocation-free too.
+func recycleTuple(t *Tuple) {
+	t.Component = ""
+	t.Stream = ""
+	t.Values = nil
+	t.fields = nil
+	t.root = 0
+	t.edge = 0
+	t.taskID = 0
+	t.extraRoots = t.extraRoots[:0]
+	t.extraEdges = t.extraEdges[:0]
+	t.done = false
+	tuplePool.Put(t)
 }
 
 // completion is an ack or fail verdict for a spout root tuple. Completions
@@ -285,7 +308,7 @@ func (tk *task) spoutEmit(values Values) MsgID {
 		top.acker.register(root, tk)
 	}
 	tk.emitted.Add(1)
-	tk.comp.fanOut(tk, DefaultStream, &Tuple{root: root}, values, -1)
+	tk.comp.fanOut(tk, DefaultStream, root, nil, values, -1)
 	if top.acker != nil {
 		// Seal the registration: if the fan-out reached no consumer the
 		// tree completes immediately.
@@ -314,63 +337,107 @@ func (tk *task) nextID() uint64 {
 	}
 }
 
-// boltLoop consumes the task's input queue.
+// boltLoop consumes the task's input queue. Bolts implementing IdleBolt get
+// an Idle callback every time the queue drains, before the loop blocks.
 func (tk *task) boltLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	idler, _ := tk.bolt.(IdleBolt)
+	stopped := tk.comp.top.stopped
 	for {
 		select {
-		case <-tk.comp.top.stopped:
+		case <-stopped:
 			return
 		case tup := <-tk.in:
 			tk.executed.Add(1)
 			tk.bolt.Execute(tup)
+		default:
+			if idler != nil {
+				idler.Idle()
+			}
+			select {
+			case <-stopped:
+				return
+			case tup := <-tk.in:
+				tk.executed.Add(1)
+				tk.bolt.Execute(tup)
+			}
 		}
 	}
 }
 
-// fanOut routes a tuple's values to every downstream subscriber of the
-// component's stream. directTask >= 0 restricts direct-grouping routes to
-// that task index.
-func (comp *component) fanOut(from *task, stream string, anchor *Tuple, values Values, directTask int) {
-	top := comp.top
+// fanOut routes values to every downstream subscriber of the component's
+// stream, anchored to root (0 = unanchored) plus any extraRoots of a batch
+// emit. directTask >= 0 restricts direct-grouping routes to that task index.
+func (comp *component) fanOut(from *task, stream string, root uint64, extraRoots []uint64, values Values, directTask int) {
+	fields := comp.def.outputs[stream]
 	for _, r := range comp.routes[stream] {
-		var targets []*task
 		tasks := r.target.tasks
 		switch r.sub.kind {
 		case groupShuffle:
-			targets = []*task{tasks[r.rr.Add(1)%uint64(len(tasks))]}
+			if !comp.deliver(from, stream, fields, root, extraRoots, values, tasks[r.rr.Add(1)%uint64(len(tasks))]) {
+				return
+			}
 		case groupFields:
 			h := hashFields(values, r.sub.indexes)
-			targets = []*task{tasks[h%uint64(len(tasks))]}
+			if !comp.deliver(from, stream, fields, root, extraRoots, values, tasks[h%uint64(len(tasks))]) {
+				return
+			}
 		case groupBroadcast:
-			targets = tasks
+			for _, target := range tasks {
+				if !comp.deliver(from, stream, fields, root, extraRoots, values, target) {
+					return
+				}
+			}
 		case groupGlobal:
-			targets = tasks[:1]
+			if !comp.deliver(from, stream, fields, root, extraRoots, values, tasks[0]) {
+				return
+			}
 		case groupDirect:
 			if directTask < 0 {
 				continue // non-direct emit skips direct routes
 			}
-			targets = []*task{tasks[directTask%len(tasks)]}
-		}
-		for _, target := range targets {
-			tup := &Tuple{
-				Component: comp.def.id,
-				Stream:    stream,
-				Values:    values,
-				fields:    comp.def.outputs[stream],
-				root:      anchor.root,
-				taskID:    from.id,
-			}
-			if top.acker != nil && tup.root != 0 {
-				tup.edge = from.nextID()
-				top.acker.update(tup.root, tup.edge)
-			}
-			select {
-			case target.in <- tup:
-			case <-top.stopped:
+			if !comp.deliver(from, stream, fields, root, extraRoots, values, tasks[directTask%len(tasks)]) {
 				return
 			}
 		}
+	}
+}
+
+// deliver sends one pooled tuple copy to target, registering ack edges for
+// every anchored root. It reports false when the topology stopped.
+func (comp *component) deliver(from *task, stream string, fields []string, root uint64, extraRoots []uint64, values Values, target *task) bool {
+	top := comp.top
+	tup := tuplePool.Get().(*Tuple)
+	tup.Component = comp.def.id
+	tup.Stream = stream
+	tup.Values = values
+	tup.fields = fields
+	tup.root = root
+	tup.edge = 0
+	tup.taskID = from.id
+	tup.done = false
+	tup.extraRoots = tup.extraRoots[:0]
+	tup.extraEdges = tup.extraEdges[:0]
+	if top.acker != nil {
+		if root != 0 {
+			tup.edge = from.nextID()
+			top.acker.update(root, tup.edge)
+		}
+		for _, xr := range extraRoots {
+			if xr == 0 {
+				continue
+			}
+			edge := from.nextID()
+			tup.extraRoots = append(tup.extraRoots, xr)
+			tup.extraEdges = append(tup.extraEdges, edge)
+			top.acker.update(xr, edge)
+		}
+	}
+	select {
+	case target.in <- tup:
+		return true
+	case <-top.stopped:
+		return false
 	}
 }
 
@@ -403,46 +470,167 @@ func (c *taskCollector) EmitDirectStream(stream string, taskID int, anchor *Tupl
 
 func (c *taskCollector) emit(stream string, anchor *Tuple, values Values, direct int) {
 	c.task.emitted.Add(1)
-	if anchor == nil {
-		anchor = &Tuple{}
+	var root uint64
+	var extra []uint64
+	if anchor != nil {
+		// A batch anchor fans its whole root set into the new tuple, so
+		// downstream failures still reach every write in the batch.
+		root = anchor.root
+		extra = anchor.extraRoots
 	}
-	c.task.comp.fanOut(c.task, stream, anchor, values, direct)
+	c.task.comp.fanOut(c.task, stream, root, extra, values, direct)
+}
+
+func (c *taskCollector) EmitBatch(anchors []*Tuple, values Values) {
+	c.task.emitted.Add(1)
+	root, extra := c.task.gatherRoots(anchors)
+	c.task.comp.fanOut(c.task, DefaultStream, root, extra, values, -1)
+}
+
+func (c *taskCollector) EmitDirectBatch(taskID int, anchors []*Tuple, values Values) {
+	if taskID < 0 {
+		taskID = 0
+	}
+	c.task.emitted.Add(1)
+	root, extra := c.task.gatherRoots(anchors)
+	c.task.comp.fanOut(c.task, DefaultStream, root, extra, values, taskID)
+}
+
+// gatherRoots flattens the ack roots of a batch's anchors into a primary
+// root plus extras, reusing the task's scratch slice (tasks are
+// single-threaded, so the scratch is safe until the next batch emit).
+func (tk *task) gatherRoots(anchors []*Tuple) (uint64, []uint64) {
+	tk.rootScratch = tk.rootScratch[:0]
+	var root uint64
+	for _, a := range anchors {
+		if a == nil {
+			continue
+		}
+		if a.root != 0 {
+			if root == 0 {
+				root = a.root
+			} else {
+				tk.rootScratch = append(tk.rootScratch, a.root)
+			}
+		}
+		tk.rootScratch = append(tk.rootScratch, a.extraRoots...)
+	}
+	return root, tk.rootScratch
 }
 
 func (c *taskCollector) Ack(t *Tuple) {
 	c.task.acked.Add(1)
 	top := c.task.comp.top
-	if top.acker != nil && t.root != 0 {
-		top.acker.update(t.root, t.edge)
+	if top.acker != nil {
+		if t.root != 0 {
+			top.acker.update(t.root, t.edge)
+		}
+		for i, xr := range t.extraRoots {
+			top.acker.update(xr, t.extraEdges[i])
+		}
 	}
+	c.recycle(t)
 }
 
 func (c *taskCollector) Fail(t *Tuple) {
 	c.task.failed.Add(1)
 	top := c.task.comp.top
-	if top.acker != nil && t.root != 0 {
-		top.acker.fail(t.root)
+	if top.acker != nil {
+		if t.root != 0 {
+			top.acker.fail(t.root)
+		}
+		// A failed batch tuple aborts every anchored tree: the batch
+		// succeeds or fails as a unit.
+		for _, xr := range t.extraRoots {
+			top.acker.fail(xr)
+		}
 	}
+	c.recycle(t)
 }
 
-// hashFields computes an FNV-1a hash over the selected value positions.
+// recycle returns an input tuple to the pool exactly once.
+func (c *taskCollector) recycle(t *Tuple) {
+	if t.done {
+		return
+	}
+	t.done = true
+	recycleTuple(t)
+}
+
+// FNV-1a constants shared by the routing hash.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// hashFields computes an FNV-1a hash over the selected value positions with
+// type-switched fast paths, so routing common key types (strings, integers,
+// byte slices) performs no allocation. The rare fallback for exotic types
+// formats the value, matching the legacy behaviour.
 func hashFields(values Values, indexes []int) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
 	h := uint64(offset64)
 	for _, idx := range indexes {
-		var s string
 		if idx < len(values) {
-			s = fmt.Sprint(values[idx])
-		}
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
+			h = hashValue(h, values[idx])
 		}
 		h ^= 0xff
 		h *= prime64
 	}
 	return h
+}
+
+func hashValue(h uint64, v any) uint64 {
+	switch x := v.(type) {
+	case string:
+		for i := 0; i < len(x); i++ {
+			h ^= uint64(x[i])
+			h *= prime64
+		}
+	case []byte:
+		for _, b := range x {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	case uint64:
+		h = hashUint64(h, x)
+	case int:
+		h = hashUint64(h, uint64(x))
+	case int64:
+		h = hashUint64(h, uint64(x))
+	case uint:
+		h = hashUint64(h, uint64(x))
+	case int32:
+		h = hashUint64(h, uint64(x))
+	case uint32:
+		h = hashUint64(h, uint64(x))
+	case bool:
+		if x {
+			h = hashUint64(h, 1)
+		} else {
+			h = hashUint64(h, 0)
+		}
+	default:
+		s := fmt.Sprint(x)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// RouteHash exposes the fields-grouping hash: it hashes the given value
+// positions exactly as fields grouping does. Benchmarks assert its
+// allocation-free fast paths.
+func RouteHash(values Values, indexes []int) uint64 {
+	return hashFields(values, indexes)
 }

@@ -21,6 +21,13 @@ type Values []any
 const DefaultStream = "default"
 
 // Tuple is one data item flowing through the topology.
+//
+// Tuples are owned by the runtime and recycled through a pool: a delivered
+// tuple returns to the pool the moment the receiving bolt acks or fails it.
+// Bolts must therefore not retain (or read) an input tuple after calling
+// Ack or Fail on it — the defer-ack idiom and anchored emits during Execute
+// are both safe, holding a tuple across Execute calls is only safe while
+// the ack is still outstanding (the write-ingest batching path does this).
 type Tuple struct {
 	// Component is the id of the component that emitted the tuple.
 	Component string
@@ -34,6 +41,11 @@ type Tuple struct {
 	root   uint64 // ack root (0 for unanchored tuples)
 	edge   uint64 // this delivery's ack ledger id
 	taskID int    // emitting task index
+	// extraRoots/extraEdges carry the additional anchors of multi-anchored
+	// batch tuples (EmitBatch): one ledger edge per extra root.
+	extraRoots []uint64
+	extraEdges []uint64
+	done       bool // acked or failed; guards double recycling
 }
 
 // Get returns the value of a named output field.
@@ -90,9 +102,20 @@ type Collector interface {
 	EmitDirect(taskID int, anchor *Tuple, values Values)
 	// EmitDirectStream is EmitDirect on a named stream.
 	EmitDirectStream(stream string, taskID int, anchor *Tuple, values Values)
-	// Ack marks the input tuple as fully processed by this bolt.
+	// EmitBatch sends values downstream on the default stream anchored to
+	// every tuple in anchors: the delivered tuple joins the ack tree of each
+	// anchor, so failing it fails every anchored root. One channel send per
+	// target replaces one send per anchor — the amortization the batched
+	// write-ingestion path relies on.
+	EmitBatch(anchors []*Tuple, values Values)
+	// EmitDirectBatch is EmitBatch delivered to one specific task of every
+	// component subscribed with direct grouping.
+	EmitDirectBatch(taskID int, anchors []*Tuple, values Values)
+	// Ack marks the input tuple as fully processed by this bolt. The tuple
+	// is recycled; it must not be used afterwards.
 	Ack(t *Tuple)
-	// Fail marks the tuple tree as failed, triggering spout replay.
+	// Fail marks the tuple tree as failed, triggering spout replay. The
+	// tuple is recycled; it must not be used afterwards.
 	Fail(t *Tuple)
 }
 
@@ -102,6 +125,16 @@ type Bolt interface {
 	Prepare(ctx *BoltContext, out Collector) error
 	Execute(t *Tuple)
 	Cleanup()
+}
+
+// IdleBolt is an optional extension of Bolt: the runtime calls Idle on the
+// task goroutine whenever the input queue drains, giving batching bolts a
+// bounded flush point without timers. Under sustained load batches fill to
+// their size cap; the moment the queue empties, Idle flushes the remainder,
+// so batching never adds unbounded latency.
+type IdleBolt interface {
+	Bolt
+	Idle()
 }
 
 // groupingKind enumerates Storm's stream groupings.
