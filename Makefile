@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke check
+.PHONY: all build vet staticcheck test race bench-smoke chaos check
 
 all: check
 
@@ -10,14 +10,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when installed; environments without it fall back to vet.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go vet already ran)" ; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# Fault-injection suite: the full stack under event-layer drops, delays,
+# duplicates, reordering and partitions, plus an injected matching-node
+# panic — all with tuple acking enabled, under the race detector.
+chaos:
+	$(GO) test -race ./internal/chaostest/ -count=1
+
 # Allocation smoke: the routing hot path must stay at 0 allocs/op.
 bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
 
-check: vet build race bench-smoke
+check: vet staticcheck build race bench-smoke

@@ -39,9 +39,12 @@ type Options struct {
 	TTL time.Duration
 	// ExtendInterval is the TTL-extension cadence. Default TTL/3.
 	ExtendInterval time.Duration
-	// HeartbeatTimeout terminates all subscriptions when no cluster
-	// heartbeat arrives for this long (§5.1). Default 5s. Negative disables
-	// the watchdog.
+	// HeartbeatTimeout marks the server disconnected when no cluster
+	// heartbeat arrives for this long (§5.1): every subscription receives a
+	// single EventDisconnected but stays alive, and when heartbeats resume
+	// the server automatically re-subscribes each query, surfacing one
+	// EventReconnected with the refreshed result. Default 5s. Negative
+	// disables the watchdog.
 	HeartbeatTimeout time.Duration
 	// RenewalMinInterval is the poll frequency rate limit (§5.2): at most
 	// one query renewal per query per interval, keeping the renewal load on
@@ -101,9 +104,10 @@ type Server struct {
 	renewals   map[uint64]time.Time // per-query poll rate limit
 	closed     bool
 
-	notifSub eventlayer.Subscription
-	lastHB   time.Time
-	hbMu     sync.Mutex
+	notifSub  eventlayer.Subscription
+	lastHB    time.Time
+	connected bool // false while the cluster heartbeat is overdue
+	hbMu      sync.Mutex
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -113,6 +117,8 @@ type Server struct {
 
 	writeBucket *tokenBucket
 	renewalsCtr atomic.Uint64
+	reconnects  atomic.Uint64
+	resubBusy   atomic.Bool
 }
 
 // New creates an application server over a database and the cluster's event
@@ -131,6 +137,7 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		subsByHash: map[uint64]map[string]*Subscription{},
 		renewals:   map[uint64]time.Time{},
 		lastHB:     time.Now(),
+		connected:  true,
 		done:       make(chan struct{}),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
@@ -391,7 +398,20 @@ func (s *Server) notifLoop() {
 			case core.KindHeartbeat:
 				s.hbMu.Lock()
 				s.lastHB = time.Now()
+				wasDown := !s.connected
+				s.connected = true
 				s.hbMu.Unlock()
+				if wasDown {
+					// Heartbeats resumed after an outage: the cluster may
+					// have lost this server's queries, so re-subscribe every
+					// active query (a renewal for queries that survived).
+					s.reconnects.Add(1)
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						s.resubscribeAll()
+					}()
+				}
 			case core.KindNotification:
 				s.dispatch(env.Notification)
 			}
@@ -469,7 +489,16 @@ func (s *Server) maintenanceLoop() {
 	defer s.wg.Done()
 	extend := time.NewTicker(s.opts.ExtendInterval)
 	defer extend.Stop()
-	hbCheck := time.NewTicker(500 * time.Millisecond)
+	// Check the heartbeat a few times per timeout so short timeouts (tests,
+	// aggressive deployments) are detected promptly.
+	interval := 500 * time.Millisecond
+	if s.opts.HeartbeatTimeout > 0 && s.opts.HeartbeatTimeout/4 < interval {
+		interval = s.opts.HeartbeatTimeout / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	hbCheck := time.NewTicker(interval)
 	defer hbCheck.Stop()
 	for {
 		select {
@@ -483,9 +512,13 @@ func (s *Server) maintenanceLoop() {
 			}
 			s.hbMu.Lock()
 			stale := time.Since(s.lastHB) > s.opts.HeartbeatTimeout
+			firstGap := stale && s.connected
+			if firstGap {
+				s.connected = false
+			}
 			s.hbMu.Unlock()
-			if stale {
-				s.failAll(fmt.Errorf("appserver: cluster heartbeat timed out"))
+			if firstGap {
+				s.disconnectAll(fmt.Errorf("appserver: cluster heartbeat timed out"))
 			}
 		}
 	}
@@ -511,17 +544,72 @@ func (s *Server) extendAll() {
 	}
 }
 
-// failAll terminates every subscription with an error event; clients may
-// handle it by re-subscribing or falling back to pull-based queries (§5.1).
-func (s *Server) failAll(err error) {
+// disconnectAll pushes a single EventDisconnected to every subscription.
+// Subscriptions stay alive: unlike terminating them outright, the outage is
+// survivable — once heartbeats resume, resubscribeAll restores every
+// delivery stream and clients never have to rebuild their state machinery
+// (§5.1: clients may fall back to pull-based queries in the meantime).
+func (s *Server) disconnectAll(err error) {
+	for _, sub := range s.snapshotSubs() {
+		sub.disconnect(err)
+	}
+}
+
+// resubscribeAll re-bootstraps and re-subscribes every active subscription,
+// then resets each with the refreshed result (EventReconnected). For queries
+// the cluster still maintains, the re-subscription is an ordinary renewal;
+// for queries it lost (e.g. after a failover or TTL expiry during the
+// outage), it is a fresh activation. Concurrent invocations coalesce.
+func (s *Server) resubscribeAll() {
+	if !s.resubBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.resubBusy.Store(false)
+	for _, sub := range s.snapshotSubs() {
+		sub.mu.Lock()
+		slack := sub.slack
+		closed := sub.closed
+		sub.mu.Unlock()
+		if closed {
+			continue
+		}
+		entries, err := s.bootstrapResult(sub.q, slack)
+		if err != nil {
+			sub.fail(fmt.Errorf("appserver: re-subscription failed: %w", err))
+			continue
+		}
+		if err := s.publishSubscribe(sub, entries); err != nil {
+			sub.fail(fmt.Errorf("appserver: re-subscription failed: %w", err))
+			continue
+		}
+		sub.reset(entries)
+	}
+}
+
+func (s *Server) snapshotSubs() []*Subscription {
 	s.mu.Lock()
 	subs := make([]*Subscription, 0, len(s.subsByID))
 	for _, sub := range s.subsByID {
 		subs = append(subs, sub)
 	}
 	s.mu.Unlock()
-	for _, sub := range subs {
-		sub.fail(err)
-		_ = sub.Close()
-	}
+	return subs
+}
+
+// Resubscribe forces an immediate re-subscription of every active
+// subscription, synchronously. It is the manual counterpart of the
+// automatic post-outage recovery and is also useful after healing an
+// event-layer partition that silently dropped subscribe requests.
+func (s *Server) Resubscribe() { s.resubscribeAll() }
+
+// Reconnects reports how many times the server has observed cluster
+// heartbeats resume after an outage and triggered automatic re-subscription.
+func (s *Server) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Connected reports whether cluster heartbeats are currently arriving
+// within the configured timeout.
+func (s *Server) Connected() bool {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	return s.connected
 }

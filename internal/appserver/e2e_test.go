@@ -478,9 +478,25 @@ func TestTTLExtensionKeepsQueryAlive(t *testing.T) {
 	}
 }
 
-func TestHeartbeatLossTerminatesSubscriptions(t *testing.T) {
+// publishHeartbeat injects a cluster heartbeat directly on the event layer,
+// standing in for a live cluster. Publish errors are ignored so it is safe
+// to call from helper goroutines racing test teardown.
+func publishHeartbeat(e *env, tenant string) {
+	env := &core.Envelope{Kind: core.KindHeartbeat, Heartbeat: &core.Heartbeat{
+		Tenant:     tenant,
+		TimeMillis: time.Now().UnixMilli(),
+	}}
+	if data, err := env.Encode(); err == nil {
+		_ = e.bus.Publish(core.NewTopics("").Notify(tenant), data)
+	}
+}
+
+func TestHeartbeatLossDisconnectsAndRecovers(t *testing.T) {
 	e := newEnv(t, core.Options{HeartbeatInterval: 20 * time.Millisecond}, Options{
 		HeartbeatTimeout: 200 * time.Millisecond,
+		// Short TTL extensions let a replacement cluster learn the tenant
+		// quickly and resume heartbeats.
+		ExtendInterval: 30 * time.Millisecond,
 	})
 	spec := query.Spec{Collection: "c", Filter: map[string]any{"x": 1}}
 	sub, err := e.server.Subscribe(spec)
@@ -489,24 +505,121 @@ func TestHeartbeatLossTerminatesSubscriptions(t *testing.T) {
 	}
 	drainInitial(t, sub)
 	// Taking the cluster down stops heartbeats; the pull-based path keeps
-	// working (isolated failure domain) while subscriptions get an error.
+	// working (isolated failure domain) while subscriptions are told about
+	// the disconnect — but survive it.
 	e.cluster.Stop()
-	deadline := time.After(5 * time.Second)
-	for {
-		select {
-		case ev, ok := <-sub.C():
-			if !ok {
-				t.Fatal("channel closed before error event")
-			}
-			if ev.Type == EventError {
-				if _, err := e.server.Query(spec); err != nil {
-					t.Fatalf("pull-based query failed after cluster outage: %v", err)
-				}
+	waitEvent(t, sub, EventDisconnected)
+	if _, err := e.server.Query(spec); err != nil {
+		t.Fatalf("pull-based query failed after cluster outage: %v", err)
+	}
+	if e.server.Connected() {
+		t.Fatal("server still reports connected after heartbeat loss")
+	}
+	// The disconnect is reported exactly once, even across several further
+	// watchdog ticks, and the subscription channel stays open.
+	expectNoEvent(t, sub, 400*time.Millisecond)
+
+	// A replacement cluster on the same event layer resumes heartbeats; the
+	// server re-subscribes automatically and the fresh cluster learns the
+	// query from the re-subscription.
+	cluster2, err := core.NewCluster(e.bus, core.Options{
+		TickInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Stop()
+	waitEvent(t, sub, EventReconnected)
+	if got := e.server.Reconnects(); got != 1 {
+		t.Fatalf("reconnects = %d, want 1", got)
+	}
+	// The resumed delivery stream is live end to end.
+	if err := e.server.Insert("c", document.Document{"_id": "k", "x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitEvent(t, sub, EventAdd); ev.Key != "k" {
+		t.Fatalf("post-recovery add = %+v", ev)
+	}
+}
+
+func TestHeartbeatShortGapDoesNotDisturbSubscriptions(t *testing.T) {
+	e := newEnv(t, core.Options{HeartbeatInterval: 20 * time.Millisecond}, Options{
+		HeartbeatTimeout: 500 * time.Millisecond,
+	})
+	spec := query.Spec{Collection: "c", Filter: map[string]any{"x": 1}}
+	sub, err := e.server.Subscribe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainInitial(t, sub)
+	// A heartbeat gap shorter than the timeout: stop the cluster, then keep
+	// the server alive with manual heartbeats before the watchdog fires.
+	e.cluster.Stop()
+	time.Sleep(150 * time.Millisecond)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
 				return
+			case <-tick.C:
+				publishHeartbeat(e, e.server.Tenant())
 			}
-		case <-deadline:
-			t.Fatal("no error event after heartbeat loss")
 		}
+	}()
+	defer func() { close(stop); <-done }()
+	// No disconnect, no reconnect: the gap never crossed the timeout.
+	expectNoEvent(t, sub, 700*time.Millisecond)
+	if !e.server.Connected() {
+		t.Fatal("short heartbeat gap flipped the server to disconnected")
+	}
+	if got := e.server.Reconnects(); got != 0 {
+		t.Fatalf("reconnects = %d, want 0", got)
+	}
+}
+
+func TestHeartbeatLongGapResubscribesExactlyOnce(t *testing.T) {
+	e := newEnv(t, core.Options{HeartbeatInterval: 20 * time.Millisecond}, Options{
+		HeartbeatTimeout: 100 * time.Millisecond,
+		ExtendInterval:   30 * time.Millisecond,
+	})
+	spec := query.Spec{Collection: "c", Filter: map[string]any{"x": 1}}
+	sub, err := e.server.Subscribe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainInitial(t, sub)
+	e.cluster.Stop()
+	waitEvent(t, sub, EventDisconnected)
+
+	cluster2, err := core.NewCluster(e.bus, core.Options{
+		TickInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Stop()
+	ev := waitEvent(t, sub, EventReconnected)
+	if ev.Docs == nil && len(sub.Result()) != 0 {
+		t.Fatalf("reconnect event carried no result: %+v", ev)
+	}
+	// Exactly one re-subscription despite heartbeats arriving continuously
+	// after recovery.
+	expectNoEvent(t, sub, 400*time.Millisecond)
+	if got := e.server.Reconnects(); got != 1 {
+		t.Fatalf("reconnects = %d, want 1", got)
 	}
 }
 

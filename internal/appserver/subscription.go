@@ -28,9 +28,18 @@ const (
 	EventChangeIndex
 	// EventRemove reports a member that left the result.
 	EventRemove
-	// EventError terminates the subscription (e.g. heartbeat loss); clients
-	// may re-subscribe or fall back to pull-based queries.
+	// EventError terminates the subscription (e.g. a failed query renewal);
+	// clients may re-subscribe or fall back to pull-based queries.
 	EventError
+	// EventDisconnected reports that cluster heartbeats stopped (§5.1). The
+	// subscription stays alive; the server re-subscribes automatically once
+	// heartbeats resume. Clients may fall back to pull-based queries in the
+	// meantime.
+	EventDisconnected
+	// EventReconnected reports a completed automatic re-subscription after a
+	// heartbeat outage. Docs carries the full refreshed result, superseding
+	// every event delivered before the outage.
+	EventReconnected
 )
 
 // String names the event type.
@@ -48,6 +57,10 @@ func (e EventType) String() string {
 		return "remove"
 	case EventError:
 		return "error"
+	case EventDisconnected:
+		return "disconnected"
+	case EventReconnected:
+		return "reconnected"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(e))
 	}
@@ -81,10 +94,21 @@ type Subscription struct {
 	mu     sync.Mutex
 	order  []string // visible window, in result order (sorted queries)
 	docs   map[string]document.Document
+	seen   map[string]*originState // per-origin notification dedup state
+	vers   map[string]uint64       // per-key last applied version (unsorted)
 	closed bool
 
 	events  chan Event
 	dropped atomic.Uint64
+}
+
+// originState tracks the notification sequence stream of one emitting node
+// instance (Notification.Origin) so redelivered notifications can be
+// suppressed. Origins embed the task incarnation, so a restarted node's
+// reset counter opens a fresh stream instead of colliding with this one.
+type originState struct {
+	last   uint64              // highest sequence number seen
+	recent map[uint64]struct{} // seq numbers seen near last (pruned)
 }
 
 // ID returns the client-visible subscription identifier.
@@ -147,6 +171,26 @@ func (sub *Subscription) Result() []document.Document {
 // rewritten window; the visible result applies the original offset/limit.
 func (sub *Subscription) installInitial(entries []core.ResultEntry) {
 	sub.mu.Lock()
+	docs := sub.installLocked(entries)
+	sub.mu.Unlock()
+	sub.push(Event{Type: EventInitial, Docs: docs, Index: -1})
+}
+
+// installLocked replaces the maintained state with a bootstrap result and
+// returns the visible documents. Bootstrap versions are folded into the
+// per-key version memory (never regressing it), so notifications older than
+// the bootstrap stay suppressed. Callers hold sub.mu.
+func (sub *Subscription) installLocked(entries []core.ResultEntry) []document.Document {
+	sub.docs = map[string]document.Document{}
+	sub.order = nil
+	if sub.vers == nil {
+		sub.vers = map[string]uint64{}
+	}
+	for _, e := range entries {
+		if e.Version > sub.vers[e.Key] {
+			sub.vers[e.Key] = e.Version
+		}
+	}
 	visible := entries
 	if sub.ordered {
 		start := sub.q.Offset
@@ -168,8 +212,20 @@ func (sub *Subscription) installInitial(entries []core.ResultEntry) {
 		}
 		docs = append(docs, d)
 	}
+	return docs
+}
+
+// reset replaces the maintained result after an automatic re-subscription
+// and emits EventReconnected carrying the full refreshed result.
+func (sub *Subscription) reset(entries []core.ResultEntry) {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	docs := sub.installLocked(entries)
 	sub.mu.Unlock()
-	sub.push(Event{Type: EventInitial, Docs: docs, Index: -1})
+	sub.push(Event{Type: EventReconnected, Docs: docs, Index: -1})
 }
 
 // apply folds a cluster notification into the maintained result and emits
@@ -179,6 +235,10 @@ func (sub *Subscription) installInitial(entries []core.ResultEntry) {
 func (sub *Subscription) apply(n *core.Notification) {
 	sub.mu.Lock()
 	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	if !sub.freshLocked(n.Origin, n.Seq) || sub.staleLocked(n.Key, n.Version) {
 		sub.mu.Unlock()
 		return
 	}
@@ -214,6 +274,65 @@ func (sub *Subscription) apply(n *core.Notification) {
 	sub.push(ev)
 }
 
+// freshLocked reports whether a notification from origin with sequence
+// number seq should be applied, and records it. Exact redeliveries (e.g. a
+// duplicated event-layer message) are dropped for every query. For sorted
+// queries, out-of-order notifications are dropped too: window diffs only
+// compose in sequence order, and a renewal repairs any resulting gap. For
+// unsorted queries, out-of-order notifications pass through and the per-key
+// version guard decides. Callers hold sub.mu.
+func (sub *Subscription) freshLocked(origin string, seq uint64) bool {
+	if origin == "" {
+		return true
+	}
+	if sub.seen == nil {
+		sub.seen = map[string]*originState{}
+	}
+	st := sub.seen[origin]
+	if st == nil {
+		st = &originState{recent: map[uint64]struct{}{}}
+		sub.seen[origin] = st
+	}
+	if _, dup := st.recent[seq]; dup {
+		return false
+	}
+	if sub.ordered && seq < st.last {
+		return false
+	}
+	st.recent[seq] = struct{}{}
+	if seq > st.last {
+		st.last = seq
+	}
+	if len(st.recent) > 512 {
+		for s := range st.recent {
+			if s+256 < st.last {
+				delete(st.recent, s)
+			}
+		}
+	}
+	return true
+}
+
+// staleLocked reports whether a versioned notification for key is older
+// than (or a redelivery of) the version already applied, and records the
+// version. Only unsorted queries use it: their notifications commute per
+// key, so the newest version wins regardless of arrival order. Sorted
+// window diffs are exempt — their ordering is enforced by sequence numbers
+// instead. Callers hold sub.mu.
+func (sub *Subscription) staleLocked(key string, version uint64) bool {
+	if sub.ordered || version == 0 || key == "" {
+		return false
+	}
+	if sub.vers == nil {
+		sub.vers = map[string]uint64{}
+	}
+	if version <= sub.vers[key] {
+		return true
+	}
+	sub.vers[key] = version
+	return false
+}
+
 func (sub *Subscription) insertAt(key string, idx int) {
 	// Idempotent: a key can never appear twice in the window, so a repeated
 	// add (e.g. across a renewal) moves it instead.
@@ -238,6 +357,12 @@ func (sub *Subscription) removeKey(key string) {
 // fail emits a terminal error event.
 func (sub *Subscription) fail(err error) {
 	sub.push(Event{Type: EventError, Err: err, Index: -1})
+}
+
+// disconnect reports heartbeat loss without terminating the subscription;
+// the server re-subscribes automatically once heartbeats resume.
+func (sub *Subscription) disconnect(err error) {
+	sub.push(Event{Type: EventDisconnected, Err: err, Index: -1})
 }
 
 // push enqueues an event without blocking the notification loop; when the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"invalidb/internal/eventlayer"
+	"invalidb/internal/query"
 	"invalidb/internal/topology"
 )
 
@@ -60,6 +61,17 @@ type Options struct {
 	// the simulated per-write cost drops to the candidate count, mirroring
 	// the real CPU saving (see the AblationQueryIndex benchmark).
 	EnableQueryIndex bool
+	// MaxTaskRestarts bounds how many times the stream processor's
+	// supervisor replaces a panicking task with a fresh instance before
+	// marking the task dead (see topology.Config.MaxTaskRestarts). Zero
+	// selects the topology default (3); negative disables restarts.
+	MaxTaskRestarts int
+	// MatchHook, when set, is invoked at the top of every matching
+	// node's Execute with the task id and the tuple kind (before the
+	// tuple is acked). It exists for fault injection in tests — a hook
+	// that panics simulates a crashing matching node — and must be nil
+	// in production.
+	MatchHook func(taskID int, kind string)
 	// ExtraStages appends additional processing stages to the pipeline
 	// behind the filtering stage (paper §5.2: "the process of generating
 	// change notifications for more advanced queries is performed in
@@ -131,6 +143,13 @@ type Cluster struct {
 	tenantMu sync.RWMutex
 	tenants  map[string]struct{}
 
+	// registry is the cluster-wide record of active subscriptions,
+	// maintained by the query-ingest stage (§5.1: the ingestion nodes are
+	// stateless, so the registry lives on the shared cluster object where
+	// every ingest task can serve a resync for a recovering grid cell).
+	regMu    sync.Mutex
+	registry map[uint64]map[string]*regEntry // query hash -> sid -> entry
+
 	stopHB  chan struct{}
 	hbWG    sync.WaitGroup
 	started bool
@@ -145,11 +164,12 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 	}
 	opts = opts.withDefaults()
 	c := &Cluster{
-		opts:    opts,
-		topics:  NewTopics(opts.Namespace),
-		bus:     bus,
-		tenants: map[string]struct{}{},
-		stopHB:  make(chan struct{}),
+		opts:     opts,
+		topics:   NewTopics(opts.Namespace),
+		bus:      bus,
+		tenants:  map[string]struct{}{},
+		registry: map[uint64]map[string]*regEntry{},
+		stopHB:   make(chan struct{}),
 	}
 
 	qp, wp := opts.QueryPartitions, opts.WritePartitions
@@ -207,9 +227,11 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 	}
 
 	top, err := b.Build(topology.Config{
-		QueueSize:    opts.QueueSize,
-		EnableAcking: opts.EnableAcking,
-		AckTimeout:   30 * time.Second,
+		QueueSize:       opts.QueueSize,
+		EnableAcking:    opts.EnableAcking,
+		AckTimeout:      30 * time.Second,
+		MaxTaskRestarts: opts.MaxTaskRestarts,
+		OnTaskRestart:   c.onTaskRestart,
 	})
 	if err != nil {
 		return nil, err
@@ -313,6 +335,97 @@ func (c *Cluster) publishNotification(n *Notification) {
 		return
 	}
 	_ = c.bus.Publish(c.topics.Notify(n.Tenant), data)
+}
+
+// regEntry is the registry's record of one active subscription: everything
+// needed to re-issue its subscribe to a recovering node, including the
+// bootstrap result the application server delivered (a restarted matching
+// node re-installs it and then closes the gap via retention replay and the
+// client's own re-subscription path).
+type regEntry struct {
+	req      *SubscribeRequest
+	q        *query.Query
+	hash     uint64
+	deadline time.Time
+}
+
+// registerSubscription records (or refreshes) a subscription.
+func (c *Cluster) registerSubscription(req *SubscribeRequest, q *query.Query, hash uint64, ttl time.Duration) {
+	c.regMu.Lock()
+	sids := c.registry[hash]
+	if sids == nil {
+		sids = map[string]*regEntry{}
+		c.registry[hash] = sids
+	}
+	sids[req.SubscriptionID] = &regEntry{req: req, q: q, hash: hash, deadline: time.Now().Add(ttl)}
+	c.regMu.Unlock()
+}
+
+func (c *Cluster) cancelSubscription(hash uint64, sid string) {
+	c.regMu.Lock()
+	if sids := c.registry[hash]; sids != nil {
+		delete(sids, sid)
+		if len(sids) == 0 {
+			delete(c.registry, hash)
+		}
+	}
+	c.regMu.Unlock()
+}
+
+func (c *Cluster) extendSubscription(hash uint64, sid string, ttl time.Duration) {
+	c.regMu.Lock()
+	if sids := c.registry[hash]; sids != nil {
+		if e := sids[sid]; e != nil {
+			e.deadline = time.Now().Add(ttl)
+		}
+	}
+	c.regMu.Unlock()
+}
+
+// snapshotSubscriptions returns all live registry entries, lazily pruning
+// expired ones (their matching-node state expires on ticks anyway).
+func (c *Cluster) snapshotSubscriptions() []*regEntry {
+	now := time.Now()
+	c.regMu.Lock()
+	var out []*regEntry
+	for hash, sids := range c.registry {
+		for sid, e := range sids {
+			if now.After(e.deadline) {
+				delete(sids, sid)
+				continue
+			}
+			out = append(out, e)
+		}
+		if len(sids) == 0 {
+			delete(c.registry, hash)
+		}
+	}
+	c.regMu.Unlock()
+	return out
+}
+
+// onTaskRestart is the supervisor's recovery hook: when a stateful task
+// (matching or sorting/extension node) comes back with a fresh — and
+// therefore empty — instance, a resync request is published on the queries
+// topic. It flows through the regular ingest path, so whichever ingest
+// node receives it re-broadcasts the registry's subscriptions to the
+// recovering cell in order with other control traffic.
+func (c *Cluster) onTaskRestart(component string, taskID int) {
+	stateful := component == "match" || component == "sort"
+	for _, st := range c.opts.ExtraStages {
+		if st.Name == component {
+			stateful = true
+		}
+	}
+	if !stateful {
+		return // ingestion stages and spouts hold no query state
+	}
+	env := &Envelope{Kind: KindResync, Resync: &ResyncRequest{Component: component, TaskID: taskID}}
+	data, err := env.Encode()
+	if err != nil {
+		return
+	}
+	_ = c.bus.Publish(c.topics.Queries(), data)
 }
 
 // gridCell converts a match task id into its (query partition, write

@@ -180,10 +180,24 @@ func (b *queryIngestBolt) Execute(t *topology.Tuple) {
 	case KindSubscribe:
 		b.handleSubscribe(t, env.Subscribe)
 	case KindCancel:
+		b.c.registerTenant(env.Cancel.Tenant)
+		b.c.cancelSubscription(env.Cancel.QueryHash, env.Cancel.SubscriptionID)
 		b.fanToRow(t, kindCancel, env.Cancel.QueryHash, env.Cancel)
 		b.out.EmitStream(streamBootstrap, t, topology.Values{kindCancel, QueryIDString(env.Cancel.QueryHash), env.Cancel})
 	case KindExtend:
+		// Registering the tenant here matters for failover: a replacement
+		// cluster that has never seen this tenant learns of it from the
+		// periodic TTL extensions and starts heartbeating, which is the
+		// signal application servers wait for before re-subscribing.
+		b.c.registerTenant(env.Extend.Tenant)
+		ttl := time.Duration(env.Extend.TTLMillis) * time.Millisecond
+		if ttl <= 0 {
+			ttl = b.c.opts.DefaultTTL
+		}
+		b.c.extendSubscription(env.Extend.QueryHash, env.Extend.SubscriptionID, ttl)
 		b.fanToRow(t, kindExtend, env.Extend.QueryHash, env.Extend)
+	case KindResync:
+		b.handleResync(t, env.Resync)
 	}
 }
 
@@ -207,6 +221,7 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 	if ttl <= 0 {
 		ttl = b.c.opts.DefaultTTL
 	}
+	b.c.registerSubscription(req, q, hash, ttl)
 	wp := b.c.opts.WritePartitions
 	qp := int(hash % uint64(b.c.opts.QueryPartitions))
 
@@ -239,6 +254,48 @@ func (b *queryIngestBolt) fanToRow(t *topology.Tuple, kind string, hash uint64, 
 	qp := int(hash % uint64(b.c.opts.QueryPartitions))
 	for w := 0; w < b.c.opts.WritePartitions; w++ {
 		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kind, QueryIDString(hash), payload})
+	}
+}
+
+// handleResync re-broadcasts the registry's active subscriptions to a
+// recovering task (§5.1: a restarted matching node rebuilds its query set
+// from the cluster's subscription registry). For a matching node, each
+// query of the cell's partition row is re-delivered with its write
+// partition's slice of the bootstrap result and the TTL that remains; for
+// sorting and extension stages the bootstraps are re-emitted on the
+// bootstrap stream, where fields grouping routes every query to its owner
+// task — healthy owners treat the repeat subscribe as idempotent.
+func (b *queryIngestBolt) handleResync(t *topology.Tuple, r *ResyncRequest) {
+	entries := b.c.snapshotSubscriptions()
+	if r.Component == "match" {
+		qp, wp := b.c.gridCell(r.TaskID)
+		for _, e := range entries {
+			if int(e.hash%uint64(b.c.opts.QueryPartitions)) != qp {
+				continue
+			}
+			var slice []ResultEntry
+			for _, re := range e.req.Result {
+				if int(document.HashKey(re.Key)%uint64(b.c.opts.WritePartitions)) == wp {
+					slice = append(slice, re)
+				}
+			}
+			payload := &subscribePayload{
+				req: e.req, q: e.q, hash: e.hash, slack: e.req.Slack,
+				ttl: time.Until(e.deadline), entries: slice,
+			}
+			b.out.EmitDirect(r.TaskID, t, topology.Values{kindSubscribe, QueryIDString(e.hash), payload})
+		}
+		return
+	}
+	for _, e := range entries {
+		if !e.q.Ordered() && len(b.c.opts.ExtraStages) == 0 {
+			continue
+		}
+		payload := &subscribePayload{
+			req: e.req, q: e.q, hash: e.hash, slack: e.req.Slack,
+			ttl: time.Until(e.deadline), entries: e.req.Result,
+		}
+		b.out.EmitStream(streamBootstrap, t, topology.Values{kindSubscribe, QueryIDString(e.hash), payload})
 	}
 }
 

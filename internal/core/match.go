@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"invalidb/internal/document"
@@ -129,6 +130,10 @@ type matchBolt struct {
 	out    topology.Collector
 	taskID int
 	qp, wp int
+	// origin stamps outgoing notifications with this node instance's
+	// identity ("m<task>.<incarnation>") so application servers can
+	// deduplicate redeliveries per emitting instance.
+	origin string
 
 	queries   map[uint64]*matchQuery
 	latest    map[string]uint64 // composite key -> newest version seen
@@ -153,6 +158,7 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	b.out = out
 	b.taskID = ctx.TaskID
 	b.qp, b.wp = b.c.gridCell(ctx.TaskID)
+	b.origin = fmt.Sprintf("m%d.%d", ctx.TaskID, ctx.Incarnation)
 	b.queries = map[uint64]*matchQuery{}
 	b.latest = map[string]uint64{}
 	b.latestAt = map[string]time.Time{}
@@ -169,6 +175,18 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 }
 
 func (b *matchBolt) Execute(t *topology.Tuple) {
+	if hook := b.c.opts.MatchHook; hook != nil {
+		// The hook may panic (fault injection). It runs BEFORE the deferred
+		// ack is installed: a deferred Ack would execute during panic
+		// unwinding and settle the tuple as processed, whereas here the
+		// supervisor fails the still-in-flight tuple so its tree replays.
+		kind := "tick"
+		if t.Component != "tick" {
+			kindV, _ := t.Get("kind")
+			kind, _ = kindV.(string)
+		}
+		hook(b.taskID, kind)
+	}
 	defer b.out.Ack(t)
 	if t.Component == "tick" {
 		// Tick tuples carry their emission timestamp; reusing it keeps the
@@ -322,6 +340,7 @@ func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, mt MatchType, key st
 		Version: ver,
 		Index:   -1,
 		Seq:     mq.seq,
+		Origin:  b.origin,
 	}
 	if mt != MatchRemove {
 		n.Doc = mq.q.Project(doc)

@@ -141,9 +141,27 @@ type Notification struct {
 	Index int `json:"idx"`
 	// Seq orders notifications emitted for the same query by the same node.
 	Seq uint64 `json:"seq"`
+	// Origin identifies the emitting node instance ("m3.0" = matching
+	// task 3, incarnation 0). Together with Seq it lets application
+	// servers deduplicate redelivered notifications without mistaking a
+	// restarted node's reset sequence counter for stale duplicates.
+	Origin string `json:"org,omitempty"`
 	// Error carries the maintenance-error message for MatchError
 	// notifications, which double as query renewal requests.
 	Error string `json:"err,omitempty"`
+}
+
+// ResyncRequest asks the cluster to re-broadcast active subscription state
+// to a restarted task. It is published cluster-internally on the queries
+// topic by the supervisor's restart hook; the query-ingest stage answers it
+// from its subscription registry (§5.1: failed matching nodes recover their
+// query set from their peers' registries).
+type ResyncRequest struct {
+	// Component is the topology component that restarted ("match",
+	// "sort", ...).
+	Component string `json:"comp"`
+	// TaskID is the restarted task's index within the component.
+	TaskID int `json:"task"`
 }
 
 // Heartbeat is periodically published on every tenant's notification topic;
@@ -163,6 +181,7 @@ type Envelope struct {
 	Write        *WriteEvent       `json:"write,omitempty"`
 	Notification *Notification     `json:"notif,omitempty"`
 	Heartbeat    *Heartbeat        `json:"hb,omitempty"`
+	Resync       *ResyncRequest    `json:"resync,omitempty"`
 }
 
 // Envelope kinds.
@@ -173,6 +192,7 @@ const (
 	KindWrite        = "write"
 	KindNotification = "notification"
 	KindHeartbeat    = "heartbeat"
+	KindResync       = "resync"
 )
 
 // Encode serializes an envelope for the event layer.
@@ -224,6 +244,8 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 		}
 	case KindHeartbeat:
 		ok = e.Heartbeat != nil
+	case KindResync:
+		ok = e.Resync != nil
 	default:
 		return nil, fmt.Errorf("core: unknown envelope kind %q", e.Kind)
 	}

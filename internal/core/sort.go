@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"invalidb/internal/document"
@@ -87,6 +88,9 @@ type sortBolt struct {
 	c       *Cluster
 	out     topology.Collector
 	queries map[uint64]*sortQuery
+	// origin stamps outgoing notifications with this node instance's
+	// identity ("s<task>.<incarnation>") for server-side deduplication.
+	origin string
 }
 
 func newSortBolt(c *Cluster) topology.Bolt { return &sortBolt{c: c} }
@@ -94,6 +98,7 @@ func newSortBolt(c *Cluster) topology.Bolt { return &sortBolt{c: c} }
 func (b *sortBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
 	b.out = out
 	b.queries = map[uint64]*sortQuery{}
+	b.origin = fmt.Sprintf("s%d.%d", ctx.TaskID, ctx.Incarnation)
 	return nil
 }
 
@@ -304,6 +309,7 @@ func (b *sortBolt) maintenanceError(sq *sortQuery) {
 		Type:    MatchError,
 		Index:   -1,
 		Seq:     sq.seq,
+		Origin:  b.origin,
 		Error:   "query maintenance error: slack exhausted, renewal required",
 	})
 }
@@ -360,6 +366,7 @@ func (b *sortBolt) notify(sq *sortQuery, mt MatchType, key string, ver uint64, d
 		Version: ver,
 		Index:   idx,
 		Seq:     sq.seq,
+		Origin:  b.origin,
 	}
 	if doc != nil {
 		n.Doc = sq.q.Project(doc)

@@ -190,6 +190,45 @@ func TestMemBusConcurrentPublishers(t *testing.T) {
 	}
 }
 
+// TestMemBusPublishCloseRace hammers Publish against Close (and subscriber
+// teardown) from many goroutines. Run under -race: the invariant is that a
+// publish either succeeds before the close or returns ErrBusClosed — never
+// a panic or a send on a closed channel.
+func TestMemBusPublishCloseRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		b := NewMemBus(MemBusOptions{BufferSize: 16})
+		subs := make([]Subscription, 4)
+		for i := range subs {
+			subs[i], _ = b.Subscribe("t")
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					if err := b.Publish("t", []byte("m")); err != nil {
+						if err != ErrBusClosed {
+							t.Errorf("Publish = %v, want nil or ErrBusClosed", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subs[0].Close()
+			b.Close()
+		}()
+		wg.Wait()
+		if err := b.Publish("t", nil); err != ErrBusClosed {
+			t.Fatalf("post-close Publish = %v, want ErrBusClosed", err)
+		}
+	}
+}
+
 func TestMatchPattern(t *testing.T) {
 	cases := []struct {
 		pattern, topic string

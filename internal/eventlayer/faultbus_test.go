@@ -1,0 +1,181 @@
+package eventlayer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func collectPayloads(t *testing.T, sub Subscription, n int, timeout time.Duration) []string {
+	t.Helper()
+	var out []string
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case m, ok := <-sub.C():
+			if !ok {
+				return out
+			}
+			out = append(out, string(m.Payload))
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestFaultBusPassthrough(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 7})
+	defer fb.Close()
+	sub, err := fb.Subscribe("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fb.Publish("a", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectPayloads(t, sub, 10, time.Second)
+	if len(got) != 10 {
+		t.Fatalf("expected 10 messages, got %d", len(got))
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("m%d", i); p != want {
+			t.Fatalf("message %d = %q, want %q", i, p, want)
+		}
+	}
+}
+
+func TestFaultBusDropDeterministic(t *testing.T) {
+	run := func() []string {
+		fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 42, DropRate: 0.5})
+		defer fb.Close()
+		sub, _ := fb.Subscribe("a")
+		for i := 0; i < 40; i++ {
+			fb.Publish("a", []byte(fmt.Sprintf("m%d", i)))
+		}
+		return collectPayloads(t, sub, 40, 200*time.Millisecond)
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("drop rate 0.5 delivered %d/40 — injection not happening", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed delivered different sequence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultBusDuplicate(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 3, DuplicateRate: 1})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("a")
+	fb.Publish("a", []byte("x"))
+	got := collectPayloads(t, sub, 2, time.Second)
+	if len(got) != 2 || got[0] != "x" || got[1] != "x" {
+		t.Fatalf("expected duplicated delivery, got %v", got)
+	}
+	if s := fb.Stats(); s.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+func TestFaultBusDelayDelivers(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 5, DelayRate: 1, MaxDelay: 10 * time.Millisecond})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("a")
+	for i := 0; i < 5; i++ {
+		fb.Publish("a", []byte(fmt.Sprintf("m%d", i)))
+	}
+	got := collectPayloads(t, sub, 5, time.Second)
+	if len(got) != 5 {
+		t.Fatalf("delayed messages lost: got %d/5", len(got))
+	}
+	if s := fb.Stats(); s.Delayed != 5 {
+		t.Fatalf("Delayed = %d, want 5", s.Delayed)
+	}
+}
+
+func TestFaultBusReorderSwapsThenFlushes(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 9, ReorderRate: 1, MaxDelay: 50 * time.Millisecond})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("a")
+	fb.Publish("a", []byte("first"))
+	// "first" is now held; turn reordering off so "second" flows through
+	// and displaces it.
+	fb.SetConfig(FaultConfig{Seed: 9})
+	fb.Publish("a", []byte("second"))
+	got := collectPayloads(t, sub, 2, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("reorder lost a message: got %v", got)
+	}
+	if got[0] != "second" || got[1] != "first" {
+		t.Fatalf("expected reordered delivery [second first], got %v", got)
+	}
+}
+
+func TestFaultBusReorderSafetyTimer(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 9, ReorderRate: 1, MaxDelay: 10 * time.Millisecond})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("a")
+	fb.Publish("a", []byte("lonely"))
+	got := collectPayloads(t, sub, 1, time.Second)
+	if len(got) != 1 || got[0] != "lonely" {
+		t.Fatalf("held message never flushed: got %v", got)
+	}
+}
+
+func TestFaultBusPartitionAndHeal(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 1})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("notify.t1.q1")
+	fb.Partition("notify.*")
+	fb.Publish("notify.t1.q1", []byte("lost"))
+	if got := collectPayloads(t, sub, 1, 50*time.Millisecond); len(got) != 0 {
+		t.Fatalf("partitioned topic delivered %v", got)
+	}
+	fb.Heal()
+	fb.Publish("notify.t1.q1", []byte("after"))
+	got := collectPayloads(t, sub, 1, time.Second)
+	if len(got) != 1 || got[0] != "after" {
+		t.Fatalf("post-heal delivery failed: got %v", got)
+	}
+	if s := fb.Stats(); s.Partitioned != 1 {
+		t.Fatalf("Partitioned = %d, want 1", s.Partitioned)
+	}
+}
+
+func TestFaultBusTopicScoping(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{
+		Seed: 11, DropRate: 1, Topics: []string{"writes"},
+	})
+	defer fb.Close()
+	sub, _ := fb.Subscribe("queries", "writes")
+	fb.Publish("writes", []byte("w"))
+	fb.Publish("queries", []byte("q"))
+	got := collectPayloads(t, sub, 1, time.Second)
+	if len(got) != 1 || got[0] != "q" {
+		t.Fatalf("topic scoping broken: got %v", got)
+	}
+}
+
+func TestFaultBusClosed(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 1})
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Publish("a", nil); err != ErrBusClosed {
+		t.Fatalf("Publish after Close = %v, want ErrBusClosed", err)
+	}
+	if _, err := fb.Subscribe("a"); err != ErrBusClosed {
+		t.Fatalf("Subscribe after Close = %v, want ErrBusClosed", err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

@@ -20,6 +20,14 @@ type ClientOptions struct {
 	ReconnectInterval time.Duration
 	// DialTimeout bounds each connection attempt. Zero selects 2s.
 	DialTimeout time.Duration
+	// PublishRetries is how many extra attempts Publish makes after a
+	// failed send, waiting for the reconnect loop to restore the broker
+	// connection between attempts. Zero selects 3; negative disables
+	// retries (fail fast).
+	PublishRetries int
+	// PublishBackoff is the wait before the first retry; it doubles per
+	// attempt (bounded exponential backoff). Zero selects 10ms.
+	PublishBackoff time.Duration
 }
 
 // Client connects to a tcp.Server broker and implements eventlayer.Bus.
@@ -53,6 +61,14 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 2 * time.Second
 	}
+	if opts.PublishRetries == 0 {
+		opts.PublishRetries = 3
+	} else if opts.PublishRetries < 0 {
+		opts.PublishRetries = 0
+	}
+	if opts.PublishBackoff <= 0 {
+		opts.PublishBackoff = 10 * time.Millisecond
+	}
 	c := &Client{
 		addr:     addr,
 		opts:     opts,
@@ -71,8 +87,32 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	return c, nil
 }
 
-// Publish implements eventlayer.Bus.
+// Publish implements eventlayer.Bus. A failed send (no connection, or a
+// write error that severs the connection) is retried up to PublishRetries
+// times with exponential backoff, giving the reconnect loop a window to
+// restore the broker link before the publish is reported lost.
 func (c *Client) Publish(topic string, payload []byte) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.tryPublish(topic, payload); err == nil || err == eventlayer.ErrBusClosed {
+			return err
+		}
+		if attempt >= c.opts.PublishRetries {
+			return err
+		}
+		backoff := c.opts.PublishBackoff << uint(attempt)
+		if max := 32 * c.opts.PublishBackoff; backoff > max {
+			backoff = max
+		}
+		select {
+		case <-c.done:
+			return eventlayer.ErrBusClosed
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (c *Client) tryPublish(topic string, payload []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

@@ -229,6 +229,61 @@ func TestBrokerClientReconnects(t *testing.T) {
 	t.Fatal("client did not recover after broker-side disconnect")
 }
 
+// TestClientPublishRetriesAcrossReconnect severs the publisher's broker
+// connection and issues a single Publish: the retry loop must ride out the
+// outage and deliver once the reconnect loop restores the link.
+func TestClientPublishRetriesAcrossReconnect(t *testing.T) {
+	srv := newBroker(t)
+	cons := newClient(t, srv)
+	sub, _ := cons.Subscribe("t")
+	pub, err := Dial(srv.Addr(), ClientOptions{
+		ReconnectInterval: 20 * time.Millisecond,
+		PublishRetries:    10,
+		PublishBackoff:    15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pub.Close() })
+	time.Sleep(30 * time.Millisecond)
+
+	pub.mu.Lock()
+	pub.dropConnLocked()
+	pub.mu.Unlock()
+
+	if err := pub.Publish("t", []byte("survived")); err != nil {
+		t.Fatalf("publish did not survive reconnect: %v", err)
+	}
+	if m := recvOne(t, sub); string(m.Payload) != "survived" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// TestClientPublishBoundedFailure kills the broker outright: Publish must
+// give up after its bounded retries rather than blocking forever.
+func TestClientPublishBoundedFailure(t *testing.T) {
+	srv := newBroker(t)
+	pub, err := Dial(srv.Addr(), ClientOptions{
+		ReconnectInterval: 10 * time.Millisecond,
+		PublishRetries:    2,
+		PublishBackoff:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pub.Close() })
+	_ = srv.Close()
+	time.Sleep(30 * time.Millisecond) // let the client notice the dead link
+
+	start := time.Now()
+	if err := pub.Publish("t", []byte("x")); err == nil {
+		t.Fatal("publish to a dead broker succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("bounded retry took %v", elapsed)
+	}
+}
+
 func TestBrokerStats(t *testing.T) {
 	srv := newBroker(t)
 	c := newClient(t, srv)

@@ -114,7 +114,17 @@ func (a *acker) expire(now time.Time) {
 	a.mu.Lock()
 	var expired []uint64
 	var ls []*ledger
+	var orphaned []*ledger
 	for root, l := range a.ledgers {
+		if l.spout.isHalted() {
+			// The owning spout task stopped for good: replaying into its
+			// never-drained completion queue would be a wasted (or
+			// blocking) send, so the ledger is simply deleted. Sealed or
+			// not — a halted spout can never seal it either.
+			delete(a.ledgers, root)
+			orphaned = append(orphaned, l)
+			continue
+		}
 		if l.sealed && now.After(l.deadline) {
 			expired = append(expired, root)
 			ls = append(ls, l)
@@ -124,6 +134,9 @@ func (a *acker) expire(now time.Time) {
 		delete(a.ledgers, root)
 	}
 	a.mu.Unlock()
+	for _, l := range orphaned {
+		l.spout.releasePending()
+	}
 	for i, root := range expired {
 		a.complete(root, ls[i], false)
 	}
@@ -136,6 +149,7 @@ func (a *acker) complete(root uint64, l *ledger, ok bool) {
 	l.spout.releasePending()
 	select {
 	case l.spout.completions <- completion{id: MsgID(root), ok: ok}:
+	case <-l.spout.haltedCh: // spout task is gone; drop the verdict
 	case <-l.spout.comp.top.stopped:
 	}
 }

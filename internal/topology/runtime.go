@@ -51,6 +51,33 @@ type task struct {
 	rng         *rand.Rand
 	rngMu       sync.Mutex
 	rootScratch []uint64 // reused by batch emits to gather anchor roots
+
+	// Supervisor state. inflight, incarnation and openRoot are touched only
+	// on the task goroutine; the counters are atomics so Stats can read
+	// them concurrently.
+	inflight    *Tuple // tuple currently inside Execute
+	incarnation int    // supervisor restarts of this task so far
+	openRoot    uint64 // root being fanned out by spoutEmit right now
+	restarts    atomic.Uint64
+	panics      atomic.Uint64
+	dead        atomic.Bool
+	haltedCh    chan struct{} // closed when a spout task stops for good
+	haltOnce    sync.Once
+}
+
+// markHalted records that this spout task will never drain completions
+// again, letting the acker discard its remaining ledgers.
+func (tk *task) markHalted() {
+	tk.haltOnce.Do(func() { close(tk.haltedCh) })
+}
+
+func (tk *task) isHalted() bool {
+	select {
+	case <-tk.haltedCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // tuplePool recycles Tuple objects across deliveries. A tuple is drawn in
@@ -98,9 +125,10 @@ func newTopology(b *Builder, cfg Config) (*Topology, error) {
 		comp := &component{top: t, def: def, routes: map[string][]*route{}}
 		for i := 0; i < def.parallelism; i++ {
 			tk := &task{
-				comp: comp,
-				id:   i,
-				rng:  rand.New(rand.NewSource(int64(len(id))*7919 + int64(i) + 1)),
+				comp:     comp,
+				id:       i,
+				rng:      rand.New(rand.NewSource(int64(len(id))*7919 + int64(i) + 1)),
+				haltedCh: make(chan struct{}),
 			}
 			if def.bolt != nil {
 				tk.in = make(chan *Tuple, cfg.QueueSize)
@@ -187,11 +215,13 @@ func (t *Topology) Stop() {
 	for _, id := range t.order {
 		comp := t.comps[id]
 		for _, tk := range comp.tasks {
+			// A dead task's last instance may be mid-panic broken; shut it
+			// down defensively so teardown always completes.
 			if tk.spout != nil {
-				tk.spout.Close()
+				safeCloseSpout(tk.spout)
 			}
 			if tk.bolt != nil {
-				tk.bolt.Cleanup()
+				safeCleanupBolt(tk.bolt)
 			}
 		}
 	}
@@ -206,6 +236,13 @@ type TaskStats struct {
 	Acked     uint64
 	Failed    uint64
 	QueueLen  int
+	// Restarts counts supervisor replacements of this task's component
+	// instance; Panics counts recovered panics (Panics can exceed
+	// Restarts by one when the task died). Dead reports that the task
+	// exhausted its restart budget and now fails all input.
+	Restarts uint64
+	Panics   uint64
+	Dead     bool
 }
 
 // Stats snapshots all task counters.
@@ -221,6 +258,9 @@ func (t *Topology) Stats() []TaskStats {
 				Emitted:   tk.emitted.Load(),
 				Acked:     tk.acked.Load(),
 				Failed:    tk.failed.Load(),
+				Restarts:  tk.restarts.Load(),
+				Panics:    tk.panics.Load(),
+				Dead:      tk.dead.Load(),
 			}
 			if tk.in != nil {
 				s.QueueLen = len(tk.in)
@@ -231,16 +271,62 @@ func (t *Topology) Stats() []TaskStats {
 	return out
 }
 
-// spoutLoop drives NextTuple until the topology stops, interleaving
-// completion delivery so Ack/Fail run on this goroutine.
+// spoutLoop supervises one spout task: it drives the spout until the
+// topology stops, recovering panics and replacing the crashed spout with a
+// fresh instance up to MaxTaskRestarts times. A spout that exhausts its
+// restarts is marked dead and halted so the acker deletes its remaining
+// ledgers instead of queueing completions nobody will ever drain.
 func (tk *task) spoutLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	defer tk.markHalted()
+	top := tk.comp.top
+	for {
+		if tk.runSpout() {
+			return // topology stopped
+		}
+		tk.panics.Add(1)
+		if tk.openRoot != 0 {
+			// The panic interrupted spoutEmit mid-fan-out: fail the
+			// half-registered tree so it replays instead of leaking an
+			// unsealed ledger.
+			if top.acker != nil {
+				top.acker.fail(tk.openRoot)
+			}
+			tk.openRoot = 0
+		}
+		if int(tk.restarts.Load()) >= top.cfg.MaxTaskRestarts {
+			tk.dead.Store(true)
+			return
+		}
+		tk.restarts.Add(1)
+		tk.incarnation++
+		safeCloseSpout(tk.spout)
+		fresh := tk.comp.def.spout()
+		if err := fresh.Open(&SpoutContext{TaskID: tk.id, Emit: tk.spoutEmit}); err != nil {
+			tk.dead.Store(true)
+			return
+		}
+		tk.spout = fresh
+		tk.notifyRestart()
+	}
+}
+
+// runSpout is one supervised run of the spout drive loop: NextTuple until
+// the topology stops, interleaving completion delivery so Ack/Fail run on
+// this goroutine. It reports true when the topology stopped and false when
+// the spout panicked.
+func (tk *task) runSpout() (stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			stopped = false
+		}
+	}()
 	idle := time.Duration(0)
 	for {
 		tk.drainCompletions()
 		select {
 		case <-tk.comp.top.stopped:
-			return
+			return true
 		default:
 		}
 		if tk.spout.NextTuple() {
@@ -255,7 +341,7 @@ func (tk *task) spoutLoop(wg *sync.WaitGroup) {
 		if tk.completions != nil {
 			select {
 			case <-tk.comp.top.stopped:
-				return
+				return true
 			case c := <-tk.completions:
 				tk.deliver(c)
 			case <-time.After(idle):
@@ -264,10 +350,28 @@ func (tk *task) spoutLoop(wg *sync.WaitGroup) {
 		}
 		select {
 		case <-tk.comp.top.stopped:
-			return
+			return true
 		case <-time.After(idle):
 		}
 	}
+}
+
+func (tk *task) notifyRestart() {
+	if cb := tk.comp.top.cfg.OnTaskRestart; cb != nil {
+		go cb(tk.comp.def.id, tk.id)
+	}
+}
+
+// safeCloseSpout / safeCleanupBolt shut down a (possibly already broken)
+// component instance without letting its panic escape the supervisor.
+func safeCloseSpout(s Spout) {
+	defer func() { _ = recover() }()
+	s.Close()
+}
+
+func safeCleanupBolt(b Bolt) {
+	defer func() { _ = recover() }()
+	b.Cleanup()
 }
 
 func (tk *task) drainCompletions() {
@@ -306,6 +410,7 @@ func (tk *task) spoutEmit(values Values) MsgID {
 		}
 		root = tk.nextID()
 		top.acker.register(root, tk)
+		tk.openRoot = root // supervisor fails this if the spout panics mid-emit
 	}
 	tk.emitted.Add(1)
 	tk.comp.fanOut(tk, DefaultStream, root, nil, values, -1)
@@ -313,6 +418,7 @@ func (tk *task) spoutEmit(values Values) MsgID {
 		// Seal the registration: if the fan-out reached no consumer the
 		// tree completes immediately.
 		top.acker.seal(root)
+		tk.openRoot = 0
 	}
 	return MsgID(root)
 }
@@ -337,30 +443,107 @@ func (tk *task) nextID() uint64 {
 	}
 }
 
-// boltLoop consumes the task's input queue. Bolts implementing IdleBolt get
-// an Idle callback every time the queue drains, before the loop blocks.
+// boltLoop supervises one bolt task: it consumes the input queue until the
+// topology stops, recovering panics thrown by Execute/Idle. A panic fails
+// the in-flight tuple's ledger (so the acker triggers spout replay) and the
+// crashed bolt is replaced with a fresh instance from the component
+// factory, up to MaxTaskRestarts times; after that the task is marked dead
+// but keeps draining — and failing — its input so upstream emitters never
+// block on a queue nobody reads.
 func (tk *task) boltLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	for {
+		if tk.runBolt() {
+			return // topology stopped
+		}
+		tk.panics.Add(1)
+		tk.failInflight()
+		if int(tk.restarts.Load()) >= tk.comp.top.cfg.MaxTaskRestarts {
+			tk.dead.Store(true)
+			tk.drainDead()
+			return
+		}
+		tk.restarts.Add(1)
+		tk.incarnation++
+		safeCleanupBolt(tk.bolt)
+		fresh := tk.comp.def.bolt()
+		err := fresh.Prepare(&BoltContext{TaskID: tk.id, Incarnation: tk.incarnation}, &taskCollector{task: tk})
+		if err != nil {
+			tk.dead.Store(true)
+			tk.drainDead()
+			return
+		}
+		tk.bolt = fresh
+		tk.notifyRestart()
+	}
+}
+
+// runBolt is one supervised run of the bolt consume loop. Bolts
+// implementing IdleBolt get an Idle callback every time the queue drains,
+// before the loop blocks. It reports true when the topology stopped and
+// false when the bolt panicked.
+func (tk *task) runBolt() (stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			stopped = false
+		}
+	}()
 	idler, _ := tk.bolt.(IdleBolt)
-	stopped := tk.comp.top.stopped
+	stop := tk.comp.top.stopped
 	for {
 		select {
-		case <-stopped:
-			return
+		case <-stop:
+			return true
 		case tup := <-tk.in:
-			tk.executed.Add(1)
-			tk.bolt.Execute(tup)
+			tk.execute(tup)
 		default:
 			if idler != nil {
 				idler.Idle()
 			}
 			select {
-			case <-stopped:
-				return
+			case <-stop:
+				return true
 			case tup := <-tk.in:
-				tk.executed.Add(1)
-				tk.bolt.Execute(tup)
+				tk.execute(tup)
 			}
+		}
+	}
+}
+
+// execute tracks the in-flight tuple across Execute so a panic can fail
+// exactly the tuple being processed. inflight is cleared by recycle (same
+// goroutine) the moment the bolt acks or fails the tuple itself.
+func (tk *task) execute(tup *Tuple) {
+	tk.executed.Add(1)
+	tk.inflight = tup
+	tk.bolt.Execute(tup)
+	tk.inflight = nil
+}
+
+// failInflight fails the tuple the bolt was executing when it panicked,
+// unless the bolt already acked/failed it before the panic (recycle clears
+// inflight in that case, so a pooled-and-reused tuple is never touched).
+func (tk *task) failInflight() {
+	t := tk.inflight
+	tk.inflight = nil
+	if t == nil || t.done {
+		return
+	}
+	(&taskCollector{task: tk}).Fail(t)
+}
+
+// drainDead keeps a dead task's input queue moving: every tuple is failed
+// on arrival so its tree replays (to be re-routed through surviving tasks
+// where the grouping allows) and upstream deliver calls never block.
+func (tk *task) drainDead() {
+	col := &taskCollector{task: tk}
+	stop := tk.comp.top.stopped
+	for {
+		select {
+		case <-stop:
+			return
+		case tup := <-tk.in:
+			col.Fail(tup)
 		}
 	}
 }
@@ -548,12 +731,17 @@ func (c *taskCollector) Fail(t *Tuple) {
 	c.recycle(t)
 }
 
-// recycle returns an input tuple to the pool exactly once.
+// recycle returns an input tuple to the pool exactly once. It also clears
+// the task's in-flight marker (same goroutine) so the supervisor never
+// fails a tuple the bolt already settled before panicking.
 func (c *taskCollector) recycle(t *Tuple) {
 	if t.done {
 		return
 	}
 	t.done = true
+	if c.task.inflight == t {
+		c.task.inflight = nil
+	}
 	recycleTuple(t)
 }
 

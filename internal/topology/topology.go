@@ -87,6 +87,12 @@ type Spout interface {
 // BoltContext is handed to a bolt at prepare time.
 type BoltContext struct {
 	TaskID int
+	// Incarnation counts supervisor restarts of this task: 0 for the
+	// original instance, 1 for the first replacement, and so on. Bolts
+	// that stamp outgoing data with an identity should include it so
+	// downstream consumers can tell a restarted instance's fresh state
+	// (e.g. reset sequence counters) from stale duplicates.
+	Incarnation int
 }
 
 // Collector lets a bolt emit and acknowledge tuples.
@@ -300,6 +306,17 @@ type Config struct {
 	// MaxSpoutPending throttles each spout task to this many incomplete
 	// root tuples (0 = unlimited). Only meaningful with acking.
 	MaxSpoutPending int
+	// MaxTaskRestarts bounds how many times the supervisor replaces a
+	// panicking task with a fresh component instance before marking the
+	// task dead. Zero selects 3; negative disables restarts entirely
+	// (first panic kills the task).
+	MaxTaskRestarts int
+	// OnTaskRestart, when set, is invoked on its own goroutine each time
+	// the supervisor has restarted a crashed task with a fresh instance.
+	// The hook is the integration point for state recovery: a restarted
+	// matching bolt has lost its query set, and whoever owns that state
+	// can use this callback to re-broadcast it.
+	OnTaskRestart func(component string, taskID int)
 }
 
 // Build validates the definition and instantiates a runnable topology.
@@ -315,6 +332,11 @@ func (b *Builder) Build(cfg Config) (*Topology, error) {
 	}
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 30 * time.Second
+	}
+	if cfg.MaxTaskRestarts == 0 {
+		cfg.MaxTaskRestarts = 3
+	} else if cfg.MaxTaskRestarts < 0 {
+		cfg.MaxTaskRestarts = 0
 	}
 	hasSpout := false
 	for _, id := range b.order {

@@ -78,6 +78,10 @@ const (
 	EventChangeIndex = appserver.EventChangeIndex
 	EventRemove      = appserver.EventRemove
 	EventError       = appserver.EventError
+	// EventDisconnected and EventReconnected bracket a cluster heartbeat
+	// outage: subscriptions survive it and are re-subscribed automatically.
+	EventDisconnected = appserver.EventDisconnected
+	EventReconnected  = appserver.EventReconnected
 )
 
 // Subscription is an active real-time query subscription.
