@@ -104,8 +104,14 @@ type Subscription struct {
 
 // originState tracks the notification sequence stream of one emitting node
 // instance (Notification.Origin) so redelivered notifications can be
-// suppressed. Origins embed the task incarnation, so a restarted node's
-// reset counter opens a fresh stream instead of colliding with this one.
+// suppressed. Origins embed the task incarnation, so a same-cluster restart
+// opens a fresh stream instead of colliding with this one. Origins are NOT
+// unique across activations, however: a replacement cluster's tasks start
+// over at incarnation 0, and a query whose node state TTL-expired is
+// recreated with a reset seq counter under the same origin string. That is
+// why installLocked discards all origin state on every bootstrap — the
+// bootstrap supersedes every prior delivery, so stale seq history must not
+// gate the new stream.
 type originState struct {
 	last   uint64              // highest sequence number seen
 	recent map[uint64]struct{} // seq numbers seen near last (pruned)
@@ -179,10 +185,20 @@ func (sub *Subscription) installInitial(entries []core.ResultEntry) {
 // installLocked replaces the maintained state with a bootstrap result and
 // returns the visible documents. Bootstrap versions are folded into the
 // per-key version memory (never regressing it), so notifications older than
-// the bootstrap stay suppressed. Callers hold sub.mu.
+// the bootstrap stay suppressed. Per-origin seq dedup state is discarded:
+// the bootstrap supersedes every prior delivery, and a re-subscription that
+// is a fresh activation (replacement cluster, TTL-expired node state)
+// restarts the same Origin's seq counter at zero — keeping the old history
+// would silently drop the entire new stream. For unsorted queries a
+// bootstrap row older than an already-applied notification does not regress
+// the maintained document: the newer applied state wins (the cluster's
+// retention replay of that newer image is dropped by staleLocked, so
+// installing the older row would stick). Callers hold sub.mu.
 func (sub *Subscription) installLocked(entries []core.ResultEntry) []document.Document {
+	prev := sub.docs
 	sub.docs = map[string]document.Document{}
 	sub.order = nil
+	sub.seen = nil
 	if sub.vers == nil {
 		sub.vers = map[string]uint64{}
 	}
@@ -205,6 +221,16 @@ func (sub *Subscription) installLocked(entries []core.ResultEntry) []document.Do
 	}
 	docs := make([]document.Document, 0, len(visible))
 	for _, e := range visible {
+		if !sub.ordered && sub.vers[e.Key] > e.Version {
+			// A newer notification for this key was applied after the
+			// bootstrap query ran. Keep its outcome: the maintained document
+			// if the key survived, nothing if it was removed.
+			if d, ok := prev[e.Key]; ok {
+				sub.docs[e.Key] = d
+				docs = append(docs, d)
+			}
+			continue
+		}
 		d := sub.q.Project(e.Doc)
 		sub.docs[e.Key] = d
 		if sub.ordered {

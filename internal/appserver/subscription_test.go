@@ -110,6 +110,93 @@ func TestApplyAfterCloseIsNoop(t *testing.T) {
 	sub.push(Event{Type: EventAdd})                                        // must not panic
 }
 
+// TestResetClearsOriginDedupState covers the fresh-activation failover path:
+// a replacement cluster (or a query whose node state TTL-expired during the
+// outage) reuses the same Origin string with its seq counter restarted at
+// zero. The bootstrap installed by reset supersedes all prior deliveries, so
+// the stale seq history must not gate the new stream.
+func TestResetClearsOriginDedupState(t *testing.T) {
+	sub := newDetachedSub(t, sortedSpec(), 64)
+	sub.installInitial(nil)
+	drain(sub)
+
+	// Pre-outage stream from matching-node origin "m3.0", seq up to 7.
+	n := notif(core.MatchAdd, "a", 0, document.Document{"_id": "a", "n": int64(1)})
+	n.Origin, n.Seq = "m3.0", 7
+	sub.apply(n)
+	if got := ids(sub.Result()); got != "a" {
+		t.Fatalf("pre-outage add not applied: %s", got)
+	}
+
+	// Outage; re-subscription is a fresh activation. The new bootstrap
+	// carries "a"; the recreated node then emits under the SAME origin with
+	// seq restarted at 1.
+	sub.reset([]core.ResultEntry{
+		{Key: "a", Version: 1, Doc: document.Document{"_id": "a", "n": int64(1)}},
+	})
+	n = notif(core.MatchAdd, "b", 1, document.Document{"_id": "b", "n": int64(2)})
+	n.Origin, n.Seq = "m3.0", 1
+	sub.apply(n)
+	if got := ids(sub.Result()); got != "a,b" {
+		t.Fatalf("post-reset stream dropped by stale seq history: %s", got)
+	}
+
+	// An exact duplicate within the new stream is still suppressed.
+	dup := notif(core.MatchAdd, "b", 0, document.Document{"_id": "b", "n": int64(2)})
+	dup.Origin, dup.Seq = "m3.0", 1
+	sub.apply(dup)
+	if got := ids(sub.Result()); got != "a,b" {
+		t.Fatalf("duplicate in new stream applied: %s", got)
+	}
+}
+
+// TestResetPrefersNewerAppliedDoc covers the re-subscription race: a
+// notification applied between the bootstrap query and reset() is newer than
+// the bootstrap row, and the cluster's retention replay of it will be dropped
+// as stale — so reset must keep the applied state, not regress to the
+// bootstrap's.
+func TestResetPrefersNewerAppliedDoc(t *testing.T) {
+	sub := newDetachedSub(t, query.Spec{Collection: "c"}, 64)
+	sub.installInitial([]core.ResultEntry{
+		{Key: "a", Version: 1, Doc: document.Document{"_id": "a", "v": int64(1)}},
+		{Key: "b", Version: 1, Doc: document.Document{"_id": "b"}},
+	})
+	drain(sub)
+
+	// Applied after the re-subscription bootstrap ran: a newer image of "a"
+	// and a removal of "b".
+	ch := notif(core.MatchChange, "a", -1, document.Document{"_id": "a", "v": int64(9)})
+	ch.Version = 5
+	sub.apply(ch)
+	rm := notif(core.MatchRemove, "b", -1, nil)
+	rm.Version = 4
+	sub.apply(rm)
+
+	// The bootstrap predates both notifications.
+	sub.reset([]core.ResultEntry{
+		{Key: "a", Version: 1, Doc: document.Document{"_id": "a", "v": int64(1)}},
+		{Key: "b", Version: 1, Doc: document.Document{"_id": "b"}},
+	})
+	res := sub.Result()
+	if got := ids(res); got != "a" {
+		t.Fatalf("reset resurrected a removed doc or lost one: %s", got)
+	}
+	if res[0]["v"] != int64(9) {
+		t.Fatalf("reset regressed doc to bootstrap image: %v", res[0])
+	}
+}
+
+// drain discards all buffered events.
+func drain(sub *Subscription) {
+	for {
+		select {
+		case <-sub.C():
+		default:
+			return
+		}
+	}
+}
+
 func TestInstallInitialAppliesWindowToSortedQuery(t *testing.T) {
 	spec := query.Spec{Collection: "c", Sort: []query.SortKey{{Path: "n"}}, Offset: 1, Limit: 2}
 	sub := newDetachedSub(t, spec, 16)

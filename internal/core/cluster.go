@@ -150,6 +150,15 @@ type Cluster struct {
 	regMu    sync.Mutex
 	registry map[uint64]map[string]*regEntry // query hash -> sid -> entry
 
+	// pendingResync holds resync requests for recovering stateful tasks that
+	// no query-ingest node has processed yet. The heartbeat loop re-publishes
+	// them every interval, so a resync lost to an event-layer fault (drop,
+	// partition) — exactly the conditions the chaos suite injects — is
+	// retried until it lands instead of leaving the restarted cell with an
+	// empty query set forever.
+	resyncMu      sync.Mutex
+	pendingResync map[string]*ResyncRequest // "component/task" -> request
+
 	stopHB  chan struct{}
 	hbWG    sync.WaitGroup
 	started bool
@@ -164,12 +173,13 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 	}
 	opts = opts.withDefaults()
 	c := &Cluster{
-		opts:     opts,
-		topics:   NewTopics(opts.Namespace),
-		bus:      bus,
-		tenants:  map[string]struct{}{},
-		registry: map[uint64]map[string]*regEntry{},
-		stopHB:   make(chan struct{}),
+		opts:          opts,
+		topics:        NewTopics(opts.Namespace),
+		bus:           bus,
+		tenants:       map[string]struct{}{},
+		registry:      map[uint64]map[string]*regEntry{},
+		pendingResync: map[string]*ResyncRequest{},
+		stopHB:        make(chan struct{}),
 	}
 
 	qp, wp := opts.QueryPartitions, opts.WritePartitions
@@ -307,6 +317,8 @@ func (c *Cluster) heartbeatLoop() {
 		case <-c.stopHB:
 			return
 		case now := <-ticker.C:
+			c.pruneRegistry(now)
+			c.retryResyncs()
 			c.tenantMu.RLock()
 			tenants := make([]string, 0, len(c.tenants))
 			for t := range c.tenants {
@@ -382,6 +394,26 @@ func (c *Cluster) extendSubscription(hash uint64, sid string, ttl time.Duration)
 	c.regMu.Unlock()
 }
 
+// pruneRegistry drops registry entries whose TTL deadline has passed. It
+// runs on every heartbeat tick so subscriptions abandoned without a Cancel
+// (clients that simply vanish) do not accumulate — each entry retains its
+// full bootstrap Result slice, so lazy pruning only on resync would leak
+// unbounded memory in a long-running cluster.
+func (c *Cluster) pruneRegistry(now time.Time) {
+	c.regMu.Lock()
+	for hash, sids := range c.registry {
+		for sid, e := range sids {
+			if now.After(e.deadline) {
+				delete(sids, sid)
+			}
+		}
+		if len(sids) == 0 {
+			delete(c.registry, hash)
+		}
+	}
+	c.regMu.Unlock()
+}
+
 // snapshotSubscriptions returns all live registry entries, lazily pruning
 // expired ones (their matching-node state expires on ticks anyway).
 func (c *Cluster) snapshotSubscriptions() []*regEntry {
@@ -409,7 +441,11 @@ func (c *Cluster) snapshotSubscriptions() []*regEntry {
 // therefore empty — instance, a resync request is published on the queries
 // topic. It flows through the regular ingest path, so whichever ingest
 // node receives it re-broadcasts the registry's subscriptions to the
-// recovering cell in order with other control traffic.
+// recovering cell in order with other control traffic. The request is also
+// recorded as pending and re-published on every heartbeat tick until an
+// ingest node processes it (resyncHandled): a single fire-and-forget
+// publish could be eaten by the very faults the recovery exists to survive,
+// leaving the cell with an empty query set indefinitely.
 func (c *Cluster) onTaskRestart(component string, taskID int) {
 	stateful := component == "match" || component == "sort"
 	for _, st := range c.opts.ExtraStages {
@@ -420,12 +456,47 @@ func (c *Cluster) onTaskRestart(component string, taskID int) {
 	if !stateful {
 		return // ingestion stages and spouts hold no query state
 	}
-	env := &Envelope{Kind: KindResync, Resync: &ResyncRequest{Component: component, TaskID: taskID}}
+	r := &ResyncRequest{Component: component, TaskID: taskID}
+	c.resyncMu.Lock()
+	c.pendingResync[resyncKey(component, taskID)] = r
+	c.resyncMu.Unlock()
+	c.publishResync(r)
+}
+
+func resyncKey(component string, taskID int) string {
+	return fmt.Sprintf("%s/%d", component, taskID)
+}
+
+func (c *Cluster) publishResync(r *ResyncRequest) {
+	env := &Envelope{Kind: KindResync, Resync: r}
 	data, err := env.Encode()
 	if err != nil {
 		return
 	}
 	_ = c.bus.Publish(c.topics.Queries(), data)
+}
+
+// retryResyncs re-publishes every resync request not yet seen by an ingest
+// node. Duplicates are harmless: healthy owners treat the repeated
+// subscribes as idempotent renewals.
+func (c *Cluster) retryResyncs() {
+	c.resyncMu.Lock()
+	pending := make([]*ResyncRequest, 0, len(c.pendingResync))
+	for _, r := range c.pendingResync {
+		pending = append(pending, r)
+	}
+	c.resyncMu.Unlock()
+	for _, r := range pending {
+		c.publishResync(r)
+	}
+}
+
+// resyncHandled marks a recovering task's resync as delivered; called by
+// query ingestion when it processes the request.
+func (c *Cluster) resyncHandled(component string, taskID int) {
+	c.resyncMu.Lock()
+	delete(c.pendingResync, resyncKey(component, taskID))
+	c.resyncMu.Unlock()
 }
 
 // gridCell converts a match task id into its (query partition, write

@@ -266,6 +266,7 @@ func (b *queryIngestBolt) fanToRow(t *topology.Tuple, kind string, hash uint64, 
 // bootstrap stream, where fields grouping routes every query to its owner
 // task — healthy owners treat the repeat subscribe as idempotent.
 func (b *queryIngestBolt) handleResync(t *topology.Tuple, r *ResyncRequest) {
+	b.c.resyncHandled(r.Component, r.TaskID)
 	entries := b.c.snapshotSubscriptions()
 	if r.Component == "match" {
 		qp, wp := b.c.gridCell(r.TaskID)

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,8 +62,17 @@ type task struct {
 	restarts    atomic.Uint64
 	panics      atomic.Uint64
 	dead        atomic.Bool
+	lastPanic   atomic.Value  // string: last recovered panic value + stack
 	haltedCh    chan struct{} // closed when a spout task stops for good
 	haltOnce    sync.Once
+}
+
+// recordPanic preserves a recovered panic's value and stack so the
+// supervisor never hides why a task crashed: the reason is exposed through
+// TaskStats.LastPanic even after the task is replaced or marked dead.
+func (tk *task) recordPanic(r any) {
+	tk.lastPanic.Store(fmt.Sprintf("%s[%d]: panic: %v\n%s",
+		tk.comp.def.id, tk.id, r, debug.Stack()))
 }
 
 // markHalted records that this spout task will never drain completions
@@ -239,10 +249,14 @@ type TaskStats struct {
 	// Restarts counts supervisor replacements of this task's component
 	// instance; Panics counts recovered panics (Panics can exceed
 	// Restarts by one when the task died). Dead reports that the task
-	// exhausted its restart budget and now fails all input.
-	Restarts uint64
-	Panics   uint64
-	Dead     bool
+	// exhausted its restart budget and now fails all input. LastPanic
+	// carries the most recent recovered panic's value and stack trace
+	// ("" when the task never panicked), so a restarted or dead task
+	// leaves a diagnosable trail instead of a bare counter.
+	Restarts  uint64
+	Panics    uint64
+	Dead      bool
+	LastPanic string
 }
 
 // Stats snapshots all task counters.
@@ -261,6 +275,9 @@ func (t *Topology) Stats() []TaskStats {
 				Restarts:  tk.restarts.Load(),
 				Panics:    tk.panics.Load(),
 				Dead:      tk.dead.Load(),
+			}
+			if lp, ok := tk.lastPanic.Load().(string); ok {
+				s.LastPanic = lp
 			}
 			if tk.in != nil {
 				s.QueueLen = len(tk.in)
@@ -318,6 +335,7 @@ func (tk *task) spoutLoop(wg *sync.WaitGroup) {
 func (tk *task) runSpout() (stopped bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			tk.recordPanic(r)
 			stopped = false
 		}
 	}()
@@ -485,6 +503,7 @@ func (tk *task) boltLoop(wg *sync.WaitGroup) {
 func (tk *task) runBolt() (stopped bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			tk.recordPanic(r)
 			stopped = false
 		}
 	}()

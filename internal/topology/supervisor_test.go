@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -97,6 +98,12 @@ func TestSupervisorRestartsPanickingBolt(t *testing.T) {
 	s := findStats(t, top, "sink", 0)
 	if s.Restarts != 1 || s.Panics != 1 || s.Dead {
 		t.Fatalf("stats = %+v, want Restarts=1 Panics=1 Dead=false", s)
+	}
+	if !strings.Contains(s.LastPanic, "injected bolt crash") {
+		t.Fatalf("LastPanic = %q, want the recovered panic value", s.LastPanic)
+	}
+	if !strings.Contains(s.LastPanic, "goroutine") {
+		t.Fatalf("LastPanic = %q, want a stack trace", s.LastPanic)
 	}
 	shared.mu.Lock()
 	instances, incs := shared.instances, append([]int(nil), shared.incs...)
