@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench-smoke chaos check
+.PHONY: all build vet staticcheck test race bench-smoke chaos obs-smoke check
 
 all: check
 
@@ -33,5 +33,21 @@ chaos:
 # Allocation smoke: the routing hot path must stay at 0 allocs/op.
 bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
+
+# Observability smoke: boot a broker + cluster with -obs-addr and assert
+# /metrics and /healthz answer with real content.
+obs-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$broker $$server 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp ./cmd/eventlayerd ./cmd/invalidb-server; \
+	$$tmp/eventlayerd -addr 127.0.0.1:7597 -stats 0 & broker=$$!; \
+	sleep 0.3; \
+	$$tmp/invalidb-server -broker 127.0.0.1:7597 -qp 2 -wp 2 -obs-addr 127.0.0.1:7599 -stats 0 & server=$$!; \
+	sleep 0.5; \
+	metrics=$$(curl -sf http://127.0.0.1:7599/metrics); \
+	echo "$$metrics" | grep -q '"cluster.queries"' || { echo "obs-smoke: /metrics missing cluster gauges"; exit 1; }; \
+	curl -sf http://127.0.0.1:7599/healthz | grep -q ok || { echo "obs-smoke: /healthz not ok"; exit 1; }; \
+	curl -sf 'http://127.0.0.1:7599/metrics?format=text' | grep -q 'topology\.' || { echo "obs-smoke: text metrics missing topology stats"; exit 1; }; \
+	echo "obs-smoke: ok"
 
 check: vet staticcheck build race bench-smoke

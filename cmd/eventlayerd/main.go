@@ -17,25 +17,39 @@ import (
 	"time"
 
 	"invalidb/internal/eventlayer/tcp"
+	"invalidb/internal/metrics"
+	"invalidb/internal/obs"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7587", "listen address")
-		stats = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+		addr    = flag.String("addr", "127.0.0.1:7587", "listen address")
+		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables)")
+		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	)
 	flag.Parse()
 
-	srv, err := tcp.Serve(*addr, tcp.ServerOptions{
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	srv, err := tcp.Serve(*addr, tcp.ServerOptions{Logf: logf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eventlayerd:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("eventlayerd: listening on %s\n", srv.Addr())
+
+	if *obsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.RegisterMetrics(reg)
+		o, err := obs.Serve(*obsAddr, obs.Options{Registry: reg, Logf: logf})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eventlayerd:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("eventlayerd: observability on http://%s\n", o.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 	"invalidb/internal/appserver"
 	"invalidb/internal/eventlayer/tcp"
 	"invalidb/internal/gateway"
+	"invalidb/internal/obs"
 	"invalidb/internal/storage"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		tenant  = flag.String("tenant", "default", "tenant id within the multi-tenant cluster")
 		ns      = flag.String("namespace", "invalidb", "event-layer topic namespace")
 		journal = flag.String("journal", "", "write-ahead log path (empty = volatile database)")
+		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables)")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	)
 	flag.Parse()
@@ -66,6 +68,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("invalidb-appserver: tenant %q on broker %s, gateway %s\n", *tenant, *broker, gw.Addr())
+
+	if *obsAddr != "" {
+		reg := srv.Metrics()
+		db.RegisterMetrics(reg)
+		o, err := obs.Serve(*obsAddr, obs.Options{
+			Registry: reg,
+			// Healthy while cluster heartbeats are arriving; during an
+			// outage the appserver still serves reads but real-time
+			// queries are frozen, which a load balancer should see.
+			Healthy: srv.Connected,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer o.Close()
+		fmt.Printf("invalidb-appserver: observability on http://%s\n", o.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

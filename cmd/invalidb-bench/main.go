@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|table2|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|all")
 		capacity   = flag.Int("capacity", 50_000, "matching-node budget in match-ops/s (paper testbed: ~1.6M)")
 		measure    = flag.Duration("measure", time.Second, "measurement phase per point (paper: 1m)")
 		warmup     = flag.Duration("warmup", 300*time.Millisecond, "warmup phase per point")
@@ -131,6 +131,23 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(experiments.RenderBaselines(results))
+		case "breakdown":
+			// Moderate load on the largest swept cluster so the stages are
+			// measured away from saturation.
+			size := parts[len(parts)-1]
+			c := cfg.Defaults()
+			inv, err := experiments.RunClusterPoint(cfg, size, size, experiments.FixedQueries, c.NodeCapacity/(2*experiments.FixedQueries)*size)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderBreakdown(
+				"Stage breakdown — standalone InvaliDB (ingest / grid / bus)", inv))
+			qst, err := experiments.RunQuaestorPoint(cfg, size, size, experiments.FixedQueries, c.NodeCapacity/(2*experiments.FixedQueries)*size)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderBreakdown(
+				"Stage breakdown — through Quaestor appserver (ingest / grid / bus / appserver)", qst))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -138,7 +155,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table2", "fig4", "fig5", "table3a", "table3b", "fig6a", "fig6b", "fig6c", "fig6d", "baselines"} {
+		for _, name := range []string{"table2", "fig4", "fig5", "table3a", "table3b", "fig6a", "fig6b", "fig6c", "fig6d", "baselines", "breakdown"} {
 			run(name)
 		}
 		return

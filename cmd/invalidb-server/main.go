@@ -20,6 +20,7 @@ import (
 
 	"invalidb/internal/core"
 	"invalidb/internal/eventlayer/tcp"
+	"invalidb/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		wp       = flag.Int("wp", 1, "write partitions")
 		capacity = flag.Int("capacity", 0, "per-node match-ops/s budget (0 = unthrottled)")
 		ns       = flag.String("namespace", "invalidb", "event-layer topic namespace")
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	)
 	flag.Parse()
@@ -51,6 +53,30 @@ func main() {
 	}
 	fmt.Printf("invalidb-server: %dx%d matching grid on broker %s (namespace %s)\n",
 		*qp, *wp, *broker, *ns)
+
+	if *obsAddr != "" {
+		o, err := obs.Serve(*obsAddr, obs.Options{
+			Registry: cluster.Metrics(),
+			// Healthy while no topology task is dead (the supervisor
+			// restarts panicking tasks; a dead task exhausted its budget).
+			Healthy: func() bool {
+				for _, s := range cluster.Stats() {
+					if s.Dead {
+						return false
+					}
+				}
+				return true
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer o.Close()
+		fmt.Printf("invalidb-server: observability on http://%s\n", o.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

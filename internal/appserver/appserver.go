@@ -17,6 +17,7 @@ import (
 	"invalidb/internal/core"
 	"invalidb/internal/document"
 	"invalidb/internal/eventlayer"
+	"invalidb/internal/metrics"
 	"invalidb/internal/query"
 	"invalidb/internal/storage"
 )
@@ -58,6 +59,10 @@ type Options struct {
 	// server topped out near 6 000 ops/s regardless of cluster capacity
 	// (§7.3, Figure 6b).
 	WriteCapacity int
+	// Metrics receives the server's counters, gauges, and the per-stage
+	// latency recorders fed by notification stage timestamps. Nil creates
+	// a private registry; read it back via Server.Metrics.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +124,15 @@ type Server struct {
 	renewalsCtr atomic.Uint64
 	reconnects  atomic.Uint64
 	resubBusy   atomic.Bool
+
+	// metrics instruments this server; hot-path counters are resolved once
+	// here so the per-event cost is one atomic add.
+	metrics     *metrics.Registry
+	mWrites     *metrics.Int // after-images forwarded to the cluster
+	mNotifs     *metrics.Int // notifications dispatched to subscriptions
+	mDedupDrops *metrics.Int // notifications dropped by seq/version dedup
+	mEventDrops *metrics.Int // events dropped on slow subscription consumers
+	mResubs     *metrics.Int // re-subscriptions published (failover recovery)
 }
 
 // New creates an application server over a database and the cluster's event
@@ -128,19 +142,42 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("appserver: nil database or event layer")
 	}
 	opts = opts.withDefaults()
-	s := &Server{
-		db:         db,
-		bus:        bus,
-		opts:       opts,
-		topics:     core.NewTopics(opts.Namespace),
-		subsByID:   map[string]*Subscription{},
-		subsByHash: map[uint64]map[string]*Subscription{},
-		renewals:   map[uint64]time.Time{},
-		lastHB:     time.Now(),
-		connected:  true,
-		done:       make(chan struct{}),
-		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
+	s := &Server{
+		db:          db,
+		bus:         bus,
+		opts:        opts,
+		topics:      core.NewTopics(opts.Namespace),
+		subsByID:    map[string]*Subscription{},
+		subsByHash:  map[uint64]map[string]*Subscription{},
+		renewals:    map[uint64]time.Time{},
+		lastHB:      time.Now(),
+		connected:   true,
+		done:        make(chan struct{}),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		metrics:     reg,
+		mWrites:     reg.Counter("appserver.writes"),
+		mNotifs:     reg.Counter("appserver.notifications"),
+		mDedupDrops: reg.Counter("appserver.dedup_drops"),
+		mEventDrops: reg.Counter("appserver.event_drops"),
+		mResubs:     reg.Counter("appserver.resubscribes"),
+	}
+	reg.Gauge("appserver.subscriptions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.subsByID))
+	})
+	reg.Gauge("appserver.connected", func() float64 {
+		if s.Connected() {
+			return 1
+		}
+		return 0
+	})
+	reg.Gauge("appserver.renewals", func() float64 { return float64(s.renewalsCtr.Load()) })
+	reg.Gauge("appserver.reconnects", func() float64 { return float64(s.reconnects.Load()) })
 	if opts.WriteCapacity > 0 {
 		s.writeBucket = newTokenBucket(float64(opts.WriteCapacity))
 	}
@@ -196,11 +233,13 @@ func (s *Server) forward(ai *document.AfterImage) error {
 	env := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{
 		Tenant: s.opts.Tenant,
 		Image:  ai,
+		SentNs: time.Now().UnixNano(),
 	}}
 	data, err := env.Encode()
 	if err != nil {
 		return err
 	}
+	s.mWrites.Inc()
 	return s.bus.Publish(s.topics.Writes(), data)
 }
 
@@ -420,6 +459,7 @@ func (s *Server) notifLoop() {
 }
 
 func (s *Server) dispatch(n *core.Notification) {
+	recvNs := time.Now().UnixNano()
 	hash, ok := core.ParseQueryID(n.QueryID)
 	if !ok {
 		return
@@ -439,9 +479,13 @@ func (s *Server) dispatch(n *core.Notification) {
 		s.renew(hash, subs[0])
 		return
 	}
+	s.mNotifs.Inc()
 	for _, sub := range subs {
 		sub.apply(n)
 	}
+	// Close the trace: each stage is the gap between adjacent stamps, with
+	// this server contributing the receive→delivery tail.
+	s.metrics.RecordStages(n.WriteNs, n.IngestNs, n.MatchNs, recvNs, time.Now().UnixNano())
 }
 
 // renew re-executes the rewritten query and re-subscribes, subject to the
@@ -582,6 +626,7 @@ func (s *Server) resubscribeAll() {
 			sub.fail(fmt.Errorf("appserver: re-subscription failed: %w", err))
 			continue
 		}
+		s.mResubs.Inc()
 		sub.reset(entries)
 	}
 }
@@ -613,3 +658,8 @@ func (s *Server) Connected() bool {
 	defer s.hbMu.Unlock()
 	return s.connected
 }
+
+// Metrics returns the server's registry (the Options.Metrics instance,
+// or the private one created in its absence). Its stage recorders hold
+// the per-stage latency breakdown of every notification delivered.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }

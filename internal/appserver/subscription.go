@@ -266,6 +266,7 @@ func (sub *Subscription) apply(n *core.Notification) {
 	}
 	if !sub.freshLocked(n.Origin, n.Seq) || sub.staleLocked(n.Key, n.Version) {
 		sub.mu.Unlock()
+		sub.server.mDedupDrops.Inc()
 		return
 	}
 	ev := Event{Key: n.Key, Doc: n.Doc, Index: n.Index}
@@ -408,11 +409,13 @@ func (sub *Subscription) push(ev Event) {
 	select {
 	case <-sub.events:
 		sub.dropped.Add(1)
+		sub.server.mEventDrops.Inc()
 	default:
 	}
 	select {
 	case sub.events <- ev:
 	default:
 		sub.dropped.Add(1)
+		sub.server.mEventDrops.Inc()
 	}
 }

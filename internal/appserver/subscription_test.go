@@ -6,6 +6,7 @@ import (
 
 	"invalidb/internal/core"
 	"invalidb/internal/document"
+	"invalidb/internal/metrics"
 	"invalidb/internal/query"
 )
 
@@ -17,7 +18,13 @@ func newDetachedSub(t *testing.T, spec query.Spec, buffer int) *Subscription {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := metrics.NewRegistry()
 	return &Subscription{
+		server: &Server{
+			metrics:     reg,
+			mDedupDrops: reg.Counter("appserver.dedup_drops"),
+			mEventDrops: reg.Counter("appserver.event_drops"),
+		},
 		id:      "unit",
 		q:       q,
 		ordered: q.Ordered(),

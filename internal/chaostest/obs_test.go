@@ -1,0 +1,106 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/metrics"
+	"invalidb/internal/obs"
+	"invalidb/internal/query"
+)
+
+// TestChaosMetricsObservability drives a faulty deployment and checks that
+// the observability layer sees it: the appserver registry (with the fault
+// bus registered into it) and the cluster registry report non-zero pipeline
+// counters, the per-stage breakdown carries samples, and the same numbers
+// are reachable over the /metrics HTTP endpoint.
+func TestChaosMetricsObservability(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newChaosEnv(t,
+		eventlayer.FaultConfig{Seed: 23, DuplicateRate: 0.3},
+		core.Options{}, appserver.Options{Metrics: reg})
+	e.fbus.RegisterMetrics(reg)
+
+	o, err := obs.Serve("", obs.Options{Registry: reg, Healthy: e.server.Connected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	spec := query.Spec{Collection: "c", Filter: map[string]any{"v": map[string]any{"$gte": 0}}}
+	sub, rec := mustSubscribe(t, e, spec)
+	defer sub.Close()
+	for i := 0; i < 20; i++ {
+		if err := e.server.Insert("c", document.Document{"_id": fmt.Sprintf("k%02d", i), "v": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, e, sub, spec, 10*time.Second)
+	_ = rec
+
+	// Duplicated deliveries must be visible both as fault-bus activity and
+	// as client-side dedup drops.
+	snap := reg.Snapshot()
+	for _, name := range []string{"appserver.writes", "appserver.notifications"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0, want > 0", name)
+		}
+	}
+	if snap.Counters["appserver.dedup_drops"] == 0 {
+		t.Error("appserver.dedup_drops = 0 under DuplicateRate 0.3, want > 0")
+	}
+	if snap.Gauges["faultbus.published"] == 0 || snap.Gauges["faultbus.duplicated"] == 0 {
+		t.Errorf("fault-bus gauges empty: %+v", snap.Gauges)
+	}
+
+	// The cluster keeps its own registry: matching-side counters.
+	csnap := e.cluster.Metrics().Snapshot()
+	for _, name := range []string{"cluster.writes_ingested", "cluster.writes_matched", "cluster.notifications", "cluster.subscribes"} {
+		if csnap.Counters[name] == 0 {
+			t.Errorf("cluster counter %s = 0, want > 0", name)
+		}
+	}
+
+	// Stage tracing: appserver-side dispatch records all four stages.
+	bd := reg.Breakdown()
+	if bd.Ingest.Count == 0 || bd.Grid.Count == 0 || bd.Bus.Count == 0 || bd.Appserver.Count == 0 {
+		t.Errorf("stage breakdown missing samples: %s", bd.String())
+	}
+
+	// The same registry over HTTP.
+	resp, err := http.Get("http://" + o.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	var httpSnap metrics.RegistrySnapshot
+	if err := json.Unmarshal(body, &httpSnap); err != nil {
+		t.Fatalf("/metrics body not JSON: %v", err)
+	}
+	if httpSnap.Counters["appserver.writes"] == 0 {
+		t.Error("/metrics reports appserver.writes = 0, want > 0")
+	}
+	if httpSnap.Latencies[metrics.StageAppserver].Count == 0 {
+		t.Error("/metrics reports no appserver stage samples")
+	}
+	resp, err = http.Get("http://" + o.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status = %d (server connected)", resp.StatusCode)
+	}
+}

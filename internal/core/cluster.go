@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"invalidb/internal/eventlayer"
+	"invalidb/internal/metrics"
 	"invalidb/internal/query"
 	"invalidb/internal/topology"
 )
@@ -80,6 +81,11 @@ type Options struct {
 	// filtering stage's per-query deltas and subscription bootstraps,
 	// partitioned by query. See NewAggregationStage for a complete example.
 	ExtraStages []Stage
+	// Metrics receives the cluster's counters, gauges, and topology stats.
+	// Nil creates a private registry (counters stay live either way, so
+	// the instrumented path is always the one benchmarks measure); read it
+	// back via Cluster.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Stage declares one extension processing stage.
@@ -163,6 +169,14 @@ type Cluster struct {
 	hbWG    sync.WaitGroup
 	started bool
 	mu      sync.Mutex
+
+	// metrics instruments the pipeline. The hot-path counters below are
+	// resolved once at construction so per-event cost is one atomic add.
+	metrics   *metrics.Registry
+	mWrites   *metrics.Int // after-images ingested into the grid
+	mMatched  *metrics.Int // result changes produced by matching nodes
+	mNotifs   *metrics.Int // notifications published on tenant topics
+	mInstalls *metrics.Int // subscription installs processed by query ingest
 }
 
 // NewCluster assembles a cluster over the given event layer. Call Start to
@@ -172,6 +186,10 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("core: nil event layer")
 	}
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	c := &Cluster{
 		opts:          opts,
 		topics:        NewTopics(opts.Namespace),
@@ -180,6 +198,11 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 		registry:      map[uint64]map[string]*regEntry{},
 		pendingResync: map[string]*ResyncRequest{},
 		stopHB:        make(chan struct{}),
+		metrics:       reg,
+		mWrites:       reg.Counter("cluster.writes_ingested"),
+		mMatched:      reg.Counter("cluster.writes_matched"),
+		mNotifs:       reg.Counter("cluster.notifications"),
+		mInstalls:     reg.Counter("cluster.subscribes"),
 	}
 
 	qp, wp := opts.QueryPartitions, opts.WritePartitions
@@ -247,8 +270,37 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.top = top
+	top.RegisterMetrics(reg)
+	reg.Gauge("cluster.queries", func() float64 {
+		c.regMu.Lock()
+		defer c.regMu.Unlock()
+		return float64(len(c.registry))
+	})
+	reg.Gauge("cluster.subscriptions", func() float64 {
+		c.regMu.Lock()
+		defer c.regMu.Unlock()
+		n := 0
+		for _, sids := range c.registry {
+			n += len(sids)
+		}
+		return float64(n)
+	})
+	reg.Gauge("cluster.pending_resyncs", func() float64 {
+		c.resyncMu.Lock()
+		defer c.resyncMu.Unlock()
+		return float64(len(c.pendingResync))
+	})
+	reg.Gauge("cluster.tenants", func() float64 {
+		c.tenantMu.RLock()
+		defer c.tenantMu.RUnlock()
+		return float64(len(c.tenants))
+	})
 	return c, nil
 }
+
+// Metrics returns the cluster's registry (the Options.Metrics instance,
+// or the private one created in its absence).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
 // streamBootstrap carries subscription bootstraps (and cancellations) from
 // query ingestion to the sorting stage, partitioned by query key.
@@ -346,6 +398,7 @@ func (c *Cluster) publishNotification(n *Notification) {
 	if err != nil {
 		return
 	}
+	c.mNotifs.Inc()
 	_ = c.bus.Publish(c.topics.Notify(n.Tenant), data)
 }
 

@@ -222,6 +222,7 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 		ttl = b.c.opts.DefaultTTL
 	}
 	b.c.registerSubscription(req, q, hash, ttl)
+	b.c.mInstalls.Inc()
 	wp := b.c.opts.WritePartitions
 	qp := int(hash % uint64(b.c.opts.QueryPartitions))
 
@@ -363,7 +364,13 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 		return
 	}
 	b.c.registerTenant(env.Write.Tenant)
-	we := &WriteEvent{Tenant: env.Write.Tenant, Image: img}
+	b.c.mWrites.Inc()
+	we := &WriteEvent{
+		Tenant:   env.Write.Tenant,
+		Image:    img,
+		SentNs:   env.Write.SentNs,
+		IngestNs: time.Now().UnixNano(),
+	}
 	w := int(document.HashKey(img.Key) % uint64(b.c.opts.WritePartitions))
 	col := &b.cols[w]
 	col.events = append(col.events, we)

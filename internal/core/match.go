@@ -20,6 +20,11 @@ type deltaEvent struct {
 	Key     string
 	Version uint64
 	Doc     document.Document // nil for deletes
+	// Stage timestamps of the originating write (see Notification); zero
+	// for deltas not caused by a traced write.
+	WriteNs  int64
+	IngestNs int64
+	MatchNs  int64
 }
 
 // matchQuery is one registered query on one matching node: the node's write
@@ -296,16 +301,16 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 		if b.qindex != nil {
 			b.qindex.track(ck, mq)
 		}
-		b.emit(t, mq, MatchAdd, img.Key, img.Version, img.Doc)
+		b.emit(t, mq, we, MatchAdd, img.Key, img.Version, img.Doc)
 	case isMatch && wasTracked:
 		mq.tracked[img.Key] = img.Version
-		b.emit(t, mq, MatchChange, img.Key, img.Version, img.Doc)
+		b.emit(t, mq, we, MatchChange, img.Key, img.Version, img.Doc)
 	case !isMatch && wasTracked:
 		delete(mq.tracked, img.Key)
 		if b.qindex != nil {
 			b.qindex.untrack(ck, mq)
 		}
-		b.emit(t, mq, MatchRemove, img.Key, img.Version, img.Doc)
+		b.emit(t, mq, we, MatchRemove, img.Key, img.Version, img.Doc)
 	default:
 		// Irrelevant write: filtered out, nothing flows downstream (§5.2).
 	}
@@ -316,15 +321,23 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 // for queries with sort, limit or offset clauses. With extension stages
 // configured, deltas of every query flow downstream as well (SEDA: later
 // stages consume filtering-stage output, never raw after-images).
-func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, mt MatchType, key string, ver uint64, doc document.Document) {
+func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, we *WriteEvent, mt MatchType, key string, ver uint64, doc document.Document) {
+	b.c.mMatched.Inc()
+	// Matches are rare relative to writes evaluated, so a real time.Now()
+	// here (rather than the coarse tick clock) costs nothing measurable
+	// and gives the breakdown its matching-stage boundary.
+	matchNs := time.Now().UnixNano()
 	if mq.ordered || len(b.c.opts.ExtraStages) > 0 {
 		delta := &deltaEvent{
-			Tenant:  mq.tenant,
-			QueryID: QueryIDString(mq.hash),
-			Type:    mt,
-			Key:     key,
-			Version: ver,
-			Doc:     doc,
+			Tenant:   mq.tenant,
+			QueryID:  QueryIDString(mq.hash),
+			Type:     mt,
+			Key:      key,
+			Version:  ver,
+			Doc:      doc,
+			WriteNs:  we.SentNs,
+			IngestNs: we.IngestNs,
+			MatchNs:  matchNs,
 		}
 		b.out.Emit(t, topology.Values{kindDelta, delta.QueryID, delta})
 		if mq.ordered {
@@ -333,14 +346,17 @@ func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, mt MatchType, key st
 	}
 	mq.seq++
 	n := &Notification{
-		Tenant:  mq.tenant,
-		QueryID: QueryIDString(mq.hash),
-		Type:    mt,
-		Key:     key,
-		Version: ver,
-		Index:   -1,
-		Seq:     mq.seq,
-		Origin:  b.origin,
+		Tenant:   mq.tenant,
+		QueryID:  QueryIDString(mq.hash),
+		Type:     mt,
+		Key:      key,
+		Version:  ver,
+		Index:    -1,
+		Seq:      mq.seq,
+		Origin:   b.origin,
+		WriteNs:  we.SentNs,
+		IngestNs: we.IngestNs,
+		MatchNs:  matchNs,
 	}
 	if mt != MatchRemove {
 		n.Doc = mq.q.Project(doc)

@@ -124,6 +124,13 @@ type ExtendRequest struct {
 type WriteEvent struct {
 	Tenant string               `json:"tenant"`
 	Image  *document.AfterImage `json:"img"`
+	// SentNs is the publisher's wall clock (UnixNano) at send time; zero
+	// when the publisher predates stage tracing. It seeds the per-stage
+	// latency breakdown carried through to notifications.
+	SentNs int64 `json:"sentNs,omitempty"`
+	// IngestNs is stamped by the write-ingest bolt when the event enters
+	// the matching grid. Local to the cluster process, never serialized.
+	IngestNs int64 `json:"-"`
 }
 
 // Notification is one change delta for a query result, pushed from the
@@ -149,6 +156,15 @@ type Notification struct {
 	// Error carries the maintenance-error message for MatchError
 	// notifications, which double as query renewal requests.
 	Error string `json:"err,omitempty"`
+	// WriteNs/IngestNs/MatchNs are the stage timestamps (UnixNano) of the
+	// originating write: publisher send time, write-ingest entry, and
+	// matching-node emit. Zero for notifications not caused by a traced
+	// write (bootstrap diffs, resync replays). Receivers subtract
+	// adjacent stamps for the per-stage latency Breakdown; cross-node
+	// skew can make individual stages negative.
+	WriteNs  int64 `json:"wNs,omitempty"`
+	IngestNs int64 `json:"iNs,omitempty"`
+	MatchNs  int64 `json:"mNs,omitempty"`
 }
 
 // ResyncRequest asks the cluster to re-broadcast active subscription state

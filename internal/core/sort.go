@@ -91,6 +91,12 @@ type sortBolt struct {
 	// origin stamps outgoing notifications with this node instance's
 	// identity ("s<task>.<incarnation>") for server-side deduplication.
 	origin string
+	// cur* hold the stage timestamps of the delta being applied, copied
+	// onto every notification its window diff produces. Bootstrap-driven
+	// diffs run with zero stamps (they are not caused by a traced write).
+	curWriteNs  int64
+	curIngestNs int64
+	curMatchNs  int64
 }
 
 func newSortBolt(c *Cluster) topology.Bolt { return &sortBolt{c: c} }
@@ -206,6 +212,9 @@ func (b *sortBolt) handleBootstrap(p *subscribePayload) {
 		b.applyMutation(sq, d)
 	}
 	if sq.active {
+		// Renewal diffs merge many buffered deltas; no single write's
+		// stamps describe them.
+		b.curWriteNs, b.curIngestNs, b.curMatchNs = 0, 0, 0
 		b.emitDiff(sq)
 	}
 }
@@ -259,10 +268,12 @@ func (b *sortBolt) handleDelta(d *deltaEvent) {
 		}
 		return
 	}
+	b.curWriteNs, b.curIngestNs, b.curMatchNs = d.WriteNs, d.IngestNs, d.MatchNs
 	b.applyMutation(sq, d)
 	if sq.active {
 		b.emitDiff(sq)
 	}
+	b.curWriteNs, b.curIngestNs, b.curMatchNs = 0, 0, 0
 }
 
 // removeEntry deletes the keyed entry, reporting whether it was present.
@@ -359,14 +370,17 @@ func (b *sortBolt) emitWindowDiff(sq *sortQuery, before, after []sortEntry) {
 func (b *sortBolt) notify(sq *sortQuery, mt MatchType, key string, ver uint64, doc document.Document, idx int) {
 	sq.seq++
 	n := &Notification{
-		Tenant:  sq.tenant,
-		QueryID: QueryIDString(sq.hash),
-		Type:    mt,
-		Key:     key,
-		Version: ver,
-		Index:   idx,
-		Seq:     sq.seq,
-		Origin:  b.origin,
+		Tenant:   sq.tenant,
+		QueryID:  QueryIDString(sq.hash),
+		Type:     mt,
+		Key:      key,
+		Version:  ver,
+		Index:    idx,
+		Seq:      sq.seq,
+		Origin:   b.origin,
+		WriteNs:  b.curWriteNs,
+		IngestNs: b.curIngestNs,
+		MatchNs:  b.curMatchNs,
 	}
 	if doc != nil {
 		n.Doc = sq.q.Project(doc)

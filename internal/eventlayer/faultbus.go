@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"invalidb/internal/metrics"
 )
 
 // FaultConfig tunes the failure modes a FaultBus injects. Rates are
@@ -123,6 +125,20 @@ func (fb *FaultBus) Stats() FaultStats {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	return fb.stats
+}
+
+// RegisterMetrics exports the fault counters into the registry so chaos
+// runs report injected-fault volume alongside the pipeline metrics.
+func (fb *FaultBus) RegisterMetrics(r *metrics.Registry) {
+	r.Collect(func(emit func(name string, v float64)) {
+		st := fb.Stats()
+		emit("faultbus.published", float64(st.Published))
+		emit("faultbus.dropped", float64(st.Dropped))
+		emit("faultbus.delayed", float64(st.Delayed))
+		emit("faultbus.duplicated", float64(st.Duplicated))
+		emit("faultbus.reordered", float64(st.Reordered))
+		emit("faultbus.partitioned", float64(st.Partitioned))
+	})
 }
 
 // takeHeldLocked detaches the held message (stopping its safety timer) so

@@ -3,11 +3,14 @@ package tcp
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"invalidb/internal/metrics"
 )
 
 // ServerOptions tunes the broker.
@@ -62,6 +65,45 @@ func (s *Server) Stats() (published, delivered, dropped uint64) {
 	return s.published.Load(), s.delivered.Load(), s.dropped.Load()
 }
 
+// SessionStats describes one live session's slow-consumer losses, keyed
+// by the peer address so a single stuck subscriber is distinguishable
+// from broker-wide loss.
+type SessionStats struct {
+	Remote  string
+	Dropped uint64
+}
+
+// Sessions returns per-session drop counts for all live sessions.
+func (s *Server) Sessions() []SessionStats {
+	s.mu.RLock()
+	out := make([]SessionStats, 0, len(s.session))
+	for sess := range s.session {
+		out = append(out, SessionStats{Remote: sess.remote, Dropped: sess.dropped.Load()})
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// RegisterMetrics exports the broker's counters and a dynamic
+// per-session drop family into the registry.
+func (s *Server) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("eventlayer.published", func() float64 { return float64(s.published.Load()) })
+	r.Gauge("eventlayer.delivered", func() float64 { return float64(s.delivered.Load()) })
+	r.Gauge("eventlayer.dropped", func() float64 { return float64(s.dropped.Load()) })
+	r.Gauge("eventlayer.sessions", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.session))
+	})
+	r.Collect(func(emit func(name string, v float64)) {
+		for _, st := range s.Sessions() {
+			if st.Dropped > 0 {
+				emit(fmt.Sprintf("eventlayer.session.%s.dropped", st.Remote), float64(st.Dropped))
+			}
+		}
+	})
+}
+
 // Close stops accepting connections and tears down all sessions.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
@@ -96,10 +138,11 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		sess := &session{
-			srv:  s,
-			conn: conn,
-			out:  make(chan frame, s.opts.QueueSize),
-			done: make(chan struct{}),
+			srv:    s,
+			conn:   conn,
+			remote: conn.RemoteAddr().String(),
+			out:    make(chan frame, s.opts.QueueSize),
+			done:   make(chan struct{}),
 		}
 		s.mu.Lock()
 		s.session[sess] = struct{}{}
@@ -111,14 +154,25 @@ func (s *Server) acceptLoop() {
 }
 
 type session struct {
-	srv  *Server
-	conn net.Conn
-	out  chan frame
-	done chan struct{}
+	srv     *Server
+	conn    net.Conn
+	remote  string
+	out     chan frame
+	done    chan struct{}
+	dropped atomic.Uint64
 
 	mu       sync.Mutex
 	patterns map[string]int // refcounted subscribe patterns
 	closed   bool
+}
+
+// drop charges one slow-consumer loss to this session and the broker
+// total, logging the first occurrence so a stuck subscriber is visible.
+func (sess *session) drop() {
+	if sess.dropped.Add(1) == 1 {
+		sess.srv.opts.Logf("eventlayer/tcp: slow consumer %s: dropping messages", sess.remote)
+	}
+	sess.srv.dropped.Add(1)
 }
 
 func (sess *session) close() {
@@ -217,13 +271,13 @@ func (sess *session) enqueue(f frame) {
 	}
 	select {
 	case <-sess.out:
-		sess.srv.dropped.Add(1)
+		sess.drop()
 	default:
 	}
 	select {
 	case sess.out <- f:
 	default:
-		sess.srv.dropped.Add(1)
+		sess.drop()
 	}
 }
 

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"invalidb/internal/eventlayer"
+	"invalidb/internal/metrics"
 )
 
 func newBroker(t *testing.T) *Server {
@@ -320,5 +323,66 @@ func TestClientClosedOperationsFail(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", ClientOptions{DialTimeout: 100 * time.Millisecond}); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// Per-session slow-consumer accounting: drops are charged to the stuck
+// session (not just the broker-wide total), the first drop is logged,
+// and the counts surface through the metrics registry.
+func TestSlowConsumerPerSessionDrops(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	srv := &Server{
+		opts: ServerOptions{Logf: func(f string, a ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(f, a...))
+			mu.Unlock()
+		}},
+		session: map[*session]struct{}{},
+	}
+	slow := &session{srv: srv, remote: "10.0.0.1:555", out: make(chan frame, 1), done: make(chan struct{})}
+	fast := &session{srv: srv, remote: "10.0.0.2:556", out: make(chan frame, 16), done: make(chan struct{})}
+	srv.session[slow] = struct{}{}
+	srv.session[fast] = struct{}{}
+
+	for i := 0; i < 5; i++ {
+		slow.enqueue(frame{op: opMessage, topic: "t"})
+		fast.enqueue(frame{op: opMessage, topic: "t"})
+	}
+	// slow's queue holds one frame; each later enqueue drops the oldest.
+	if got := slow.dropped.Load(); got != 4 {
+		t.Fatalf("slow session dropped = %d, want 4", got)
+	}
+	if got := fast.dropped.Load(); got != 0 {
+		t.Fatalf("fast session dropped = %d, want 0", got)
+	}
+	if _, _, dropped := srv.Stats(); dropped != 4 {
+		t.Fatalf("broker dropped = %d, want 4", dropped)
+	}
+	mu.Lock()
+	n := len(logged)
+	first := ""
+	if n > 0 {
+		first = logged[0]
+	}
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("logged %d times, want exactly one first-drop line: %v", n, logged)
+	}
+	if !strings.Contains(first, "10.0.0.1:555") {
+		t.Fatalf("first-drop log does not name the session: %q", first)
+	}
+
+	r := metrics.NewRegistry()
+	srv.RegisterMetrics(r)
+	snap := r.Snapshot()
+	if snap.Gauges["eventlayer.session.10.0.0.1:555.dropped"] != 4 {
+		t.Fatalf("registry gauges = %v", snap.Gauges)
+	}
+	if _, ok := snap.Gauges["eventlayer.session.10.0.0.2:556.dropped"]; ok {
+		t.Fatal("zero-drop session should not emit a gauge")
+	}
+	if snap.Gauges["eventlayer.sessions"] != 2 {
+		t.Fatalf("sessions gauge = %v", snap.Gauges["eventlayer.sessions"])
 	}
 }

@@ -104,6 +104,10 @@ type Point struct {
 	Delivered int
 	Expected  int
 	Hist      *metrics.Histogram
+	// Breakdown splits the end-to-end latency into pipeline stages using the
+	// stage timestamps carried by each notification (ingest, grid, bus, and —
+	// for Quaestor points — appserver dispatch).
+	Breakdown metrics.Breakdown
 }
 
 // DeliveryOK reports whether at least 95% of expected notifications arrived.
@@ -167,6 +171,7 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 
 	recorder := metrics.NewLatencyRecorder()
 	hist := metrics.NewHistogram(2, 100)
+	stages := metrics.NewRegistry()
 	done := make(chan struct{})
 	delivered := 0
 	go func() {
@@ -181,10 +186,14 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 				continue
 			}
 			if ts, ok := n.Doc["sentNs"].(int64); ok {
-				lat := time.Duration(time.Now().UnixNano() - ts)
+				recvNs := time.Now().UnixNano()
+				lat := time.Duration(recvNs - ts)
 				recorder.Record(lat)
 				hist.Record(lat)
 				delivered++
+				// No appserver hop in the standalone deployment: the bus
+				// stage ends at the benchmark client itself.
+				stages.RecordStages(n.WriteNs, n.IngestNs, n.MatchNs, recvNs, 0)
 			}
 		}
 	}()
@@ -197,7 +206,9 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 			Op:         document.OpInsert,
 			Doc:        d,
 		}
-		env := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{Tenant: tenant, Image: ai}}
+		env := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{
+			Tenant: tenant, Image: ai, SentNs: time.Now().UnixNano(),
+		}}
 		data, err := env.Encode()
 		if err != nil {
 			return err
@@ -215,7 +226,7 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 	return Point{
 		QP: qp, WP: wp, Queries: queries, OpsPerSec: opsPerSec,
 		Summary: recorder.Snapshot(), Delivered: delivered, Expected: expected,
-		Hist: hist,
+		Hist: hist, Breakdown: stages.Breakdown(),
 	}, nil
 }
 
@@ -423,6 +434,6 @@ func RunQuaestorPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error)
 	return Point{
 		QP: qp, WP: wp, Queries: queries, OpsPerSec: opsPerSec,
 		Summary: recorder.Snapshot(), Delivered: delivered, Expected: expected,
-		Hist: hist,
+		Hist: hist, Breakdown: srv.Metrics().Breakdown(),
 	}, nil
 }

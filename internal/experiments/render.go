@@ -100,6 +100,19 @@ func RenderHistogram(title string, pair Fig6Pair) string {
 	return b.String()
 }
 
+// RenderBreakdown prints the per-stage latency decomposition of a measured
+// point: where the end-to-end notification latency is spent (write ingestion,
+// matching grid, event-layer delivery, appserver dispatch). The standalone
+// deployment has no appserver hop, so that row stays empty for it.
+func RenderBreakdown(title string, p Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%d QP x %d WP, %d queries, %d ops/s: end-to-end avg=%.1fms p99=%.1fms (n=%d)\n",
+		p.QP, p.WP, p.Queries, p.OpsPerSec, p.Summary.AvgMS, p.Summary.P99MS, p.Summary.Count)
+	b.WriteString(p.Breakdown.String())
+	return b.String()
+}
+
 // RenderBaselines prints the mechanism comparison (paper §3.1 / Table 2
 // scaling rows).
 func RenderBaselines(results []BaselineResult) string {

@@ -19,7 +19,6 @@ type LatencyRecorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sum     float64 // milliseconds
-	sumSq   float64
 	max     time.Duration
 }
 
@@ -34,7 +33,6 @@ func (r *LatencyRecorder) Record(d time.Duration) {
 	r.mu.Lock()
 	r.samples = append(r.samples, d)
 	r.sum += ms
-	r.sumSq += ms * ms
 	if d > r.max {
 		r.max = d
 	}
@@ -52,7 +50,7 @@ func (r *LatencyRecorder) Count() int {
 func (r *LatencyRecorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
-	r.sum, r.sumSq, r.max = 0, 0, 0
+	r.sum, r.max = 0, 0
 	r.mu.Unlock()
 }
 
@@ -78,15 +76,21 @@ func (r *LatencyRecorder) Snapshot() Summary {
 		return Summary{}
 	}
 	samples := append([]time.Duration(nil), r.samples...)
-	sum, sumSq, max := r.sum, r.sumSq, r.max
+	sum, max := r.sum, r.max
 	r.mu.Unlock()
 
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	mean := sum / float64(n)
-	variance := sumSq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
+	// Two-pass variance over the copied samples. The naive sumSq/n − mean²
+	// form cancels catastrophically for tight distributions around a large
+	// mean (e.g. thousands of ~36µs samples offset by a constant), which the
+	// old `variance < 0` clamp silently papered over as std=0.
+	var variance float64
+	for _, s := range samples {
+		dev := float64(s)/float64(time.Millisecond) - mean
+		variance += dev * dev
 	}
+	variance /= float64(n)
 	return Summary{
 		Count: n,
 		AvgMS: mean,
@@ -148,6 +152,11 @@ func (h *Histogram) Record(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	h.mu.Lock()
 	idx := int(ms / h.BucketMS)
+	if idx < 0 {
+		// Cross-node stage timestamps can produce negative durations under
+		// clock skew; clamp them into the first bucket instead of panicking.
+		idx = 0
+	}
 	if idx >= len(h.buckets) {
 		h.overflow++
 	} else {

@@ -1,0 +1,114 @@
+// Package obs serves the observability surface of an InvaliDB process: the
+// unified metrics registry over HTTP, a liveness probe, and the standard Go
+// pprof profiling handlers. Every daemon (eventlayerd, invalidb-server,
+// invalidb-appserver) mounts it behind a -obs-addr flag; the endpoint is
+// deliberately separate from the data-plane listeners so scraping and
+// profiling never compete with gateway or broker traffic.
+//
+// Endpoints:
+//
+//	/metrics        registry snapshot as indented JSON
+//	/metrics?format=text
+//	                plaintext "name value" lines, one metric per line
+//	/healthz        200 "ok" while the Healthy callback returns true, else 503
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"invalidb/internal/metrics"
+)
+
+// Options configures an observability endpoint.
+type Options struct {
+	// Registry is the metrics registry to expose. Nil disables /metrics
+	// (it returns 404) but keeps /healthz and pprof available.
+	Registry *metrics.Registry
+
+	// Healthy reports process liveness for /healthz. Nil means always
+	// healthy.
+	Healthy func() bool
+
+	// Logf receives serve-loop errors. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts the observability endpoint on addr ("" or ":0" pick an
+// ephemeral port). The handlers are registered on a private mux so that
+// importing net/http/pprof side effects on http.DefaultServeMux are never
+// relied on — and so embedding processes (tests, benchmarks) can run several
+// endpoints side by side.
+func Serve(addr string, opts Options) (*Server, error) {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Registry == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = opts.Registry.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Healthy != nil && !opts.Healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "unhealthy")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	// Explicit pprof registration: the net/http/pprof init only touches
+	// http.DefaultServeMux, which this server does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &Server{
+		ln: ln,
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() {
+		if err := srv.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			opts.Logf("obs: serve: %v", err)
+		}
+	}()
+	return srv, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:46781".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint and releases the listener.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"invalidb/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsHealthzPprof(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("demo.writes").Add(7)
+	reg.Gauge("demo.depth", func() float64 { return 3 })
+
+	healthy := true
+	srv, err := Serve("", Options{
+		Registry: reg,
+		Healthy:  func() bool { return healthy },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var snap metrics.RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["demo.writes"] != 7 || snap.Gauges["demo.depth"] != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	code, body = get(t, base+"/metrics?format=text")
+	if code != 200 || !strings.Contains(body, "demo.writes 7") {
+		t.Fatalf("text metrics = %d\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz status = %d, want 503", code)
+	}
+
+	code, body = get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine = %d\n%.200s", code, body)
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	srv, err := Serve("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != 404 {
+		t.Fatalf("/metrics with nil registry = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("/healthz with nil Healthy = %d, want 200", code)
+	}
+}

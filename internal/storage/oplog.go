@@ -47,6 +47,33 @@ func (o *Oplog) LastSeq() uint64 {
 	return o.nextSeq - 1
 }
 
+// Tailers returns the number of open tailers.
+func (o *Oplog) Tailers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.tailers)
+}
+
+// MaxTailerLag returns the largest number of committed entries any open
+// tailer has yet to consume — how far the slowest log consumer trails
+// the write head. Zero with no tailers or with all tailers caught up.
+func (o *Oplog) MaxTailerLag() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	last := o.nextSeq - 1
+	var max uint64
+	for t := range o.tailers {
+		// t.pos is mutated only under o.mu (see Next/TryNext), so this
+		// read is consistent.
+		if t.pos <= last {
+			if lag := last - t.pos + 1; lag > max {
+				max = lag
+			}
+		}
+	}
+	return max
+}
+
 // firstSeq returns the oldest retained sequence (caller holds o.mu).
 func (o *Oplog) firstSeqLocked() uint64 {
 	if o.nextSeq-1 <= uint64(o.cap) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"invalidb/internal/document"
+	"invalidb/internal/metrics"
 )
 
 func TestOplogRecordsAllWrites(t *testing.T) {
@@ -121,5 +122,47 @@ func TestOplogStartMidStream(t *testing.T) {
 	ai, err := tailer.Next()
 	if err != nil || ai.Key != "after" {
 		t.Fatalf("mid-stream tail delivered %+v, %v", ai, err)
+	}
+}
+
+func TestOplogTailerLagMetrics(t *testing.T) {
+	db := newDB()
+	c := db.C("c")
+	for i := 0; i < 5; i++ {
+		_, _ = c.Insert(document.Document{"_id": fmt.Sprint(i)})
+	}
+	if lag := db.Oplog().MaxTailerLag(); lag != 0 {
+		t.Fatalf("lag with no tailers = %d", lag)
+	}
+
+	behind := db.Oplog().Tail(0) // has all 5 entries pending
+	defer behind.Close()
+	caughtUp := db.Oplog().Tail(db.Oplog().LastSeq())
+	defer caughtUp.Close()
+	if n := db.Oplog().Tailers(); n != 2 {
+		t.Fatalf("Tailers = %d", n)
+	}
+	if lag := db.Oplog().MaxTailerLag(); lag != 5 {
+		t.Fatalf("lag = %d, want 5", lag)
+	}
+
+	// Consuming two entries shrinks the lag.
+	for i := 0; i < 2; i++ {
+		if _, err := behind.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := db.Oplog().MaxTailerLag(); lag != 3 {
+		t.Fatalf("lag after consuming = %d, want 3", lag)
+	}
+
+	r := metrics.NewRegistry()
+	db.RegisterMetrics(r)
+	snap := r.Snapshot()
+	if snap.Gauges["storage.oplog.max_lag"] != 3 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	if snap.Gauges["storage.oplog.last_seq"] != 5 {
+		t.Fatalf("last_seq gauge = %v", snap.Gauges["storage.oplog.last_seq"])
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"invalidb/internal/document"
+	"invalidb/internal/metrics"
 	"invalidb/internal/query"
 )
 
@@ -76,6 +77,21 @@ func (db *DB) C(name string) *Collection {
 
 // Oplog exposes the database's capped operation log.
 func (db *DB) Oplog() *Oplog { return db.oplog }
+
+// RegisterMetrics exports storage-level gauges: committed write sequence,
+// open oplog tailers, and the worst tailer lag (how far the slowest
+// log consumer trails the write head).
+func (db *DB) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("storage.seq", func() float64 { return float64(db.seq.Load()) })
+	r.Gauge("storage.oplog.last_seq", func() float64 { return float64(db.oplog.LastSeq()) })
+	r.Gauge("storage.oplog.tailers", func() float64 { return float64(db.oplog.Tailers()) })
+	r.Gauge("storage.oplog.max_lag", func() float64 { return float64(db.oplog.MaxTailerLag()) })
+	r.Gauge("storage.collections", func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(len(db.collections))
+	})
+}
 
 // commit records a completed write in the oplog and the attached journal.
 func (db *DB) commit(ai *document.AfterImage) {

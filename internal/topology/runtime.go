@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"invalidb/internal/metrics"
 )
 
 // Topology is a running dataflow. Create one with Builder.Build, start it
@@ -286,6 +288,65 @@ func (t *Topology) Stats() []TaskStats {
 		}
 	}
 	return out
+}
+
+// AckerInFlight reports the number of open acker ledgers (tuple trees
+// emitted but not yet fully acked, failed, or timed out). Zero when
+// acking is disabled.
+func (t *Topology) AckerInFlight() int {
+	if t.acker == nil {
+		return 0
+	}
+	return t.acker.pendingCount()
+}
+
+// RegisterMetrics exports per-component task aggregates — executed /
+// emitted / acked / failed / restarts / panics / dead counts, queue
+// depths — plus acker in-flight and last-panic text into the registry.
+// Everything is sampled from the existing task atomics at snapshot
+// time, so registration adds no cost to tuple processing.
+func (t *Topology) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("topology.acker.in_flight", func() float64 { return float64(t.AckerInFlight()) })
+	r.Text("topology.last_panic", func() string {
+		var last string
+		for _, s := range t.Stats() {
+			if s.LastPanic != "" {
+				last = s.Component + ": " + s.LastPanic
+			}
+		}
+		return last
+	})
+	r.Collect(func(emit func(name string, v float64)) {
+		agg := map[string]*TaskStats{}
+		dead := map[string]int{}
+		for _, s := range t.Stats() {
+			a := agg[s.Component]
+			if a == nil {
+				a = &TaskStats{}
+				agg[s.Component] = a
+			}
+			a.Executed += s.Executed
+			a.Emitted += s.Emitted
+			a.Acked += s.Acked
+			a.Failed += s.Failed
+			a.Restarts += s.Restarts
+			a.Panics += s.Panics
+			a.QueueLen += s.QueueLen
+			if s.Dead {
+				dead[s.Component]++
+			}
+		}
+		for comp, a := range agg {
+			emit("topology."+comp+".executed", float64(a.Executed))
+			emit("topology."+comp+".emitted", float64(a.Emitted))
+			emit("topology."+comp+".acked", float64(a.Acked))
+			emit("topology."+comp+".failed", float64(a.Failed))
+			emit("topology."+comp+".restarts", float64(a.Restarts))
+			emit("topology."+comp+".panics", float64(a.Panics))
+			emit("topology."+comp+".queue_len", float64(a.QueueLen))
+			emit("topology."+comp+".dead", float64(dead[comp]))
+		}
+	})
 }
 
 // spoutLoop supervises one spout task: it drives the spout until the
