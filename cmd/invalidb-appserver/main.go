@@ -33,7 +33,7 @@ func main() {
 		tenant  = flag.String("tenant", "default", "tenant id within the multi-tenant cluster")
 		ns      = flag.String("namespace", "invalidb", "event-layer topic namespace")
 		journal = flag.String("journal", "", "write-ahead log path (empty = volatile database)")
-		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables)")
+		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables; unauthenticated — \":port\" binds loopback, use an explicit host like 0.0.0.0:9090 to expose)")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	)
 	flag.Parse()

@@ -30,7 +30,7 @@ func main() {
 		wp       = flag.Int("wp", 1, "write partitions")
 		capacity = flag.Int("capacity", 0, "per-node match-ops/s budget (0 = unthrottled)")
 		ns       = flag.String("namespace", "invalidb", "event-layer topic namespace")
-		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables)")
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables; unauthenticated — \":port\" binds loopback, use an explicit host like 0.0.0.0:9090 to expose)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	)
 	flag.Parse()

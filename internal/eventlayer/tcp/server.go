@@ -25,12 +25,13 @@ type ServerOptions struct {
 // a session that may publish and subscribe; messages published by one
 // session are routed to all sessions whose patterns match.
 type Server struct {
-	ln      net.Listener
-	opts    ServerOptions
-	mu      sync.RWMutex
-	session map[*session]struct{}
-	closed  atomic.Bool
-	wg      sync.WaitGroup
+	ln         net.Listener
+	opts       ServerOptions
+	mu         sync.RWMutex
+	session    map[*session]struct{}
+	sessionSeq atomic.Uint64
+	closed     atomic.Bool
+	wg         sync.WaitGroup
 
 	published atomic.Uint64
 	delivered atomic.Uint64
@@ -65,10 +66,12 @@ func (s *Server) Stats() (published, delivered, dropped uint64) {
 	return s.published.Load(), s.delivered.Load(), s.dropped.Load()
 }
 
-// SessionStats describes one live session's slow-consumer losses, keyed
-// by the peer address so a single stuck subscriber is distinguishable
-// from broker-wide loss.
+// SessionStats describes one live session's slow-consumer losses, so a
+// single stuck subscriber is distinguishable from broker-wide loss. ID is
+// a small monotonic per-broker identifier assigned at accept time; Remote
+// is the peer address it maps to (logged on the first drop).
 type SessionStats struct {
+	ID      uint64
 	Remote  string
 	Dropped uint64
 }
@@ -78,7 +81,7 @@ func (s *Server) Sessions() []SessionStats {
 	s.mu.RLock()
 	out := make([]SessionStats, 0, len(s.session))
 	for sess := range s.session {
-		out = append(out, SessionStats{Remote: sess.remote, Dropped: sess.dropped.Load()})
+		out = append(out, SessionStats{ID: sess.id, Remote: sess.remote, Dropped: sess.dropped.Load()})
 	}
 	s.mu.RUnlock()
 	return out
@@ -95,10 +98,14 @@ func (s *Server) RegisterMetrics(r *metrics.Registry) {
 		defer s.mu.RUnlock()
 		return float64(len(s.session))
 	})
+	// Series are keyed by the numeric session ID, not the remote address:
+	// raw peer addresses carry ephemeral ports (a new series on every
+	// reconnect) and dots/colons that collide with the dotted metric
+	// namespace. The first-drop log line maps the ID back to the address.
 	r.Collect(func(emit func(name string, v float64)) {
 		for _, st := range s.Sessions() {
 			if st.Dropped > 0 {
-				emit(fmt.Sprintf("eventlayer.session.%s.dropped", st.Remote), float64(st.Dropped))
+				emit(fmt.Sprintf("eventlayer.session.%d.dropped", st.ID), float64(st.Dropped))
 			}
 		}
 	})
@@ -139,6 +146,7 @@ func (s *Server) acceptLoop() {
 		}
 		sess := &session{
 			srv:    s,
+			id:     s.sessionSeq.Add(1),
 			conn:   conn,
 			remote: conn.RemoteAddr().String(),
 			out:    make(chan frame, s.opts.QueueSize),
@@ -155,6 +163,7 @@ func (s *Server) acceptLoop() {
 
 type session struct {
 	srv     *Server
+	id      uint64
 	conn    net.Conn
 	remote  string
 	out     chan frame
@@ -170,7 +179,7 @@ type session struct {
 // total, logging the first occurrence so a stuck subscriber is visible.
 func (sess *session) drop() {
 	if sess.dropped.Add(1) == 1 {
-		sess.srv.opts.Logf("eventlayer/tcp: slow consumer %s: dropping messages", sess.remote)
+		sess.srv.opts.Logf("eventlayer/tcp: slow consumer session %d (%s): dropping messages", sess.id, sess.remote)
 	}
 	sess.srv.dropped.Add(1)
 }

@@ -340,8 +340,8 @@ func TestSlowConsumerPerSessionDrops(t *testing.T) {
 		}},
 		session: map[*session]struct{}{},
 	}
-	slow := &session{srv: srv, remote: "10.0.0.1:555", out: make(chan frame, 1), done: make(chan struct{})}
-	fast := &session{srv: srv, remote: "10.0.0.2:556", out: make(chan frame, 16), done: make(chan struct{})}
+	slow := &session{srv: srv, id: 1, remote: "10.0.0.1:555", out: make(chan frame, 1), done: make(chan struct{})}
+	fast := &session{srv: srv, id: 2, remote: "10.0.0.2:556", out: make(chan frame, 16), done: make(chan struct{})}
 	srv.session[slow] = struct{}{}
 	srv.session[fast] = struct{}{}
 
@@ -376,10 +376,12 @@ func TestSlowConsumerPerSessionDrops(t *testing.T) {
 	r := metrics.NewRegistry()
 	srv.RegisterMetrics(r)
 	snap := r.Snapshot()
-	if snap.Gauges["eventlayer.session.10.0.0.1:555.dropped"] != 4 {
+	// Series are keyed by the stable numeric session ID, not the remote
+	// address (which churns on every reconnect and carries '.'/':').
+	if snap.Gauges["eventlayer.session.1.dropped"] != 4 {
 		t.Fatalf("registry gauges = %v", snap.Gauges)
 	}
-	if _, ok := snap.Gauges["eventlayer.session.10.0.0.2:556.dropped"]; ok {
+	if _, ok := snap.Gauges["eventlayer.session.2.dropped"]; ok {
 		t.Fatal("zero-drop session should not emit a gauge")
 	}
 	if snap.Gauges["eventlayer.sessions"] != 2 {

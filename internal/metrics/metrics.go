@@ -12,51 +12,86 @@ import (
 	"time"
 )
 
+// DefaultLatencyWindow is the ring-buffer capacity Registry.Latency uses
+// for live recorders: large enough that a paper-scale run (~1000
+// notifications) keeps exact percentiles, small enough that a recorder is
+// a fixed 64KB no matter how long the process runs.
+const DefaultLatencyWindow = 8192
+
 // LatencyRecorder accumulates duration samples. It is safe for concurrent
-// use and keeps every sample (the paper's experiments collect ~1000
-// notifications per run, so exact percentiles are affordable).
+// use. In exact mode (NewLatencyRecorder) it keeps every sample — the
+// paper's experiments collect ~1000 notifications per run, so exact
+// percentiles are affordable. In windowed mode (NewWindowedLatencyRecorder)
+// it keeps only the most recent window samples in a preallocated ring
+// buffer, so memory stays fixed in a long-running daemon and Record never
+// allocates.
 type LatencyRecorder struct {
 	mu      sync.Mutex
+	window  int // 0 = exact mode: keep every sample
 	samples []time.Duration
-	sum     float64 // milliseconds
+	next    int    // ring cursor once a bounded buffer is full
+	count   uint64 // samples recorded since Reset (≥ len(samples))
 	max     time.Duration
 }
 
-// NewLatencyRecorder creates an empty recorder.
+// NewLatencyRecorder creates an empty exact-mode recorder that retains
+// every sample (bench-harness use; unbounded).
 func NewLatencyRecorder() *LatencyRecorder {
 	return &LatencyRecorder{}
 }
 
-// Record adds one sample.
+// NewWindowedLatencyRecorder creates a recorder that retains only the most
+// recent window samples (live daemon use; fixed memory). A window < 1
+// selects DefaultLatencyWindow. The buffer is preallocated so Record is
+// allocation-free from the first sample.
+func NewWindowedLatencyRecorder(window int) *LatencyRecorder {
+	if window < 1 {
+		window = DefaultLatencyWindow
+	}
+	return &LatencyRecorder{window: window, samples: make([]time.Duration, 0, window)}
+}
+
+// Record adds one sample. Windowed recorders evict the oldest retained
+// sample once full.
 func (r *LatencyRecorder) Record(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
-	r.sum += ms
+	r.count++
 	if d > r.max {
 		r.max = d
+	}
+	if r.window > 0 && len(r.samples) == r.window {
+		r.samples[r.next] = d
+		r.next++
+		if r.next == r.window {
+			r.next = 0
+		}
+	} else {
+		r.samples = append(r.samples, d)
 	}
 	r.mu.Unlock()
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of samples recorded since the last Reset,
+// including any evicted from a windowed recorder's buffer.
 func (r *LatencyRecorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.count)
 }
 
 // Reset clears all samples.
 func (r *LatencyRecorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
-	r.sum, r.max = 0, 0
+	r.next, r.count, r.max = 0, 0, 0
 	r.mu.Unlock()
 }
 
 // Summary is a snapshot of latency statistics in milliseconds — the exact
 // columns of the paper's Table 3 (average, standard deviation, 99th
-// percentile, maximum).
+// percentile, maximum). For a windowed recorder, Avg/Std/percentiles
+// describe the retained window (the most recent samples) while Count and
+// Max cover the recorder's whole lifetime since Reset.
 type Summary struct {
 	Count int
 	AvgMS float64
@@ -76,10 +111,14 @@ func (r *LatencyRecorder) Snapshot() Summary {
 		return Summary{}
 	}
 	samples := append([]time.Duration(nil), r.samples...)
-	sum, max := r.sum, r.max
+	count, max := r.count, r.max
 	r.mu.Unlock()
 
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s) / float64(time.Millisecond)
+	}
 	mean := sum / float64(n)
 	// Two-pass variance over the copied samples. The naive sumSq/n − mean²
 	// form cancels catastrophically for tight distributions around a large
@@ -92,7 +131,7 @@ func (r *LatencyRecorder) Snapshot() Summary {
 	}
 	variance /= float64(n)
 	return Summary{
-		Count: n,
+		Count: int(count),
 		AvgMS: mean,
 		StdMS: math.Sqrt(variance),
 		P50MS: percentile(samples, 0.50),

@@ -89,6 +89,50 @@ func TestLatencyConcurrent(t *testing.T) {
 	}
 }
 
+// Regression: live-use recorders must not grow without bound with
+// notification volume. A windowed recorder retains only the last N
+// samples; Count and Max still cover the whole lifetime.
+func TestWindowedRecorderBounded(t *testing.T) {
+	r := NewWindowedLatencyRecorder(4)
+	for _, v := range []float64{100, 100, 100, 1, 2, 3, 4} {
+		r.Record(ms(v))
+	}
+	if got := len(r.samples); got != 4 {
+		t.Fatalf("retained %d samples, want 4", got)
+	}
+	s := r.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want lifetime 7", s.Count)
+	}
+	if s.MaxMS != 100 {
+		t.Fatalf("MaxMS = %v, want lifetime max 100", s.MaxMS)
+	}
+	// Window stats describe only the retained samples {1,2,3,4}.
+	if math.Abs(s.AvgMS-2.5) > 1e-9 {
+		t.Fatalf("AvgMS = %v, want 2.5 over the window", s.AvgMS)
+	}
+	if s.P99MS != 4 {
+		t.Fatalf("P99MS = %v, want 4", s.P99MS)
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", r.Count())
+	}
+	r.Record(ms(9))
+	if s := r.Snapshot(); s.Count != 1 || s.MaxMS != 9 {
+		t.Fatalf("post-Reset snapshot = %+v", s)
+	}
+}
+
+// The ring buffer is preallocated, so Record never allocates — the
+// instrumented dispatch path stays on the PR 1 zero-alloc budget.
+func TestWindowedRecorderRecordNoAllocs(t *testing.T) {
+	r := NewWindowedLatencyRecorder(64)
+	if n := testing.AllocsPerRun(1000, func() { r.Record(time.Millisecond) }); n != 0 {
+		t.Fatalf("windowed Record allocates: %v allocs/op", n)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	r := NewLatencyRecorder()
 	r.Record(ms(9))

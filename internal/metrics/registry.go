@@ -41,16 +41,29 @@ type Registry struct {
 	texts      map[string]func() string
 	latencies  map[string]*LatencyRecorder
 	collectors []func(emit func(name string, v float64))
+
+	// The four pipeline-stage recorders are resolved once at construction
+	// so RecordStages — which runs per delivered notification — never
+	// takes the registry mutex or contends with Snapshot/scrapes.
+	stageIngest    *LatencyRecorder
+	stageGrid      *LatencyRecorder
+	stageBus       *LatencyRecorder
+	stageAppserver *LatencyRecorder
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:  make(map[string]*Int),
 		gauges:    make(map[string]func() float64),
 		texts:     make(map[string]func() string),
 		latencies: make(map[string]*LatencyRecorder),
 	}
+	r.stageIngest = r.Latency(StageIngest)
+	r.stageGrid = r.Latency(StageGrid)
+	r.stageBus = r.Latency(StageBus)
+	r.stageAppserver = r.Latency(StageAppserver)
+	return r
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -83,12 +96,16 @@ func (r *Registry) Text(name string, fn func() string) {
 }
 
 // Latency returns the named latency recorder, creating it on first use.
+// Registry recorders are windowed (DefaultLatencyWindow most-recent
+// samples) so a long-running daemon's memory stays bounded regardless of
+// notification volume; the bench harness uses NewLatencyRecorder directly
+// where exact all-sample percentiles are required.
 func (r *Registry) Latency(name string) *LatencyRecorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	l, ok := r.latencies[name]
 	if !ok {
-		l = NewLatencyRecorder()
+		l = NewWindowedLatencyRecorder(DefaultLatencyWindow)
 		r.latencies[name] = l
 	}
 	return l
@@ -233,19 +250,20 @@ const (
 // stage boundary was not observed (e.g. a resync-originated
 // notification) and the stages touching it are skipped. Negative
 // durations from cross-node clock skew are recorded as-is — the
-// histogram clamps, and the recorder tolerates them.
+// histogram clamps, and the recorder tolerates them. The stage recorders
+// are pre-resolved fields, so this path never takes the registry mutex.
 func (r *Registry) RecordStages(writeNs, ingestNs, matchNs, recvNs, deliverNs int64) {
 	if writeNs != 0 && ingestNs != 0 {
-		r.Latency(StageIngest).Record(time.Duration(ingestNs - writeNs))
+		r.stageIngest.Record(time.Duration(ingestNs - writeNs))
 	}
 	if ingestNs != 0 && matchNs != 0 {
-		r.Latency(StageGrid).Record(time.Duration(matchNs - ingestNs))
+		r.stageGrid.Record(time.Duration(matchNs - ingestNs))
 	}
 	if matchNs != 0 && recvNs != 0 {
-		r.Latency(StageBus).Record(time.Duration(recvNs - matchNs))
+		r.stageBus.Record(time.Duration(recvNs - matchNs))
 	}
 	if recvNs != 0 && deliverNs != 0 {
-		r.Latency(StageAppserver).Record(time.Duration(deliverNs - recvNs))
+		r.stageAppserver.Record(time.Duration(deliverNs - recvNs))
 	}
 }
 
@@ -261,10 +279,10 @@ type Breakdown struct {
 // Breakdown snapshots the four stage recorders.
 func (r *Registry) Breakdown() Breakdown {
 	return Breakdown{
-		Ingest:    r.Latency(StageIngest).Snapshot(),
-		Grid:      r.Latency(StageGrid).Snapshot(),
-		Bus:       r.Latency(StageBus).Snapshot(),
-		Appserver: r.Latency(StageAppserver).Snapshot(),
+		Ingest:    r.stageIngest.Snapshot(),
+		Grid:      r.stageGrid.Snapshot(),
+		Bus:       r.stageBus.Snapshot(),
+		Appserver: r.stageAppserver.Snapshot(),
 	}
 }
 

@@ -209,6 +209,44 @@ func TestRegistryConcurrent(t *testing.T) {
 	r.Snapshot() // must not race or panic
 }
 
+// Regression: registry latency recorders are windowed, so a long-running
+// daemon recording per-notification stage samples holds a fixed-size
+// buffer instead of growing ~32B per notification forever.
+func TestRegistryLatencyIsWindowed(t *testing.T) {
+	r := NewRegistry()
+	l := r.Latency("e2e")
+	// Overfill past the window: the old samples must be evicted.
+	for i := 0; i < DefaultLatencyWindow; i++ {
+		l.Record(100 * time.Millisecond)
+	}
+	for i := 0; i < DefaultLatencyWindow; i++ {
+		l.Record(time.Millisecond)
+	}
+	if got := len(l.samples); got != DefaultLatencyWindow {
+		t.Fatalf("retained %d samples, want window %d", got, DefaultLatencyWindow)
+	}
+	s := l.Snapshot()
+	if s.Count != 2*DefaultLatencyWindow {
+		t.Fatalf("Count = %d, want lifetime %d", s.Count, 2*DefaultLatencyWindow)
+	}
+	if s.AvgMS != 1 { // the 100ms samples were all evicted
+		t.Fatalf("AvgMS = %v, want 1 over the retained window", s.AvgMS)
+	}
+	if s.MaxMS != 100 { // lifetime max survives eviction
+		t.Fatalf("MaxMS = %v, want 100", s.MaxMS)
+	}
+}
+
+// RecordStages runs per delivered notification: it must not allocate and
+// must not touch the registry mutex (the stage recorders are pre-resolved
+// fields), so it cannot contend with concurrent Snapshot/scrapes.
+func TestRecordStagesHotPathNoAllocs(t *testing.T) {
+	r := NewRegistry()
+	if n := testing.AllocsPerRun(1000, func() { r.RecordStages(1, 2, 3, 4, 5) }); n != 0 {
+		t.Fatalf("RecordStages allocates: %v allocs/op", n)
+	}
+}
+
 // The per-event instrumentation path must stay allocation-free so it can
 // sit on the PR 1 zero-alloc hot path.
 func TestCounterHotPathNoAllocs(t *testing.T) {

@@ -12,6 +12,13 @@
 //	                plaintext "name value" lines, one metric per line
 //	/healthz        200 "ok" while the Healthy callback returns true, else 503
 //	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// The endpoint is unauthenticated, and /debug/pprof/profile can start CPU
+// profiling that degrades the process, so Serve binds loopback unless the
+// address names a host explicitly: "" and ":port" both resolve to
+// 127.0.0.1. Operators who want network exposure must opt in with an
+// explicit host such as 0.0.0.0:9090 — and should front it with their own
+// access control.
 package obs
 
 import (
@@ -45,9 +52,12 @@ type Server struct {
 }
 
 // Serve starts the observability endpoint on addr ("" or ":0" pick an
-// ephemeral port). The handlers are registered on a private mux so that
-// importing net/http/pprof side effects on http.DefaultServeMux are never
-// relied on — and so embedding processes (tests, benchmarks) can run several
+// ephemeral port). A host-less addr like ":9090" binds loopback rather
+// than all interfaces — the surface is unauthenticated (see the package
+// comment); pass an explicit host (e.g. "0.0.0.0:9090") to expose it.
+// The handlers are registered on a private mux so that importing
+// net/http/pprof side effects on http.DefaultServeMux are never relied
+// on — and so embedding processes (tests, benchmarks) can run several
 // endpoints side by side.
 func Serve(addr string, opts Options) (*Server, error) {
 	if opts.Logf == nil {
@@ -55,6 +65,8 @@ func Serve(addr string, opts Options) (*Server, error) {
 	}
 	if addr == "" {
 		addr = "127.0.0.1:0"
+	} else if host, port, err := net.SplitHostPort(addr); err == nil && host == "" {
+		addr = net.JoinHostPort("127.0.0.1", port)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

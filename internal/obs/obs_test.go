@@ -73,6 +73,19 @@ func TestServeMetricsHealthzPprof(t *testing.T) {
 	}
 }
 
+// The endpoint is unauthenticated (pprof can start CPU profiles), so a
+// host-less address like ":0" must bind loopback, not all interfaces.
+func TestServeHostlessAddrBindsLoopback(t *testing.T) {
+	srv, err := Serve(":0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("Addr() = %q, want loopback bind for host-less addr", srv.Addr())
+	}
+}
+
 func TestServeNilRegistry(t *testing.T) {
 	srv, err := Serve("", Options{})
 	if err != nil {
