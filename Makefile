@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench-smoke chaos obs-smoke check
+.PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke check
 
 all: check
 
@@ -10,13 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs when installed; environments without it fall back to vet.
+# staticcheck runs when installed. Local environments without it fall back
+# to vet with a notice; CI (where the workflow installs it) must never skip.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck is required in CI but is not installed" ; \
+		exit 1 ; \
 	else \
 		echo "staticcheck not installed; skipping (go vet already ran)" ; \
 	fi
+
+# InvaliDB's own analyzer suite (internal/analysis): hot-path allocation,
+# lock-discipline, metric-key, pooled-lifecycle, coarse-clock and directive
+# checks over the whole module. See DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/invalidb-vet ./...
 
 test:
 	$(GO) test ./...
@@ -34,6 +44,11 @@ chaos:
 bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
 
+# Fuzz smoke: run each native fuzz target briefly past its seed corpus.
+fuzz-smoke:
+	$(GO) test ./internal/query -run '^$$' -fuzz FuzzMatch -fuzztime 2000x
+	$(GO) test ./internal/storage -run '^$$' -fuzz FuzzApplyUpdate -fuzztime 2000x
+
 # Observability smoke: boot a broker + cluster with -obs-addr and assert
 # /metrics and /healthz answer with real content.
 obs-smoke:
@@ -50,4 +65,4 @@ obs-smoke:
 	curl -sf 'http://127.0.0.1:7599/metrics?format=text' | grep -q 'topology\.' || { echo "obs-smoke: text metrics missing topology stats"; exit 1; }; \
 	echo "obs-smoke: ok"
 
-check: vet staticcheck build race bench-smoke
+check: vet staticcheck lint build race bench-smoke

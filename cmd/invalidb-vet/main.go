@@ -1,0 +1,54 @@
+// Command invalidb-vet runs InvaliDB's custom static-analysis suite — the
+// multichecker over internal/analysis — across the packages named on the
+// command line (default ./...). It exits non-zero when any invariant is
+// violated, so `make lint` and CI gate on it.
+//
+// Run it from the module root: package loading resolves module-local
+// imports through the go command in the working directory.
+//
+// Usage:
+//
+//	invalidb-vet [-list] [packages...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invalidb/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: invalidb-vet [-list] [packages...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs InvaliDB's invariant lint suite (default pattern ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(patterns, analysis.Suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalidb-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "invalidb-vet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// coarseClockPackages are the packages where the coarse tick clock exists
+// and wall-clock reads are forbidden by default: matching nodes advance
+// their notion of time from tick tuples (matchBolt.now), so a time.Now()
+// per write is pure overhead on the path the paper's per-node throughput
+// budget measures. Deliberate wall-clock reads (subscription deadlines,
+// stage-boundary stamps on the rare match path) carry an
+// //invalidb:allow coarseclock directive explaining why.
+var coarseClockPackages = map[string]bool{
+	"invalidb/internal/core": true,
+}
+
+// CoarseClock forbids time.Now in coarse-clock packages and in any
+// //invalidb:hotpath function anywhere in the tree.
+var CoarseClock = &Analyzer{
+	Name: "coarseclock",
+	Doc:  "forbid time.Now in coarse-tick-clock packages and hot-path functions",
+	Run:  runCoarseClock,
+}
+
+func runCoarseClock(pass *Pass) error {
+	info := pass.TypesInfo
+	if coarseClockPackages[pass.PkgPath] {
+		inspectFiles(pass.Files, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(info, call, "time", "Now") {
+				pass.Reportf(call.Pos(), "time.Now in a coarse-clock package: use the tick-driven clock, or document the exception with //invalidb:allow coarseclock <reason>")
+			}
+			return true
+		})
+		return nil
+	}
+	for _, fn := range pass.HotpathFuncs() {
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(info, call, "time", "Now") {
+				pass.Reportf(call.Pos(), "time.Now in hot-path function %s: take the timestamp outside the hot path or use the coarse clock", fn.Name.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

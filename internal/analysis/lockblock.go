@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockBlock flags operations that can block for an unbounded time while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives, selects
+// without a default case, ranging over a channel, time.Sleep, WaitGroup
+// waits, and network dials/IO. A supervised component sleeping or blocking
+// on a peer while holding a lock stalls every other goroutine contending
+// for that lock — the failure mode PR 2's supervisor exists to prevent.
+//
+// The analysis is intra-procedural and tracks lock state linearly through
+// each function body: x.Lock() adds x to the held set, x.Unlock() removes
+// it, defer x.Unlock() holds it for the rest of the function. Branch
+// bodies are analyzed with a copy of the held set, so an early
+// unlock-and-return path does not leak state into the fallthrough path.
+// Non-blocking channel operations (inside a select with a default case)
+// are permitted — that is the sanctioned try-send/try-receive idiom.
+// sync.Cond.Wait is also permitted: it releases the mutex while waiting.
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc:  "forbid blocking operations (channel ops, sleeps, network IO) while holding a mutex",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockBlockBody(pass, fn.Body)
+		}
+		// Every function literal is its own execution context (goroutine
+		// bodies, callbacks): analyze each body independently. The
+		// statement walker never descends into literal bodies, so nothing
+		// is reported twice.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLockBlockBody(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// heldSet maps a mutex expression (rendered as source text) to the
+// position where it was locked.
+type heldSet map[string]ast.Node
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func checkLockBlockBody(pass *Pass, body *ast.BlockStmt) {
+	walkLockBlock(pass, body, heldSet{})
+}
+
+// walkLockBlock processes stmts in order, threading the held set through
+// straight-line code and forking it into branches.
+func walkLockBlock(pass *Pass, stmt ast.Stmt, held heldSet) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			walkLockBlock(pass, st, held)
+		}
+	case *ast.ExprStmt:
+		if name, mu, ok := mutexOp(pass.TypesInfo, s.X); ok {
+			switch name {
+			case "Lock", "RLock":
+				held[mu] = s.X
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			case "TryLock", "TryRLock":
+				// Result discarded as a statement: lock state unknown;
+				// treat as held to stay conservative.
+				held[mu] = s.X
+			}
+			return
+		}
+		checkBlockingExpr(pass, s.X, held)
+	case *ast.DeferStmt:
+		if name, _, ok := mutexOp(pass.TypesInfo, s.Call); ok {
+			if name == "Unlock" || name == "RUnlock" {
+				return // held until return; the set keeps it
+			}
+		}
+		// The deferred call's arguments are evaluated now; the body runs
+		// at return, when locks released earlier may still be held — but
+		// tracking that precisely needs path info, so only argument
+		// evaluation is checked here.
+		for _, arg := range s.Call.Args {
+			checkBlockingExpr(pass, arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkBlockingExpr(pass, rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			checkBlockingExpr(pass, lhs, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			reportBlocking(pass, s.Pos(), "channel send", held)
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			reportBlocking(pass, s.Pos(), "blocking select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := held.clone()
+				for _, st := range cc.Body {
+					walkLockBlock(pass, st, branch)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockBlock(pass, s.Init, held)
+		}
+		checkBlockingExpr(pass, s.Cond, held)
+		walkLockBlock(pass, s.Body, held.clone())
+		if s.Else != nil {
+			walkLockBlock(pass, s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockBlock(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkBlockingExpr(pass, s.Cond, held)
+		}
+		walkLockBlock(pass, s.Body, held.clone())
+	case *ast.RangeStmt:
+		if t := pass.TypesInfo.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok && len(held) > 0 {
+				reportBlocking(pass, s.Pos(), "range over channel", held)
+			}
+		}
+		walkLockBlock(pass, s.Body, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockBlock(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkBlockingExpr(pass, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := held.clone()
+				for _, st := range cc.Body {
+					walkLockBlock(pass, st, branch)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := held.clone()
+				for _, st := range cc.Body {
+					walkLockBlock(pass, st, branch)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs without the caller's locks; argument
+		// evaluation happens now.
+		for _, arg := range s.Call.Args {
+			checkBlockingExpr(pass, arg, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkBlockingExpr(pass, r, held)
+		}
+	case *ast.LabeledStmt:
+		walkLockBlock(pass, s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						checkBlockingExpr(pass, v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		checkBlockingExpr(pass, s.X, held)
+	}
+}
+
+// checkBlockingExpr flags blocking operations appearing inside an
+// expression evaluated while locks are held: channel receives and calls
+// into known-blocking functions. Function literals are skipped — they run
+// later, in their own context.
+func checkBlockingExpr(pass *Pass, e ast.Expr, held heldSet) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The literal executes outside this statement's lock region;
+			// its body is analyzed independently by runLockBlock.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				reportBlocking(pass, x.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if kind, ok := blockingCall(pass.TypesInfo, x); ok {
+				reportBlocking(pass, x.Pos(), kind, held)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes calls that block for unbounded time: time.Sleep,
+// sync.WaitGroup.Wait, and network dial/IO.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if isPkgFunc(info, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	for _, fn := range []string{"Dial", "DialTimeout", "DialTCP", "Listen", "ListenTCP"} {
+		if isPkgFunc(info, call, "net", fn) {
+			return "net." + fn, true
+		}
+	}
+	if name, ok := methodOn(info, call, "sync", "WaitGroup"); ok && name == "Wait" {
+		return "WaitGroup.Wait", true
+	}
+	// Method calls on net package types (Conn, TCPConn, ...): reads and
+	// writes hit the wire and can stall on a slow peer.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+			if typeFromPackage(tv.Type, "net") {
+				switch sel.Sel.Name {
+				case "Read", "Write", "ReadFrom", "WriteTo", "Accept":
+					return "net connection " + sel.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// typeFromPackage reports whether t (through pointers) is a named type
+// declared in the package with the given import path.
+func typeFromPackage(t types.Type, pkgPath string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// mutexOp recognizes expressions of the form mu.Lock() / mu.Unlock() /
+// mu.RLock() / mu.RUnlock() / mu.TryLock() on sync.Mutex or sync.RWMutex
+// receivers, returning the method name and the receiver's source text.
+func mutexOp(info *types.Info, e ast.Expr) (method, mutex string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return "", "", false
+	}
+	if !namedTypeIs(tv.Type, "sync", "Mutex") && !namedTypeIs(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return sel.Sel.Name, types.ExprString(sel.X), true
+	}
+	return "", "", false
+}
+
+// reportBlocking emits one diagnostic naming the blocking operation and
+// every mutex held at that point.
+func reportBlocking(pass *Pass, pos token.Pos, op string, held heldSet) {
+	names := make([]string, 0, len(held))
+	for mu := range held {
+		names = append(names, mu)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos, "%s while holding %s", op, strings.Join(names, ", "))
+}

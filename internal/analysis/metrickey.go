@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// metricsPkgPath is the package whose Registry the metrickey analyzer
+// guards.
+const metricsPkgPath = "invalidb/internal/metrics"
+
+// metricKeyPattern is the required shape of a metric series name: lowercase
+// dotted segments ("cluster.writes_ingested"). One series per constant name
+// keeps scrape output stable and bounded; per-entity families go through
+// Registry.Collect instead.
+var metricKeyPattern = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// metricKeyMethods are the Registry methods whose first argument names a
+// series.
+var metricKeyMethods = map[string]bool{
+	"Counter": true,
+	"Gauge":   true,
+	"Text":    true,
+	"Latency": true,
+}
+
+// MetricKey enforces that metric series are keyed by compile-time constant
+// dotted names. Building a key from a remote address, session, or query ID
+// creates one series per entity: unbounded registry growth and scrape
+// churn — the exact bug class fixed in the PR 3 review, where per-session
+// broker drop counters were keyed by raw remote addresses. Dynamic
+// families belong in Registry.Collect, which emits at snapshot time
+// without registering permanent series.
+var MetricKey = &Analyzer{
+	Name: "metrickey",
+	Doc:  "require constant dotted series names in Registry.Counter/Gauge/Text/Latency calls",
+	Run:  runMetricKey,
+}
+
+func runMetricKey(pass *Pass) error {
+	info := pass.TypesInfo
+	inspectFiles(pass.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := methodOn(info, call, metricsPkgPath, "Registry")
+		if !ok || !metricKeyMethods[name] || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(arg.Pos(), "Registry.%s key must be a constant string, not built at runtime (use Registry.Collect for dynamic families)", name)
+			return true
+		}
+		key := constant.StringVal(tv.Value)
+		if !metricKeyPattern.MatchString(key) {
+			pass.Reportf(arg.Pos(), "metric key %q is not a lowercase dotted name (want e.g. \"layer.metric_name\")", key)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledLifecycle guards the sync.Pool tuple-recycling protocol from PR 1:
+// a pooled value must be drawn for a reason, must not be touched after it
+// is returned, and must not be returned twice. Violations corrupt the pool
+// silently — a tuple recycled while a bolt still holds it is handed to a
+// concurrent deliver and mutated under the first holder, the bug class the
+// supervisor's inflight bookkeeping exists to avoid.
+//
+// Checks (intra-procedural, statement order within each function):
+//   - a pool.Get() result must be used, not discarded or bound to _;
+//   - after pool.Put(x) — or a call to a recycle/release helper that puts —
+//     the same variable must not be used again;
+//   - pool.Put(x) must not run twice on the same variable in
+//     straight-line code;
+//   - a locally drawn pooled value must either be handed off (passed to a
+//     call, sent to a channel, stored, or returned) or be Put back in the
+//     same function.
+var PooledLifecycle = &Analyzer{
+	Name: "pooledlifecycle",
+	Doc:  "enforce sync.Pool Get/Put lifecycle: no discarded Gets, no use-after-Put, no double-Put, no leaked locals",
+	Run:  runPooledLifecycle,
+}
+
+// recycleHelpers are in-repo wrappers that return their argument to a
+// pool; a call counts as a Put of the argument.
+var recycleHelpers = map[string]bool{
+	"recycleTuple": true,
+}
+
+func runPooledLifecycle(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPooledLifecycle(pass, fn)
+		}
+	}
+	return nil
+}
+
+// poolMethod recognizes calls of the form p.Get() / p.Put(x) on sync.Pool.
+func poolMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name, ok := methodOn(info, call, "sync", "Pool")
+	if !ok {
+		return "", false
+	}
+	if name == "Get" || name == "Put" {
+		return name, true
+	}
+	return "", false
+}
+
+// putArgObject resolves the variable object being returned to a pool by a
+// Put call or a recycle helper, if the argument is a plain identifier.
+func putArgObject(info *types.Info, call *ast.CallExpr) types.Object {
+	var arg ast.Expr
+	if name, ok := poolMethod(info, call); ok && name == "Put" && len(call.Args) == 1 {
+		arg = call.Args[0]
+	} else if id, ok := call.Fun.(*ast.Ident); ok && recycleHelpers[id.Name] && len(call.Args) == 1 {
+		arg = call.Args[0]
+	}
+	if arg == nil {
+		return nil
+	}
+	if id, ok := unwrapIdent(arg); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+func unwrapIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func checkPooledLifecycle(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Pass 1: discarded Get results, and Get results bound to locals that
+	// neither escape nor get Put back.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, ok := poolMethod(info, call); ok && name == "Get" {
+					pass.Reportf(call.Pos(), "sync.Pool Get result discarded: the pooled value leaks from the pool's accounting")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := unwrapCall(rhs)
+				if !ok {
+					continue
+				}
+				if name, ok := poolMethod(info, call); ok && name == "Get" && i < len(s.Lhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(call.Pos(), "sync.Pool Get result assigned to _: the pooled value leaks from the pool's accounting")
+					}
+				}
+			}
+		}
+		return true
+	})
+	checkLocalPooledValues(pass, fn)
+	// Pass 2: use-after-Put and double-Put, in statement order per block.
+	checkPutOrder(pass, fn.Body)
+}
+
+func unwrapCall(e ast.Expr) (*ast.CallExpr, bool) {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		return x, true
+	case *ast.TypeAssertExpr:
+		if c, ok := x.X.(*ast.CallExpr); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// checkPutOrder walks one block's statements in order; once a variable is
+// Put, any later mention in the block (or nested blocks) is a
+// use-after-Put, and a second Put is a double-Put.
+func checkPutOrder(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	put := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution context
+		case *ast.DeferStmt:
+			return false // runs at return, after every ordinary use
+		case *ast.CallExpr:
+			if obj := putArgObject(info, x); obj != nil {
+				if put[obj] {
+					pass.Reportf(x.Pos(), "%s returned to the pool twice", obj.Name())
+				}
+				put[obj] = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && put[obj] {
+				pass.Reportf(x.Pos(), "use of %s after it was returned to the pool", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkLocalPooledValues flags variables initialized from pool.Get that
+// are only ever mutated locally: without a Put, a handoff (call argument,
+// channel send, store into a field/map/slice, or return), the value
+// silently leaves the pooled population.
+func checkLocalPooledValues(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Collect Get-initialized locals.
+	locals := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range s.Rhs {
+			call, ok := unwrapCall(rhs)
+			if !ok {
+				continue
+			}
+			if name, ok := poolMethod(info, call); ok && name == "Get" && i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						locals[obj] = call
+					} else if obj := info.Uses[id]; obj != nil {
+						locals[obj] = call
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+	// A local is settled if it is Put, or escapes this function.
+	settled := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if obj := putArgObject(info, x); obj != nil {
+				settled[obj] = true
+				return true
+			}
+			for _, arg := range x.Args {
+				if id, ok := unwrapIdent(arg); ok {
+					if obj := info.Uses[id]; obj != nil {
+						settled[obj] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := unwrapIdent(x.Value); ok {
+				if obj := info.Uses[id]; obj != nil {
+					settled[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if id, ok := unwrapIdent(r); ok {
+					if obj := info.Uses[id]; obj != nil {
+						settled[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the pointer anywhere (field, map, slice, another
+			// variable) counts as a handoff.
+			for _, rhs := range x.Rhs {
+				if id, ok := unwrapIdent(rhs); ok {
+					if obj := info.Uses[id]; obj != nil {
+						settled[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, call := range locals {
+		if !settled[obj] {
+			pass.Reportf(call.Pos(), "pooled value %s is neither returned to the pool nor handed off on any path", obj.Name())
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package core
+
+import "time"
+
+// The fixture is type-checked under the package path
+// invalidb/internal/core, where the coarse tick clock exists: every
+// time.Now is flagged, annotated or not.
+
+func anywhere() time.Time {
+	return time.Now() // want `time\.Now in a coarse-clock package`
+}
+
+func allowed() time.Time {
+	//invalidb:allow coarseclock fixture documents the exception
+	return time.Now()
+}

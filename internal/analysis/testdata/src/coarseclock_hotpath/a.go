@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Outside coarse-clock packages only //invalidb:hotpath functions are
+// checked.
+
+//invalidb:hotpath
+func hotNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now in hot-path function hotNow`
+}
+
+func coldNow() time.Time {
+	return time.Now() // unannotated function in a normal package: fine
+}

@@ -1,0 +1,28 @@
+package fixture
+
+// Expectations for this fixture live in TestDirectiveFixture: the
+// diagnostics land on the directive comment lines themselves, which cannot
+// carry a second trailing comment.
+
+//invalidb:frobnicate
+var x = 1
+
+//invalidb:hotpath
+func annotated() int { return x }
+
+func misplaced() int {
+	//invalidb:hotpath
+	return x
+}
+
+//invalidb:allow
+var y = 2
+
+//invalidb:allow nosuchanalyzer because reasons
+var z = 3
+
+//invalidb:allow hotpathalloc
+var w = 4
+
+//invalidb:hotpath with args
+func argy() int { return x }

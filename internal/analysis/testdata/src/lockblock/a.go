@@ -1,0 +1,113 @@
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (g *guarded) sendWhileLocked() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleepWhileDeferLocked() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding g\.mu`
+}
+
+func (g *guarded) receiveWhileRLocked() {
+	g.rw.RLock()
+	v := <-g.ch // want `channel receive while holding g\.rw`
+	_ = v
+	g.rw.RUnlock()
+}
+
+func (g *guarded) waitWhileLocked() {
+	g.mu.Lock()
+	g.wg.Wait() // want `WaitGroup\.Wait while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func (g *guarded) dialWhileLocked() {
+	g.mu.Lock()
+	c, err := net.Dial("tcp", "localhost:1") // want `net\.Dial while holding g\.mu`
+	_, _ = c, err
+	g.mu.Unlock()
+}
+
+func (g *guarded) blockingSelect() {
+	g.mu.Lock()
+	select { // want `blocking select while holding g\.mu`
+	case v := <-g.ch:
+		_ = v
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) rangeWhileLocked() {
+	g.mu.Lock()
+	for v := range g.ch { // want `range over channel while holding g\.mu`
+		_ = v
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) bothHeld() {
+	g.mu.Lock()
+	g.rw.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu, g\.rw`
+	g.rw.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) goroutineBody() {
+	go func() {
+		g.mu.Lock()
+		g.ch <- 1 // want `channel send while holding g\.mu`
+		g.mu.Unlock()
+	}()
+}
+
+// Negative cases: the sanctioned idioms must stay unflagged.
+
+func (g *guarded) trySendIsFine() {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) unlockThenSend() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1 // lock released: fine
+}
+
+func (g *guarded) branchRelease(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		g.ch <- 1 // released on this path: fine
+		return
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) closureEscapesLockRegion() {
+	g.mu.Lock()
+	f := func() { g.ch <- 1 } // runs later, outside the lock region: fine
+	g.mu.Unlock()
+	f()
+}

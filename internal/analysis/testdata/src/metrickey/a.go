@@ -1,0 +1,20 @@
+package fixture
+
+import "invalidb/internal/metrics"
+
+const goodName = "fixture.good_series"
+
+func record(r *metrics.Registry, session string, n int64) {
+	r.Counter("fixture.writes_total").Add(n)
+	r.Counter(goodName).Inc()
+	r.Gauge("fixture.queue_depth", func() float64 { return 0 })
+	r.Counter("BadName.series").Add(1)    // want `not a lowercase dotted name`
+	r.Counter("nodots").Inc()             // want `not a lowercase dotted name`
+	r.Latency("fixture." + session)       // want `must be a constant string`
+	r.Text("fixture.build_info", version) // constant key, dynamic value: fine
+	r.Collect(func(emit func(name string, v float64)) {
+		emit("fixture.session."+session, 1) // dynamic families go through Collect
+	})
+}
+
+func version() string { return "dev" }

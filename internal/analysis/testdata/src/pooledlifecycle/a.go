@@ -1,0 +1,73 @@
+package fixture
+
+import "sync"
+
+type thing struct{ n int }
+
+var pool = sync.Pool{New: func() any { return new(thing) }}
+
+func recycleTuple(t *thing) {
+	t.n = 0
+	pool.Put(t)
+}
+
+func discarded() {
+	pool.Get() // want `Get result discarded`
+}
+
+func blankAssign() {
+	_ = pool.Get() // want `Get result assigned to _`
+}
+
+func useAfterPut() {
+	t := pool.Get().(*thing)
+	t.n = 1
+	pool.Put(t)
+	t.n = 2 // want `use of t after it was returned to the pool`
+}
+
+func useAfterRecycleHelper() {
+	t := pool.Get().(*thing)
+	recycleTuple(t)
+	t.n = 3 // want `use of t after it was returned to the pool`
+}
+
+func doublePut() {
+	t := pool.Get().(*thing)
+	pool.Put(t)
+	pool.Put(t) // want `t returned to the pool twice`
+}
+
+func leaked() {
+	t := pool.Get().(*thing) // want `neither returned to the pool nor handed off`
+	t.n = 42
+}
+
+// Negative cases: the sanctioned lifecycles must stay unflagged.
+
+func putBack() {
+	t := pool.Get().(*thing)
+	t.n = 1
+	pool.Put(t)
+}
+
+func handoffToChannel(ch chan *thing) {
+	t := pool.Get().(*thing)
+	ch <- t
+}
+
+func handoffToCall() {
+	t := pool.Get().(*thing)
+	recycleTuple(t)
+}
+
+func handoffByReturn() *thing {
+	t := pool.Get().(*thing)
+	return t
+}
+
+func deferredPut() {
+	t := pool.Get().(*thing)
+	defer pool.Put(t) // runs after every ordinary use: fine
+	t.n = 4
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// allocSink keeps interner lookups from being optimized away.
+var allocSink string
+
+// TestKeyInternerNoAllocs pins the interner's contract: the first sight of a
+// (tenant, collection, key) triple pays one intern allocation, every later
+// lookup is allocation-free.
+func TestKeyInternerNoAllocs(t *testing.T) {
+	ki := newKeyInterner()
+	ki.key("tenant-a", "items", "user:12345") // one-time intern allocation
+	if n := testing.AllocsPerRun(1000, func() {
+		allocSink = ki.key("tenant-a", "items", "user:12345")
+	}); n != 0 {
+		t.Fatalf("interned key lookup costs %.2f allocs/op, want 0", n)
+	}
+}
+
+// TestHandleWriteFilteredNoAllocs pins the steady-state cost of the two
+// write paths the per-node throughput budget is spent on:
+//
+//   - a write no registered query could match (the query index prunes every
+//     candidate before a single filter evaluation) completes with zero
+//     allocations — this covers the //invalidb:hotpath chain handleWrite →
+//     keyInterner.key → candidatesInto;
+//   - a stale replay (version not newer than the staleness table's) is
+//     dropped with zero allocations.
+//
+// Matching writes allocate by design: they emit a notification. The emit
+// path's budget is pinned by BenchmarkFanOutRouting (make bench-smoke).
+func TestHandleWriteFilteredNoAllocs(t *testing.T) {
+	b := newMatchHarness(t, Options{EnableQueryIndex: true})
+	// One indexed query on collection "c"; the measured writes target
+	// collection "d", so the index probe never reaches a filter.
+	subscribeFor(b, query.MustCompile(rangeSpec(0, 10)), "s1", 1000*time.Hour)
+
+	we := &WriteEvent{Tenant: "t", Image: &document.AfterImage{
+		Collection: "d", Key: "k", Version: 1, Op: document.OpInsert,
+		Doc: document.Document{"_id": "k", "n": int64(50)},
+	}}
+	// Warm up past the measured iteration count so the retention ring, the
+	// staleness maps, the interner and the candidate scratch map reach their
+	// steady-state capacity.
+	for i := 0; i < 4096; i++ {
+		we.Image.Version++
+		b.handleWrite(nil, we)
+	}
+	// Prune retained images so the measured pushes reuse ring capacity; the
+	// tick also evicts the interned key, so re-warm briefly after it.
+	b.handleTick(b.now.Add(b.c.opts.RetentionTime + time.Minute))
+	for i := 0; i < 16; i++ {
+		we.Image.Version++
+		b.handleWrite(nil, we)
+	}
+
+	if n := testing.AllocsPerRun(2000, func() {
+		we.Image.Version++
+		b.handleWrite(nil, we)
+	}); n != 0 {
+		t.Fatalf("index-filtered write allocates %.2f/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(2000, func() {
+		b.handleWrite(nil, we) // version unchanged: staleness dedup path
+	}); n != 0 {
+		t.Fatalf("stale-replay write allocates %.2f/op, want 0", n)
+	}
+}

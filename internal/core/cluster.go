@@ -422,6 +422,7 @@ func (c *Cluster) registerSubscription(req *SubscribeRequest, q *query.Query, ha
 		sids = map[string]*regEntry{}
 		c.registry[hash] = sids
 	}
+	//invalidb:allow coarseclock control-plane TTL deadline, not on the write path
 	sids[req.SubscriptionID] = &regEntry{req: req, q: q, hash: hash, deadline: time.Now().Add(ttl)}
 	c.regMu.Unlock()
 }
@@ -441,6 +442,7 @@ func (c *Cluster) extendSubscription(hash uint64, sid string, ttl time.Duration)
 	c.regMu.Lock()
 	if sids := c.registry[hash]; sids != nil {
 		if e := sids[sid]; e != nil {
+			//invalidb:allow coarseclock control-plane TTL deadline, not on the write path
 			e.deadline = time.Now().Add(ttl)
 		}
 	}
@@ -470,6 +472,7 @@ func (c *Cluster) pruneRegistry(now time.Time) {
 // snapshotSubscriptions returns all live registry entries, lazily pruning
 // expired ones (their matching-node state expires on ticks anyway).
 func (c *Cluster) snapshotSubscriptions() []*regEntry {
+	//invalidb:allow coarseclock heartbeat-rate registry pruning, not on the write path
 	now := time.Now()
 	c.regMu.Lock()
 	var out []*regEntry

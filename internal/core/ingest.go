@@ -99,11 +99,13 @@ func newTickSpout(interval time.Duration) topology.Spout {
 
 func (s *tickSpout) Open(ctx *topology.SpoutContext) error {
 	s.ctx = ctx
+	//invalidb:allow coarseclock tick spout is the clock source itself
 	s.next = time.Now().Add(s.interval)
 	return nil
 }
 
 func (s *tickSpout) NextTuple() bool {
+	//invalidb:allow coarseclock tick spout is the clock source itself
 	now := time.Now()
 	if now.Before(s.next) {
 		return false
@@ -366,9 +368,10 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 	b.c.registerTenant(env.Write.Tenant)
 	b.c.mWrites.Inc()
 	we := &WriteEvent{
-		Tenant:   env.Write.Tenant,
-		Image:    img,
-		SentNs:   env.Write.SentNs,
+		Tenant: env.Write.Tenant,
+		Image:  img,
+		SentNs: env.Write.SentNs,
+		//invalidb:allow coarseclock deliberate stage-boundary stamp: per-write wall time feeds the latency breakdown (DESIGN.md §8)
 		IngestNs: time.Now().UnixNano(),
 	}
 	w := int(document.HashKey(img.Key) % uint64(b.c.opts.WritePartitions))

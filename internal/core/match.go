@@ -106,6 +106,7 @@ func newKeyInterner() *keyInterner {
 	return &keyInterner{keys: map[string]string{}}
 }
 
+//invalidb:hotpath
 func (ki *keyInterner) key(tenant, collection, key string) string {
 	ki.buf = append(ki.buf[:0], tenant...)
 	ki.buf = append(ki.buf, 0)
@@ -115,6 +116,7 @@ func (ki *keyInterner) key(tenant, collection, key string) string {
 	if s, ok := ki.keys[string(ki.buf)]; ok { // no alloc: compiler-optimized lookup
 		return s
 	}
+	//invalidb:allow hotpathalloc interning allocates once per distinct key, never afterwards
 	s := string(ki.buf)
 	ki.keys[s] = s
 	return s
@@ -167,6 +169,7 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	b.queries = map[uint64]*matchQuery{}
 	b.latest = map[string]uint64{}
 	b.latestAt = map[string]time.Time{}
+	//invalidb:allow coarseclock one-time seed of the coarse clock at Prepare
 	b.now = time.Now()
 	b.interner = newKeyInterner()
 	if cap := b.c.opts.NodeCapacity; cap > 0 {
@@ -179,6 +182,7 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	return nil
 }
 
+//invalidb:hotpath
 func (b *matchBolt) Execute(t *topology.Tuple) {
 	if hook := b.c.opts.MatchHook; hook != nil {
 		// The hook may panic (fault injection). It runs BEFORE the deferred
@@ -198,6 +202,7 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 		// node's coarse clock consistent without another time.Now() call.
 		now, _ := t.Values[0].(time.Time)
 		if now.IsZero() {
+			//invalidb:allow coarseclock fallback for tick tuples without a timestamp
 			now = time.Now()
 		}
 		b.handleTick(now)
@@ -241,6 +246,7 @@ func compositeKey(tenant, collection, key string) string {
 	return tenant + "\x00" + collection + "\x00" + key
 }
 
+//invalidb:hotpath
 func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 	img := we.Image
 	ck := b.interner.key(we.Tenant, img.Collection, img.Key)
@@ -285,6 +291,8 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 // status (§5.1). ck is the write's composite key — identical to the query's
 // tracker key whenever the tenant/collection guard passes, so callers hand
 // down the interned key instead of re-concatenating it per query.
+//
+//invalidb:hotpath
 func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEvent, ck string) {
 	img := we.Image
 	if we.Tenant != mq.tenant || img.Collection != mq.q.Collection {
@@ -326,6 +334,7 @@ func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, we *WriteEvent, mt M
 	// Matches are rare relative to writes evaluated, so a real time.Now()
 	// here (rather than the coarse tick clock) costs nothing measurable
 	// and gives the breakdown its matching-stage boundary.
+	//invalidb:allow coarseclock per-match stage-boundary stamp; matches are rare relative to writes
 	matchNs := time.Now().UnixNano()
 	if mq.ordered || len(b.c.opts.ExtraStages) > 0 {
 		delta := &deltaEvent{
@@ -365,6 +374,7 @@ func (b *matchBolt) emit(t *topology.Tuple, mq *matchQuery, we *WriteEvent, mt M
 }
 
 func (b *matchBolt) handleSubscribe(t *topology.Tuple, p *subscribePayload) {
+	//invalidb:allow coarseclock control-plane TTL deadline at subscribe time
 	now := time.Now()
 	mq := b.queries[p.hash]
 	if mq == nil {
@@ -436,6 +446,7 @@ func (b *matchBolt) handleExtend(p *ExtendRequest) {
 	if ttl <= 0 {
 		ttl = b.c.opts.DefaultTTL
 	}
+	//invalidb:allow coarseclock control-plane TTL deadline at extend time
 	mq.subs[p.SubscriptionID] = time.Now().Add(ttl)
 }
 
@@ -496,11 +507,13 @@ func newTokenBucket(rate float64) *tokenBucket {
 	return &tokenBucket{
 		rate:  rate,
 		burst: rate * 0.05, // 50ms of headroom absorbs scheduler jitter
-		last:  time.Now(),
+		//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
+		last: time.Now(),
 	}
 }
 
 func (tb *tokenBucket) take(n float64) {
+	//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
 	now := time.Now()
 	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 	tb.last = now
@@ -515,6 +528,7 @@ func (tb *tokenBucket) take(n float64) {
 		// balance: sleeps routinely overshoot their deadline, and resetting
 		// to zero discarded that accrual, making throttled nodes deliver
 		// measurably less than their configured budget.
+		//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
 		now = time.Now()
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 		tb.last = now

@@ -128,6 +128,8 @@ func (qi *queryIndex) candidates(we *WriteEvent, ck string) map[uint64]*matchQue
 // candidatesInto fills out with every candidate query, keyed by query hash,
 // and returns it. The caller owns (and clears) the scratch map, so the
 // per-write probe allocates nothing once the map has grown to steady state.
+//
+//invalidb:hotpath
 func (qi *queryIndex) candidatesInto(we *WriteEvent, ck string, out map[uint64]*matchQuery) map[uint64]*matchQuery {
 	for h, mq := range qi.unindexed {
 		out[h] = mq
@@ -137,7 +139,10 @@ func (qi *queryIndex) candidatesInto(we *WriteEvent, ck string, out map[uint64]*
 	}
 	img := we.Image
 	if img.Doc != nil {
-		prefix := we.Tenant + "\x00" + img.Collection + "\x00"
+		// ck is the interned tenant\x00collection\x00key composite, so the
+		// tenant\x00collection\x00 prefix is a slice of it — no per-write
+		// re-concatenation.
+		prefix := ck[:len(ck)-len(img.Key)]
 		for key, tree := range qi.trees {
 			if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
 				continue

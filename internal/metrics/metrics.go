@@ -53,6 +53,8 @@ func NewWindowedLatencyRecorder(window int) *LatencyRecorder {
 
 // Record adds one sample. Windowed recorders evict the oldest retained
 // sample once full.
+//
+//invalidb:hotpath
 func (r *LatencyRecorder) Record(d time.Duration) {
 	r.mu.Lock()
 	r.count++
@@ -187,6 +189,8 @@ func NewHistogram(bucketMS, upperMS float64) *Histogram {
 }
 
 // Record adds a sample.
+//
+//invalidb:hotpath
 func (h *Histogram) Record(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	h.mu.Lock()

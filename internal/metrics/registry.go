@@ -18,9 +18,13 @@ type Int struct {
 }
 
 // Add increments the counter by delta.
+//
+//invalidb:hotpath
 func (i *Int) Add(delta int64) { i.v.Add(delta) }
 
 // Inc increments the counter by one.
+//
+//invalidb:hotpath
 func (i *Int) Inc() { i.v.Add(1) }
 
 // Set overwrites the counter value.
@@ -252,6 +256,8 @@ const (
 // durations from cross-node clock skew are recorded as-is — the
 // histogram clamps, and the recorder tolerates them. The stage recorders
 // are pre-resolved fields, so this path never takes the registry mutex.
+//
+//invalidb:hotpath
 func (r *Registry) RecordStages(writeNs, ingestNs, matchNs, recvNs, deliverNs int64) {
 	if writeNs != 0 && ingestNs != 0 {
 		r.stageIngest.Record(time.Duration(ingestNs - writeNs))

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"invalidb/internal/document"
+)
+
+// FuzzApplyUpdate drives the MongoDB-style update engine with arbitrary
+// document and update JSON. Invariants:
+//
+//   - applyUpdate rejects bad updates with an error, never a panic;
+//   - a successful result stays JSON-encodable (after-images travel the
+//     wire to matching nodes);
+//   - a replacement update (no $-operators) yields exactly the replacement
+//     document, and as a copy — mutating the result must not alias the
+//     caller's update map;
+//   - single-operator single-path updates are deterministic (multi-entry
+//     updates iterate Go maps, so their apply order is unspecified;
+//     $currentDate reads the wall clock — both are excluded).
+func FuzzApplyUpdate(f *testing.F) {
+	seeds := []struct{ doc, update string }{
+		{`{"_id":"k","n":1}`, `{"$set":{"n":2}}`},
+		{`{"_id":"k","n":1}`, `{"$inc":{"n":5}}`},
+		{`{"_id":"k","n":2}`, `{"$mul":{"n":3}}`},
+		{`{"_id":"k","n":2}`, `{"$min":{"n":1}}`},
+		{`{"_id":"k","n":2}`, `{"$max":{"m":9}}`},
+		{`{"_id":"k"}`, `{"$push":{"tags":"x"}}`},
+		{`{"_id":"k","tags":["x"]}`, `{"$push":{"tags":{"$each":["y","z"]}}}`},
+		{`{"_id":"k","tags":["x"]}`, `{"$addToSet":{"tags":"x"}}`},
+		{`{"_id":"k","tags":["x","y"]}`, `{"$pull":{"tags":"x"}}`},
+		{`{"_id":"k","tags":["x","y"]}`, `{"$pop":{"tags":1}}`},
+		{`{"_id":"k","a":{"b":1}}`, `{"$unset":{"a.b":""}}`},
+		{`{"_id":"k","a":1}`, `{"$rename":{"a":"b"}}`},
+		{`{"_id":"k","a":1}`, `{"name":"replacement"}`},
+		{`{"_id":"k"}`, `{"$set":{"a.b.c":[1,{"d":2}]}}`},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.doc), []byte(s.update))
+	}
+	f.Fuzz(func(t *testing.T, docJSON, updateJSON []byte) {
+		var rawDoc map[string]any
+		if err := json.Unmarshal(docJSON, &rawDoc); err != nil {
+			t.Skip()
+		}
+		var rawUpdate map[string]any
+		if err := json.Unmarshal(updateJSON, &rawUpdate); err != nil {
+			t.Skip()
+		}
+		got, err := applyUpdate(document.Document(rawDoc).Clone(), rawUpdate)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if _, err := json.Marshal(got); err != nil {
+			t.Fatalf("updated document not JSON-encodable: %v", err)
+		}
+		if !hasUpdateOperator(rawUpdate) {
+			if !reflect.DeepEqual(map[string]any(got), rawUpdate) {
+				t.Fatalf("replacement update did not replace: got %v want %v", got, rawUpdate)
+			}
+			return
+		}
+		if deterministicUpdate(rawUpdate) {
+			again, err := applyUpdate(document.Document(rawDoc).Clone(), rawUpdate)
+			if err != nil {
+				t.Fatalf("update succeeded once then failed: %v", err)
+			}
+			if !reflect.DeepEqual(got, again) {
+				t.Fatalf("update not deterministic: %v vs %v", got, again)
+			}
+		}
+	})
+}
+
+// deterministicUpdate reports whether the update has a single operator with
+// a single path and does not read the clock — the subset whose result is
+// independent of map iteration order and wall time.
+func deterministicUpdate(update map[string]any) bool {
+	if len(update) != 1 {
+		return false
+	}
+	for op, rawArgs := range update {
+		if op == "$currentDate" {
+			return false
+		}
+		args, ok := rawArgs.(map[string]any)
+		if !ok || len(args) > 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -100,6 +100,8 @@ var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
 // recycleTuple resets a delivered tuple and returns it to the pool. The
 // extra-anchor slices keep their capacity so multi-anchored batch tuples
 // recycle allocation-free too.
+//
+//invalidb:hotpath
 func recycleTuple(t *Tuple) {
 	t.Component = ""
 	t.Stream = ""
@@ -631,6 +633,8 @@ func (tk *task) drainDead() {
 // fanOut routes values to every downstream subscriber of the component's
 // stream, anchored to root (0 = unanchored) plus any extraRoots of a batch
 // emit. directTask >= 0 restricts direct-grouping routes to that task index.
+//
+//invalidb:hotpath
 func (comp *component) fanOut(from *task, stream string, root uint64, extraRoots []uint64, values Values, directTask int) {
 	fields := comp.def.outputs[stream]
 	for _, r := range comp.routes[stream] {
@@ -668,6 +672,8 @@ func (comp *component) fanOut(from *task, stream string, root uint64, extraRoots
 
 // deliver sends one pooled tuple copy to target, registering ack edges for
 // every anchored root. It reports false when the topology stopped.
+//
+//invalidb:hotpath
 func (comp *component) deliver(from *task, stream string, fields []string, root uint64, extraRoots []uint64, values Values, target *task) bool {
 	top := comp.top
 	tup := tuplePool.Get().(*Tuple)
@@ -731,6 +737,7 @@ func (c *taskCollector) EmitDirectStream(stream string, taskID int, anchor *Tupl
 	c.emit(stream, anchor, values, taskID)
 }
 
+//invalidb:hotpath
 func (c *taskCollector) emit(stream string, anchor *Tuple, values Values, direct int) {
 	c.task.emitted.Add(1)
 	var root uint64
@@ -744,12 +751,14 @@ func (c *taskCollector) emit(stream string, anchor *Tuple, values Values, direct
 	c.task.comp.fanOut(c.task, stream, root, extra, values, direct)
 }
 
+//invalidb:hotpath
 func (c *taskCollector) EmitBatch(anchors []*Tuple, values Values) {
 	c.task.emitted.Add(1)
 	root, extra := c.task.gatherRoots(anchors)
 	c.task.comp.fanOut(c.task, DefaultStream, root, extra, values, -1)
 }
 
+//invalidb:hotpath
 func (c *taskCollector) EmitDirectBatch(taskID int, anchors []*Tuple, values Values) {
 	if taskID < 0 {
 		taskID = 0
@@ -762,6 +771,8 @@ func (c *taskCollector) EmitDirectBatch(taskID int, anchors []*Tuple, values Val
 // gatherRoots flattens the ack roots of a batch's anchors into a primary
 // root plus extras, reusing the task's scratch slice (tasks are
 // single-threaded, so the scratch is safe until the next batch emit).
+//
+//invalidb:hotpath
 func (tk *task) gatherRoots(anchors []*Tuple) (uint64, []uint64) {
 	tk.rootScratch = tk.rootScratch[:0]
 	var root uint64
@@ -781,6 +792,7 @@ func (tk *task) gatherRoots(anchors []*Tuple) (uint64, []uint64) {
 	return root, tk.rootScratch
 }
 
+//invalidb:hotpath
 func (c *taskCollector) Ack(t *Tuple) {
 	c.task.acked.Add(1)
 	top := c.task.comp.top
@@ -795,6 +807,7 @@ func (c *taskCollector) Ack(t *Tuple) {
 	c.recycle(t)
 }
 
+//invalidb:hotpath
 func (c *taskCollector) Fail(t *Tuple) {
 	c.task.failed.Add(1)
 	top := c.task.comp.top
@@ -814,6 +827,8 @@ func (c *taskCollector) Fail(t *Tuple) {
 // recycle returns an input tuple to the pool exactly once. It also clears
 // the task's in-flight marker (same goroutine) so the supervisor never
 // fails a tuple the bolt already settled before panicking.
+//
+//invalidb:hotpath
 func (c *taskCollector) recycle(t *Tuple) {
 	if t.done {
 		return
@@ -835,6 +850,8 @@ const (
 // type-switched fast paths, so routing common key types (strings, integers,
 // byte slices) performs no allocation. The rare fallback for exotic types
 // formats the value, matching the legacy behaviour.
+//
+//invalidb:hotpath
 func hashFields(values Values, indexes []int) uint64 {
 	h := uint64(offset64)
 	for _, idx := range indexes {
@@ -847,6 +864,7 @@ func hashFields(values Values, indexes []int) uint64 {
 	return h
 }
 
+//invalidb:hotpath
 func hashValue(h uint64, v any) uint64 {
 	switch x := v.(type) {
 	case string:
@@ -878,6 +896,7 @@ func hashValue(h uint64, v any) uint64 {
 			h = hashUint64(h, 0)
 		}
 	default:
+		//invalidb:allow hotpathalloc rare fallback for exotic key types, matching legacy formatting behaviour
 		s := fmt.Sprint(x)
 		for i := 0; i < len(s); i++ {
 			h ^= uint64(s[i])
@@ -887,6 +906,7 @@ func hashValue(h uint64, v any) uint64 {
 	return h
 }
 
+//invalidb:hotpath
 func hashUint64(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
 		h ^= v & 0xff
@@ -899,6 +919,8 @@ func hashUint64(h, v uint64) uint64 {
 // RouteHash exposes the fields-grouping hash: it hashes the given value
 // positions exactly as fields grouping does. Benchmarks assert its
 // allocation-free fast paths.
+//
+//invalidb:hotpath
 func RouteHash(values Values, indexes []int) uint64 {
 	return hashFields(values, indexes)
 }
