@@ -40,14 +40,19 @@ race:
 chaos:
 	$(GO) test -race ./internal/chaostest/ -count=1
 
-# Allocation smoke: the routing hot path must stay at 0 allocs/op.
+# Allocation smoke: the routing hot path must stay at 0 allocs/op, and the
+# wire codec benchmarks must keep compiling and running (EXPERIMENTS.md
+# records representative numbers; TestEnvelopeWireEncodeNoAllocs pins the
+# 0 allocs/op claim in the regular test suite).
 bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkEnvelopeWire' -benchmem -benchtime=1x
 
 # Fuzz smoke: run each native fuzz target briefly past its seed corpus.
 fuzz-smoke:
 	$(GO) test ./internal/query -run '^$$' -fuzz FuzzMatch -fuzztime 2000x
 	$(GO) test ./internal/storage -run '^$$' -fuzz FuzzApplyUpdate -fuzztime 2000x
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzEnvelopeWire -fuzztime 2000x
 
 # Observability smoke: boot a broker + cluster with -obs-addr and assert
 # /metrics and /healthz answer with real content.

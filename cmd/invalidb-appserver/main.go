@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"invalidb/internal/appserver"
+	"invalidb/internal/core"
 	"invalidb/internal/eventlayer/tcp"
 	"invalidb/internal/gateway"
 	"invalidb/internal/obs"
@@ -35,8 +36,12 @@ func main() {
 		journal = flag.String("journal", "", "write-ahead log path (empty = volatile database)")
 		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables; unauthenticated — \":port\" binds loopback, use an explicit host like 0.0.0.0:9090 to expose)")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+		wire    = flag.String("wire", core.WireBinary, "wire format for envelopes: binary|json (decode auto-detects either)")
 	)
 	flag.Parse()
+	if err := core.SetWireFormat(*wire); err != nil {
+		fatal(err)
+	}
 
 	db := storage.Open(storage.Options{})
 	if *journal != "" {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"invalidb/internal/core"
 	"invalidb/internal/experiments"
 )
 
@@ -36,8 +37,12 @@ func main() {
 		notifs     = flag.Int("notifs", 50, "matching notifications per second (latency samples)")
 		partitions = flag.String("partitions", "1,2,4,8", "cluster sizes to sweep")
 		verbose    = flag.Bool("v", false, "print per-point progress")
+		wire       = flag.String("wire", core.WireBinary, "wire format for envelopes: binary|json (decode auto-detects either)")
 	)
 	flag.Parse()
+	if err := core.SetWireFormat(*wire); err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Config{
 		NodeCapacity:       *capacity,

@@ -165,6 +165,7 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		mEventDrops: reg.Counter("appserver.event_drops"),
 		mResubs:     reg.Counter("appserver.resubscribes"),
 	}
+	core.RegisterWireMetrics(reg)
 	reg.Gauge("appserver.subscriptions", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()

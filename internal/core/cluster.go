@@ -271,6 +271,7 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 	}
 	c.top = top
 	top.RegisterMetrics(reg)
+	RegisterWireMetrics(reg)
 	reg.Gauge("cluster.queries", func() float64 {
 		c.regMu.Lock()
 		defer c.regMu.Unlock()

@@ -211,24 +211,59 @@ const (
 	KindResync       = "resync"
 )
 
-// Encode serializes an envelope for the event layer.
+// Encode serializes an envelope for the event layer in the process-wide
+// wire format (binary by default; see SetWireFormat).
 func (e *Envelope) Encode() ([]byte, error) {
+	if wireFormatJSON.Load() {
+		return e.EncodeJSON()
+	}
+	return e.EncodeBinary()
+}
+
+// EncodeJSON serializes the envelope as JSON — the legacy wire format,
+// still accepted by every decoder for mixed-version interoperability.
+func (e *Envelope) EncodeJSON() ([]byte, error) {
 	b, err := json.Marshal(e)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode %s envelope: %w", e.Kind, err)
+	}
+	if tag := wireKindTag(e.Kind); tag != 0 {
+		countWire(&wireStats.encMsgs, &wireStats.encBytes, tag, len(b))
 	}
 	return b, nil
 }
 
 // DecodeEnvelope parses an envelope and validates that its kind matches the
-// populated payload.
+// populated payload. Both wire formats are accepted: binary envelopes are
+// recognized by their leading magic byte, anything else (legacy JSON starts
+// with '{') falls through to the JSON decoder.
 func DecodeEnvelope(data []byte) (*Envelope, error) {
+	return DecodeWire(data)
+}
+
+// DecodeWire parses an envelope in either wire format, auto-detected from
+// the first byte. Both paths apply the same per-kind validation, so a
+// decoded envelope always re-encodes cleanly in both formats.
+//
+//invalidb:hotpath
+func DecodeWire(data []byte) (*Envelope, error) {
+	if len(data) > 0 && data[0] == wireMagic {
+		return decodeBinaryEnvelope(data)
+	}
+	return decodeJSONEnvelope(data)
+}
+
+func decodeJSONEnvelope(data []byte) (*Envelope, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
 	var e Envelope
 	if err := dec.Decode(&e); err != nil {
 		return nil, fmt.Errorf("core: decode envelope: %w", err)
 	}
+	// Rebuild the envelope with only the payload matching its kind, so the
+	// "exactly one field besides Kind" invariant holds even for input that
+	// carried extra payload fields.
+	clean := Envelope{Kind: e.Kind}
 	var ok bool
 	switch e.Kind {
 	case KindSubscribe:
@@ -238,11 +273,14 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 				e.Subscribe.Result[i].Doc = document.Normalize(e.Subscribe.Result[i].Doc)
 			}
 			e.Subscribe.Query.Filter = normalizeFilter(e.Subscribe.Query.Filter)
+			clean.Subscribe = e.Subscribe
 		}
 	case KindCancel:
 		ok = e.Cancel != nil
+		clean.Cancel = e.Cancel
 	case KindExtend:
 		ok = e.Extend != nil
+		clean.Extend = e.Extend
 	case KindWrite:
 		ok = e.Write != nil && e.Write.Image != nil
 		if ok {
@@ -252,23 +290,35 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 			if err := e.Write.Image.Validate(); err != nil {
 				return nil, err
 			}
+			clean.Write = e.Write
 		}
 	case KindNotification:
 		ok = e.Notification != nil
-		if ok && e.Notification.Doc != nil {
-			e.Notification.Doc = document.Normalize(e.Notification.Doc)
+		if ok {
+			if e.Notification.Type < MatchAdd || e.Notification.Type > MatchError {
+				return nil, fmt.Errorf("core: notification with invalid match type %d", uint8(e.Notification.Type))
+			}
+			if e.Notification.Doc != nil {
+				e.Notification.Doc = document.Normalize(e.Notification.Doc)
+			}
+			clean.Notification = e.Notification
 		}
 	case KindHeartbeat:
 		ok = e.Heartbeat != nil
+		clean.Heartbeat = e.Heartbeat
 	case KindResync:
 		ok = e.Resync != nil
+		clean.Resync = e.Resync
 	default:
 		return nil, fmt.Errorf("core: unknown envelope kind %q", e.Kind)
 	}
 	if !ok {
 		return nil, fmt.Errorf("core: %s envelope without payload", e.Kind)
 	}
-	return &e, nil
+	if tag := wireKindTag(clean.Kind); tag != 0 {
+		countWire(&wireStats.decMsgs, &wireStats.decBytes, tag, len(data))
+	}
+	return &clean, nil
 }
 
 func normalizeFilter(f map[string]any) map[string]any {

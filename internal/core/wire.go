@@ -1,0 +1,1038 @@
+// Binary wire codec for Envelope. JSON marshaling dominated the event
+// layer's per-message cost once the match path went zero-alloc (PR 1), so
+// envelopes crossing the bus are encoded in a compact hand-rolled
+// length/varint format instead: a leading magic byte, a kind tag, then the
+// kind's fields in a fixed order. Legacy JSON payloads (first byte '{')
+// still decode through the same entry point, so mixed-version peers
+// interoperate with no negotiation. DESIGN.md §10 specifies the format
+// byte for byte.
+//
+// Parity contract with the JSON path: any envelope decoded by DecodeWire —
+// from either format — re-encodes successfully in both formats, and the
+// two round trips yield identical envelopes (FuzzEnvelopeWire enforces
+// this). That requires the binary encoder to mirror encoding/json's
+// observable behavior: integral float64 values collapse to int64 (JSON
+// numbers lose the distinction), NaN/Inf are encode errors, and omitempty
+// fields collapse empty documents to nil.
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"unicode/utf8"
+
+	"invalidb/internal/document"
+	"invalidb/internal/metrics"
+	"invalidb/internal/query"
+)
+
+// wireMagic is the first byte of every binary envelope. It is outside the
+// ASCII range so it can never collide with JSON's leading '{' (0x7B) or
+// whitespace, which is what makes format auto-detection sound.
+const wireMagic = 0xB1
+
+// Kind tags (byte 1 of a binary envelope).
+const (
+	wireTagSubscribe byte = iota + 1
+	wireTagCancel
+	wireTagExtend
+	wireTagWrite
+	wireTagNotification
+	wireTagHeartbeat
+	wireTagResync
+
+	wireTagCount = int(wireTagResync) + 1
+)
+
+// Document value tags. Every document value is one tag byte followed by
+// the tag's payload.
+const (
+	wireValNull   byte = 0
+	wireValFalse  byte = 1
+	wireValTrue   byte = 2
+	wireValInt    byte = 3 // zigzag varint
+	wireValFloat  byte = 4 // 8-byte little-endian IEEE 754
+	wireValString byte = 5 // uvarint length + bytes
+	wireValArray  byte = 6 // uvarint count + values
+	wireValObject byte = 7 // uvarint count + (string key, value) pairs
+)
+
+// maxWireDepth bounds document nesting on decode so crafted input cannot
+// overflow the stack.
+const maxWireDepth = 200
+
+// Decode errors are predeclared so the decoder allocates nothing while
+// rejecting corrupt input.
+var (
+	errWireTruncated = errors.New("core: truncated binary envelope")
+	errWireTrailing  = errors.New("core: trailing bytes after binary envelope")
+	errWireBadTag    = errors.New("core: unknown binary value tag")
+	errWireBadKind   = errors.New("core: unknown binary envelope kind")
+	errWireBadFloat  = errors.New("core: non-finite float on the wire")
+	errWireDepth     = errors.New("core: document nesting too deep")
+	errWireBadType   = errors.New("core: invalid match type on the wire")
+	errWireBadString = errors.New("core: invalid UTF-8 string on the wire")
+	errWireNoPayload = errors.New("core: envelope without payload")
+	errWireBadValue  = errors.New("core: unsupported document value type")
+)
+
+// wireFormatJSON selects the Encode output format process-wide; the
+// default (false) is the binary codec. Decoding always auto-detects.
+var wireFormatJSON atomic.Bool
+
+// Wire format names accepted by SetWireFormat.
+const (
+	WireBinary = "binary"
+	WireJSON   = "json"
+)
+
+// SetWireFormat selects the encode format for every subsequent
+// Envelope.Encode in this process: "binary" (default) or "json". Decoding
+// is unaffected — both formats are always accepted — so peers with
+// different settings interoperate.
+func SetWireFormat(name string) error {
+	switch name {
+	case WireBinary:
+		wireFormatJSON.Store(false)
+	case WireJSON:
+		wireFormatJSON.Store(true)
+	default:
+		return fmt.Errorf("core: unknown wire format %q (want %q or %q)", name, WireBinary, WireJSON)
+	}
+	return nil
+}
+
+// WireFormat reports the current encode format name.
+func WireFormat() string {
+	if wireFormatJSON.Load() {
+		return WireJSON
+	}
+	return WireBinary
+}
+
+// wireStats counts messages and bytes crossing the codec, per envelope
+// kind and direction, indexed by kind tag. The counters are plain atomics
+// so the hot path never touches the registry; RegisterWireMetrics exposes
+// them as a dynamic gauge family.
+var wireStats struct {
+	encMsgs  [wireTagCount]atomic.Uint64
+	encBytes [wireTagCount]atomic.Uint64
+	decMsgs  [wireTagCount]atomic.Uint64
+	decBytes [wireTagCount]atomic.Uint64
+}
+
+var wireKindNames = [wireTagCount]string{
+	wireTagSubscribe:    KindSubscribe,
+	wireTagCancel:       KindCancel,
+	wireTagExtend:       KindExtend,
+	wireTagWrite:        KindWrite,
+	wireTagNotification: KindNotification,
+	wireTagHeartbeat:    KindHeartbeat,
+	wireTagResync:       KindResync,
+}
+
+// RegisterWireMetrics exposes the codec's per-kind traffic counters
+// (wire.encode.<kind>.messages/.bytes, wire.decode.<kind>.bytes/...) on a
+// registry. The counters are process-global — traffic from every
+// component sharing the process is aggregated — and families with zero
+// traffic are not emitted.
+func RegisterWireMetrics(r *metrics.Registry) {
+	r.Collect(func(emit func(name string, v float64)) {
+		for tag := 1; tag < wireTagCount; tag++ {
+			name := wireKindNames[tag]
+			if n := wireStats.encMsgs[tag].Load(); n > 0 {
+				emit("wire.encode."+name+".messages", float64(n))
+				emit("wire.encode."+name+".bytes", float64(wireStats.encBytes[tag].Load()))
+			}
+			if n := wireStats.decMsgs[tag].Load(); n > 0 {
+				emit("wire.decode."+name+".messages", float64(n))
+				emit("wire.decode."+name+".bytes", float64(wireStats.decBytes[tag].Load()))
+			}
+		}
+	})
+}
+
+// countWire records one message of size n for a stats direction.
+//
+//invalidb:hotpath
+func countWire(msgs, bytes *[wireTagCount]atomic.Uint64, tag byte, n int) {
+	msgs[tag].Add(1)
+	bytes[tag].Add(uint64(n))
+}
+
+// wireKindTag maps an envelope kind string to its binary tag (0 if
+// unknown).
+//
+//invalidb:hotpath
+func wireKindTag(kind string) byte {
+	switch kind {
+	case KindSubscribe:
+		return wireTagSubscribe
+	case KindCancel:
+		return wireTagCancel
+	case KindExtend:
+		return wireTagExtend
+	case KindWrite:
+		return wireTagWrite
+	case KindNotification:
+		return wireTagNotification
+	case KindHeartbeat:
+		return wireTagHeartbeat
+	case KindResync:
+		return wireTagResync
+	}
+	return 0
+}
+
+// AppendEnvelope appends the binary encoding of e to buf and returns the
+// extended slice. Steady-state encodes into a buffer with sufficient
+// capacity perform zero allocations (pinned by TestEnvelopeWireEncodeNoAllocs).
+//
+//invalidb:hotpath
+func AppendEnvelope(buf []byte, e *Envelope) ([]byte, error) {
+	tag := wireKindTag(e.Kind)
+	if tag == 0 {
+		return nil, errWireBadKind
+	}
+	start := len(buf)
+	b := append(buf, wireMagic, tag)
+	var err error
+	switch tag {
+	case wireTagSubscribe:
+		if e.Subscribe == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendSubscribe(b, e.Subscribe)
+	case wireTagCancel:
+		if e.Cancel == nil {
+			return nil, errWireNoPayload
+		}
+		b = appendString(b, e.Cancel.Tenant)
+		b = appendString(b, e.Cancel.SubscriptionID)
+		b = appendFixed64(b, e.Cancel.QueryHash)
+	case wireTagExtend:
+		if e.Extend == nil {
+			return nil, errWireNoPayload
+		}
+		b = appendString(b, e.Extend.Tenant)
+		b = appendString(b, e.Extend.SubscriptionID)
+		b = appendFixed64(b, e.Extend.QueryHash)
+		b = appendSvarint(b, e.Extend.TTLMillis)
+	case wireTagWrite:
+		if e.Write == nil || e.Write.Image == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendWrite(b, e.Write)
+	case wireTagNotification:
+		if e.Notification == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendNotification(b, e.Notification)
+	case wireTagHeartbeat:
+		if e.Heartbeat == nil {
+			return nil, errWireNoPayload
+		}
+		b = appendString(b, e.Heartbeat.Tenant)
+		b = appendSvarint(b, e.Heartbeat.TimeMillis)
+	case wireTagResync:
+		if e.Resync == nil {
+			return nil, errWireNoPayload
+		}
+		b = appendString(b, e.Resync.Component)
+		b = appendSvarint(b, int64(e.Resync.TaskID))
+	}
+	if err != nil {
+		return nil, err
+	}
+	countWire(&wireStats.encMsgs, &wireStats.encBytes, tag, len(b)-start)
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendSubscribe(b []byte, s *SubscribeRequest) ([]byte, error) {
+	b = appendString(b, s.Tenant)
+	b = appendString(b, s.SubscriptionID)
+	b = appendSvarint(b, s.TTLMillis)
+	b = appendSvarint(b, int64(s.Slack))
+	var err error
+	if b, err = appendSpec(b, &s.Query); err != nil {
+		return nil, err
+	}
+	// Result has no omitempty tag, so nil and empty survive the JSON round
+	// trip distinctly; the presence scheme (0 = nil, n+1 = n entries)
+	// preserves that here too.
+	if s.Result == nil {
+		b = appendUvarint(b, 0)
+		return b, nil
+	}
+	b = appendUvarint(b, uint64(len(s.Result))+1)
+	for i := range s.Result {
+		r := &s.Result[i]
+		b = appendString(b, r.Key)
+		b = appendUvarint(b, r.Version)
+		if b, err = appendDocExact(b, r.Doc); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendSpec(b []byte, q *query.Spec) ([]byte, error) {
+	b = appendString(b, q.Collection)
+	var err error
+	// Filter is omitempty in JSON, so empty collapses to nil.
+	if b, err = appendDocField(b, document.Document(q.Filter)); err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, uint64(len(q.Sort)))
+	for i := range q.Sort {
+		b = appendString(b, q.Sort[i].Path)
+		if q.Sort[i].Desc {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = appendSvarint(b, int64(q.Limit))
+	b = appendSvarint(b, int64(q.Offset))
+	b = appendUvarint(b, uint64(len(q.Projection)))
+	for _, p := range q.Projection {
+		b = appendString(b, p)
+	}
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendWrite(b []byte, w *WriteEvent) ([]byte, error) {
+	b = appendString(b, w.Tenant)
+	b = appendSvarint(b, w.SentNs)
+	img := w.Image
+	b = appendString(b, img.Collection)
+	b = appendString(b, img.Key)
+	b = appendUvarint(b, img.Version)
+	b = append(b, byte(img.Op))
+	// Doc is omitempty in JSON; IngestNs is json:"-" and never serialized.
+	return appendDocField(b, img.Doc)
+}
+
+//invalidb:hotpath
+func appendNotification(b []byte, n *Notification) ([]byte, error) {
+	if n.Type < MatchAdd || n.Type > MatchError {
+		// JSON parity: MatchType.MarshalJSON rejects unknown types.
+		return nil, errWireBadType
+	}
+	b = appendString(b, n.Tenant)
+	b = appendString(b, n.QueryID)
+	b = append(b, byte(n.Type))
+	b = appendString(b, n.Key)
+	var err error
+	if b, err = appendDocField(b, n.Doc); err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, n.Version)
+	b = appendSvarint(b, int64(n.Index))
+	b = appendUvarint(b, n.Seq)
+	b = appendString(b, n.Origin)
+	b = appendString(b, n.Error)
+	b = appendSvarint(b, n.WriteNs)
+	b = appendSvarint(b, n.IngestNs)
+	b = appendSvarint(b, n.MatchNs)
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+//invalidb:hotpath
+func appendSvarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+//invalidb:hotpath
+func appendFixed64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+//invalidb:hotpath
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendDocField encodes a document in an omitempty position: JSON drops
+// empty maps there, so nil and empty both encode as null.
+//
+//invalidb:hotpath
+func appendDocField(b []byte, d document.Document) ([]byte, error) {
+	if len(d) == 0 {
+		return append(b, wireValNull), nil
+	}
+	return appendObject(b, d)
+}
+
+// appendDocExact encodes a document preserving the nil/empty distinction
+// (used where the JSON tag has no omitempty, e.g. ResultEntry.Doc).
+//
+//invalidb:hotpath
+func appendDocExact(b []byte, d document.Document) ([]byte, error) {
+	if d == nil {
+		return append(b, wireValNull), nil
+	}
+	return appendObject(b, d)
+}
+
+//invalidb:hotpath
+func appendObject(b []byte, m map[string]any) ([]byte, error) {
+	b = append(b, wireValObject)
+	b = appendUvarint(b, uint64(len(m)))
+	var err error
+	for k, v := range m {
+		b = appendString(b, k)
+		if b, err = appendValue(b, v); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// appendValue encodes one document value. Integral float64 values collapse
+// to the int tag — encoding/json prints them without a fraction and the
+// JSON decoder reads them back as int64, so the binary format must lose
+// the same distinction for the two round trips to agree (and for query
+// hashes to match across formats). Non-finite floats are errors, exactly
+// as they are for json.Marshal.
+//
+//invalidb:hotpath
+func appendValue(b []byte, v any) ([]byte, error) {
+	switch t := v.(type) {
+	case nil:
+		return append(b, wireValNull), nil
+	case bool:
+		if t {
+			return append(b, wireValTrue), nil
+		}
+		return append(b, wireValFalse), nil
+	case int64:
+		return appendSvarint(append(b, wireValInt), t), nil
+	case float64:
+		return appendFloat(b, t)
+	case string:
+		return appendString(append(b, wireValString), t), nil
+	case []any:
+		b = append(b, wireValArray)
+		b = appendUvarint(b, uint64(len(t)))
+		var err error
+		for _, e := range t {
+			if b, err = appendValue(b, e); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case map[string]any:
+		return appendObject(b, t)
+	case document.Document:
+		return appendObject(b, t)
+	case int:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case int32:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case int16:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case int8:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case uint:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case uint64:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case uint32:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case uint16:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case uint8:
+		return appendSvarint(append(b, wireValInt), int64(t)), nil
+	case float32:
+		return appendFloat(b, float64(t))
+	case json.Number:
+		if i, err := strconv.ParseInt(string(t), 10, 64); err == nil {
+			return appendSvarint(append(b, wireValInt), i), nil
+		}
+		f, err := strconv.ParseFloat(string(t), 64)
+		if err != nil {
+			return nil, errWireBadValue
+		}
+		return appendFloat(b, f)
+	}
+	return nil, errWireBadValue
+}
+
+// Float64 values in [minInt64f, maxInt64f) with no fractional part
+// collapse to int64 (maxInt64f = 2^63 itself is excluded).
+const (
+	minInt64f = -9223372036854775808.0
+	maxInt64f = 9223372036854775808.0
+)
+
+//invalidb:hotpath
+func appendFloat(b []byte, f float64) ([]byte, error) {
+	if i, ok := jsonIntegral(f); ok {
+		return appendSvarint(append(b, wireValInt), i), nil
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, errWireBadFloat
+	}
+	return binary.LittleEndian.AppendUint64(append(b, wireValFloat), math.Float64bits(f)), nil
+}
+
+// jsonIntegral reports the int64 the JSON round trip collapses f to, if
+// any. encoding/json prints floats in their shortest decimal form and
+// the UseNumber decode path re-parses that as an integer when it can;
+// above 2^53 the shortest form is not the mathematically exact value of
+// f, so the collapse must go through the same formatting to agree with
+// it. Up to 2^53 every integral double is exact and the conversion is a
+// single instruction.
+//
+//invalidb:hotpath
+func jsonIntegral(f float64) (int64, bool) {
+	if f != math.Trunc(f) || f < minInt64f || f >= maxInt64f {
+		return 0, false
+	}
+	if f >= -(1<<53) && f <= 1<<53 {
+		return int64(f), true
+	}
+	// The shortest 'f'-format of an integral double in int64 range is at
+	// most 20 bytes including sign, has no fractional digits, and always
+	// fits int64 after rounding (the nearest-int interval stays inside
+	// the range).
+	var tmp [24]byte
+	s := strconv.AppendFloat(tmp[:0], f, 'f', -1, 64)
+	neg := s[0] == '-'
+	if neg {
+		s = s[1:]
+	}
+	var u uint64
+	for _, c := range s {
+		u = u*10 + uint64(c-'0')
+	}
+	if neg {
+		return -int64(u), true
+	}
+	return int64(u), true
+}
+
+// EncodeBinary serializes the envelope in the binary wire format.
+func (e *Envelope) EncodeBinary() ([]byte, error) {
+	return AppendEnvelope(make([]byte, 0, 192), e)
+}
+
+// wireReader is a cursor over a binary envelope body.
+type wireReader struct {
+	b []byte
+}
+
+//invalidb:hotpath
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errWireTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) svarint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, errWireTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) fixed64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errWireTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) byte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, errWireTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+// str decodes a length-prefixed string. The copy is required: the result
+// outlives the network read buffer the envelope was framed from. Invalid
+// UTF-8 is rejected — the JSON decoder coerces it to U+FFFD, so accepting
+// it here would let the two formats disagree about the same envelope.
+//
+//invalidb:hotpath
+func (r *wireReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)) {
+		return "", errWireTruncated
+	}
+	if !utf8.Valid(r.b[:n]) {
+		return "", errWireBadString
+	}
+	//invalidb:allow hotpathalloc decode must copy retained strings off the shared read buffer
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+// value decodes one tagged document value into the canonical in-memory
+// form (nil/bool/int64/float64/string/[]any/map[string]any). Counts are
+// validated against the remaining input before allocating, so a crafted
+// length cannot force a huge allocation, and depth is bounded.
+//
+//invalidb:hotpath
+func (r *wireReader) value(depth int) (any, error) {
+	if depth > maxWireDepth {
+		return nil, errWireDepth
+	}
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case wireValNull:
+		return nil, nil
+	case wireValFalse:
+		return false, nil
+	case wireValTrue:
+		return true, nil
+	case wireValInt:
+		v, err := r.svarint()
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireValFloat:
+		bits, err := r.fixed64()
+		if err != nil {
+			return nil, err
+		}
+		f := math.Float64frombits(bits)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// Reject non-finite floats on decode so every decoded envelope
+			// re-encodes cleanly in both formats.
+			return nil, errWireBadFloat
+		}
+		return f, nil
+	case wireValString:
+		return r.str()
+	case wireValArray:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.b)) { // every element is at least one tag byte
+			return nil, errWireTruncated
+		}
+		//invalidb:allow hotpathalloc decoded arrays are retained by the envelope
+		arr := make([]any, n)
+		for i := range arr {
+			if arr[i], err = r.value(depth + 1); err != nil {
+				return nil, err
+			}
+		}
+		return arr, nil
+	case wireValObject:
+		return r.object(depth)
+	}
+	return nil, errWireBadTag
+}
+
+//invalidb:hotpath
+func (r *wireReader) object(depth int) (map[string]any, error) {
+	if depth > maxWireDepth {
+		return nil, errWireDepth
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b))/2 { // every entry is at least a length byte + a tag byte
+		return nil, errWireTruncated
+	}
+	//invalidb:allow hotpathalloc decoded objects are retained by the envelope
+	m := make(map[string]any, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// docField decodes a value that must be null or an object, in an
+// omitempty position: null maps to a nil document.
+//
+//invalidb:hotpath
+func (r *wireReader) docField() (document.Document, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case wireValNull:
+		return nil, nil
+	case wireValObject:
+		m, err := r.object(0)
+		if err != nil {
+			return nil, err
+		}
+		return document.Document(m), nil
+	}
+	return nil, errWireBadTag
+}
+
+// decodeBinaryEnvelope parses a binary envelope (data[0] == wireMagic),
+// applying the same per-kind validation as the JSON path.
+//
+//invalidb:hotpath
+func decodeBinaryEnvelope(data []byte) (*Envelope, error) {
+	if len(data) < 2 {
+		return nil, errWireTruncated
+	}
+	tag := data[1]
+	r := wireReader{b: data[2:]}
+	var e Envelope
+	var err error
+	switch tag {
+	case wireTagSubscribe:
+		e.Kind = KindSubscribe
+		e.Subscribe, err = r.decodeSubscribe()
+	case wireTagCancel:
+		e.Kind = KindCancel
+		e.Cancel, err = r.decodeCancel()
+	case wireTagExtend:
+		e.Kind = KindExtend
+		e.Extend, err = r.decodeExtend()
+	case wireTagWrite:
+		e.Kind = KindWrite
+		e.Write, err = r.decodeWrite()
+	case wireTagNotification:
+		e.Kind = KindNotification
+		e.Notification, err = r.decodeNotification()
+	case wireTagHeartbeat:
+		e.Kind = KindHeartbeat
+		e.Heartbeat, err = r.decodeHeartbeat()
+	case wireTagResync:
+		e.Kind = KindResync
+		e.Resync, err = r.decodeResync()
+	default:
+		return nil, errWireBadKind
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, errWireTrailing
+	}
+	countWire(&wireStats.decMsgs, &wireStats.decBytes, tag, len(data))
+	return &e, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeSubscribe() (*SubscribeRequest, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	s := new(SubscribeRequest)
+	var err error
+	if s.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.TTLMillis, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	slack, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Slack = int(slack)
+	if err = r.decodeSpec(&s.Query); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return s, nil // nil bootstrap result
+	}
+	n--
+	if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
+		return nil, errWireTruncated
+	}
+	//invalidb:allow hotpathalloc decoded bootstrap results are retained by the envelope
+	s.Result = make([]ResultEntry, n)
+	for i := range s.Result {
+		re := &s.Result[i]
+		if re.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if re.Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if re.Doc, err = r.docExact(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// docExact decodes a null-or-object value preserving the nil/empty
+// distinction (ResultEntry.Doc has no omitempty tag).
+//
+//invalidb:hotpath
+func (r *wireReader) docExact() (document.Document, error) {
+	return r.docField()
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeSpec(q *query.Spec) error {
+	var err error
+	if q.Collection, err = r.str(); err != nil {
+		return err
+	}
+	f, err := r.docField()
+	if err != nil {
+		return err
+	}
+	q.Filter = map[string]any(f)
+	nsort, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nsort > 0 {
+		if nsort > uint64(len(r.b))/2 {
+			return errWireTruncated
+		}
+		//invalidb:allow hotpathalloc decoded sort keys are retained by the envelope
+		q.Sort = make([]query.SortKey, nsort)
+		for i := range q.Sort {
+			if q.Sort[i].Path, err = r.str(); err != nil {
+				return err
+			}
+			desc, err := r.byte()
+			if err != nil {
+				return err
+			}
+			q.Sort[i].Desc = desc != 0
+		}
+	}
+	limit, err := r.svarint()
+	if err != nil {
+		return err
+	}
+	q.Limit = int(limit)
+	offset, err := r.svarint()
+	if err != nil {
+		return err
+	}
+	q.Offset = int(offset)
+	nproj, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nproj > 0 {
+		if nproj > uint64(len(r.b)) {
+			return errWireTruncated
+		}
+		//invalidb:allow hotpathalloc decoded projections are retained by the envelope
+		q.Projection = make([]string, nproj)
+		for i := range q.Projection {
+			if q.Projection[i], err = r.str(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeCancel() (*CancelRequest, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	c := new(CancelRequest)
+	var err error
+	if c.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.QueryHash, err = r.fixed64(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeExtend() (*ExtendRequest, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	x := new(ExtendRequest)
+	var err error
+	if x.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if x.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if x.QueryHash, err = r.fixed64(); err != nil {
+		return nil, err
+	}
+	if x.TTLMillis, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeWrite() (*WriteEvent, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	w := new(WriteEvent)
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	img := new(document.AfterImage)
+	w.Image = img
+	var err error
+	if w.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if w.SentNs, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	if img.Collection, err = r.str(); err != nil {
+		return nil, err
+	}
+	if img.Key, err = r.str(); err != nil {
+		return nil, err
+	}
+	if img.Version, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	op, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	img.Op = document.Op(op)
+	if img.Doc, err = r.docField(); err != nil {
+		return nil, err
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeNotification() (*Notification, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	n := new(Notification)
+	var err error
+	if n.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if n.QueryID, err = r.str(); err != nil {
+		return nil, err
+	}
+	t, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	n.Type = MatchType(t)
+	if n.Type < MatchAdd || n.Type > MatchError {
+		return nil, errWireBadType
+	}
+	if n.Key, err = r.str(); err != nil {
+		return nil, err
+	}
+	if n.Doc, err = r.docField(); err != nil {
+		return nil, err
+	}
+	if n.Version, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	idx, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	n.Index = int(idx)
+	if n.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if n.Origin, err = r.str(); err != nil {
+		return nil, err
+	}
+	if n.Error, err = r.str(); err != nil {
+		return nil, err
+	}
+	if n.WriteNs, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	if n.IngestNs, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	if n.MatchNs, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeHeartbeat() (*Heartbeat, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	h := new(Heartbeat)
+	var err error
+	if h.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if h.TimeMillis, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeResync() (*ResyncRequest, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	rs := new(ResyncRequest)
+	var err error
+	if rs.Component, err = r.str(); err != nil {
+		return nil, err
+	}
+	task, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	rs.TaskID = int(task)
+	return rs, nil
+}

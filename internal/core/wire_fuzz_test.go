@@ -1,0 +1,57 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzEnvelopeWire checks the codec's two contracts on arbitrary input:
+// corrupt or truncated bytes must error without panicking, and any
+// envelope that does decode — from either wire format — must round-trip
+// identically through both formats. "Identically" covers failure too: if
+// one format's round trip rejects the envelope (e.g. a write whose
+// empty document collapses to nil and then fails image validation), the
+// other must reject it as well.
+func FuzzEnvelopeWire(f *testing.F) {
+	for _, env := range wireTestEnvelopes() {
+		bin, err := env.EncodeBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin)
+		js, err := env.EncodeJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(js)
+	}
+	f.Add([]byte{wireMagic, wireTagWrite, 0, 0})
+	f.Add([]byte(`{"kind":"write","write":{}}`))
+	f.Add([]byte{wireMagic, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeWire(data)
+		if err != nil {
+			return // rejected without panicking — that's the contract
+		}
+		bin, errB := env.EncodeBinary()
+		js, errJ := env.EncodeJSON()
+		if (errB == nil) != (errJ == nil) {
+			t.Fatalf("encode disagreement: binary err=%v, json err=%v for %#v", errB, errJ, env)
+		}
+		if errB != nil {
+			return
+		}
+		rtBin, errB := DecodeWire(bin)
+		rtJSON, errJ := DecodeWire(js)
+		if (errB == nil) != (errJ == nil) {
+			t.Fatalf("round-trip decode disagreement: binary err=%v, json err=%v for %#v", errB, errJ, env)
+		}
+		if errB != nil {
+			return
+		}
+		if !reflect.DeepEqual(rtBin, rtJSON) {
+			t.Fatalf("round trips disagree:\nbinary: %#v\njson:   %#v", rtBin, rtJSON)
+		}
+	})
+}

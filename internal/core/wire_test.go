@@ -1,0 +1,301 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"invalidb/internal/document"
+	"invalidb/internal/metrics"
+	"invalidb/internal/query"
+)
+
+// wireTestEnvelopes returns one representative envelope per kind, with
+// every field populated enough to exercise the codec's corners (nested
+// documents, nil-vs-empty results, sort keys, negative numbers).
+func wireTestEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Kind: KindSubscribe, Subscribe: &SubscribeRequest{
+			Tenant:         "t1",
+			SubscriptionID: "sub-1",
+			Query: query.Spec{
+				Collection: "orders",
+				Filter: map[string]any{
+					"status": "open",
+					"total":  map[string]any{"$gte": int64(100)},
+					"tags":   []any{"a", int64(2), 3.5, true, nil},
+				},
+				Sort:       []query.SortKey{{Path: "total", Desc: true}, {Path: "_id"}},
+				Limit:      10,
+				Offset:     2,
+				Projection: []string{"_id", "total"},
+			},
+			Slack:     5,
+			TTLMillis: 60000,
+			Result: []ResultEntry{
+				{Key: "o1", Version: 3, Doc: document.Document{"_id": "o1", "total": int64(250)}},
+				{Key: "o2", Version: 1, Doc: nil},
+				{Key: "o3", Version: 9, Doc: document.Document{}},
+			},
+		}},
+		{Kind: KindCancel, Cancel: &CancelRequest{
+			Tenant: "t1", SubscriptionID: "sub-1", QueryHash: 0xDEADBEEFCAFE1234,
+		}},
+		{Kind: KindExtend, Extend: &ExtendRequest{
+			Tenant: "t1", SubscriptionID: "sub-1", QueryHash: 0xDEADBEEFCAFE1234, TTLMillis: 30000,
+		}},
+		{Kind: KindWrite, Write: &WriteEvent{
+			Tenant: "t2",
+			Image: &document.AfterImage{
+				Collection: "orders", Key: "o9", Version: 7, Op: document.OpUpdate,
+				Doc: document.Document{
+					"_id":   "o9",
+					"total": int64(-42),
+					"meta":  map[string]any{"nested": []any{map[string]any{"deep": int64(1)}}},
+					"ratio": 0.25,
+				},
+			},
+			SentNs: 1712345678901234567,
+		}},
+		{Kind: KindNotification, Notification: &Notification{
+			Tenant: "t2", QueryID: "q00000000deadbeef", Type: MatchChangeIndex,
+			Key: "o9", Doc: document.Document{"_id": "o9", "total": int64(-42)},
+			Version: 7, Index: 3, Seq: 99, Origin: "m3.1",
+			WriteNs: 100, IngestNs: 200, MatchNs: 300,
+		}},
+		{Kind: KindNotification, Notification: &Notification{
+			Tenant: "t2", QueryID: "q00000000deadbeef", Type: MatchError,
+			Error: "index overflow", Index: -1, Seq: 100,
+		}},
+		{Kind: KindHeartbeat, Heartbeat: &Heartbeat{Tenant: "t3", TimeMillis: 1712345678901}},
+		{Kind: KindResync, Resync: &ResyncRequest{Component: "match", TaskID: 4}},
+	}
+}
+
+// TestWireBinaryRoundTrip: binary encode → decode must reproduce the
+// envelope, and must agree exactly with the JSON round trip.
+func TestWireBinaryRoundTrip(t *testing.T) {
+	for _, env := range wireTestEnvelopes() {
+		bin, err := env.EncodeBinary()
+		if err != nil {
+			t.Fatalf("%s: binary encode: %v", env.Kind, err)
+		}
+		if bin[0] != wireMagic {
+			t.Fatalf("%s: binary encoding does not start with magic: % x", env.Kind, bin[:2])
+		}
+		js, err := env.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: json encode: %v", env.Kind, err)
+		}
+		fromBin, err := DecodeWire(bin)
+		if err != nil {
+			t.Fatalf("%s: binary decode: %v", env.Kind, err)
+		}
+		fromJSON, err := DecodeWire(js)
+		if err != nil {
+			t.Fatalf("%s: json decode: %v", env.Kind, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromJSON) {
+			t.Fatalf("%s: binary and JSON round trips disagree:\nbinary: %#v\njson:   %#v",
+				env.Kind, fromBin, fromJSON)
+		}
+		if !reflect.DeepEqual(fromBin, env) {
+			t.Fatalf("%s: binary round trip mutated the envelope:\nin:  %#v\nout: %#v",
+				env.Kind, env, fromBin)
+		}
+	}
+}
+
+// TestWireEncodeDispatch: Encode follows the process-wide format
+// selector, and the selector rejects unknown names.
+func TestWireEncodeDispatch(t *testing.T) {
+	env := &Envelope{Kind: KindHeartbeat, Heartbeat: &Heartbeat{Tenant: "t", TimeMillis: 1}}
+	if WireFormat() != WireBinary {
+		t.Fatalf("default wire format = %q, want binary", WireFormat())
+	}
+	b, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != wireMagic {
+		t.Fatalf("binary-mode Encode produced % x", b[:1])
+	}
+	if err := SetWireFormat(WireJSON); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetWireFormat(WireBinary); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	j, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j[0] != '{' {
+		t.Fatalf("json-mode Encode produced % x", j[:1])
+	}
+	if _, err := DecodeWire(j); err != nil {
+		t.Fatalf("decode of json-mode output: %v", err)
+	}
+	if err := SetWireFormat("protobuf"); err == nil {
+		t.Fatal("unknown wire format accepted")
+	}
+}
+
+// TestWireFloatCollapse: integral floats must collapse to int64 exactly
+// like the JSON path (json.Number round trip), so query hashes agree
+// across formats.
+func TestWireFloatCollapse(t *testing.T) {
+	env := &Envelope{Kind: KindWrite, Write: &WriteEvent{
+		Tenant: "t",
+		Image: &document.AfterImage{
+			Collection: "c", Key: "k", Version: 1, Op: document.OpInsert,
+			Doc: document.Document{
+				"intish":  3.0,
+				"negzero": math_NegZero(),
+				"frac":    3.5,
+				"big":     1e300,
+				"hugeint": 1e19, // integral but beyond int64: stays float
+			},
+		},
+	}}
+	bin, err := env.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeWire(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := env.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := DecodeWire(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromBin, fromJSON) {
+		t.Fatalf("float handling diverges:\nbinary: %#v\njson:   %#v",
+			fromBin.Write.Image.Doc, fromJSON.Write.Image.Doc)
+	}
+	doc := fromBin.Write.Image.Doc
+	if v, ok := doc["intish"].(int64); !ok || v != 3 {
+		t.Fatalf("intish = %#v, want int64(3)", doc["intish"])
+	}
+	if v, ok := doc["frac"].(float64); !ok || v != 3.5 {
+		t.Fatalf("frac = %#v, want float64(3.5)", doc["frac"])
+	}
+	if v, ok := doc["hugeint"].(float64); !ok || v != 1e19 {
+		t.Fatalf("hugeint = %#v, want float64(1e19)", doc["hugeint"])
+	}
+}
+
+// math_NegZero returns -0.0 without tripping constant folding.
+func math_NegZero() float64 {
+	z := 0.0
+	return -z
+}
+
+// TestWireRejectsCorruptBinary: corrupt and truncated binary input must
+// error, never panic.
+func TestWireRejectsCorruptBinary(t *testing.T) {
+	good, err := wireTestEnvelopes()[0].EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		{wireMagic},                      // magic only
+		{wireMagic, 0},                   // kind 0
+		{wireMagic, 99},                  // unknown kind
+		{wireMagic, wireTagHeartbeat},    // truncated payload
+		{wireMagic, wireTagNotification}, // truncated payload
+		good[:len(good)/2],               // truncated mid-payload
+		append(append([]byte{}, good...), 0xFF), // trailing garbage
+		{wireMagic, wireTagHeartbeat, 1, 't', 2, 0xFF}, // bad varint tail
+		{wireMagic, wireTagWrite, 0, 0, 0, 0, 0, 0, 0}, // fails image validation
+		{wireMagic, wireTagNotification, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // bad match type
+		{wireMagic, wireTagHeartbeat, 2, 0xFF, 0xFE, 0},                         // invalid UTF-8 tenant
+	}
+	for i, in := range cases {
+		if _, err := DecodeWire(in); err == nil {
+			t.Errorf("case %d (% x): corrupt binary accepted", i, in)
+		}
+	}
+	// A huge declared count must error before allocating.
+	bomb := []byte{wireMagic, wireTagSubscribe, 0, 0, 0, 0, 0, 0, // empty strings/ints/spec prefix
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // absurd uvarint
+	if _, err := DecodeWire(bomb); err == nil {
+		t.Error("allocation-bomb count accepted")
+	}
+}
+
+// TestWireBinarySmaller: the binary encoding must be at most half the
+// JSON size for representative write and notification envelopes (the
+// acceptance bar for the codec).
+func TestWireBinarySmaller(t *testing.T) {
+	for _, env := range wireTestEnvelopes() {
+		if env.Kind != KindWrite && env.Kind != KindNotification {
+			continue
+		}
+		bin, err := env.EncodeBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := env.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bin)*2 > len(js) {
+			t.Errorf("%s: binary %d bytes vs JSON %d bytes — not ≥2× smaller",
+				env.Kind, len(bin), len(js))
+		}
+	}
+}
+
+// TestEnvelopeWireEncodeNoAllocs pins the steady-state binary encode of
+// Write and Notification envelopes at 0 allocs/op when the caller reuses
+// the buffer, which is what the TCP write path does.
+func TestEnvelopeWireEncodeNoAllocs(t *testing.T) {
+	for _, env := range wireTestEnvelopes() {
+		if env.Kind != KindWrite && env.Kind != KindNotification {
+			continue
+		}
+		buf, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = AppendEnvelope(buf[:0], env)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state binary encode allocates %.1f/op, want 0", env.Kind, allocs)
+		}
+	}
+}
+
+// TestWireMetricsRegistered: encoding and decoding traffic shows up as
+// wire.* gauges on a registry.
+func TestWireMetricsRegistered(t *testing.T) {
+	env := &Envelope{Kind: KindHeartbeat, Heartbeat: &Heartbeat{Tenant: "t", TimeMillis: 5}}
+	b, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWire(b); err != nil {
+		t.Fatal(err)
+	}
+	r := metrics.NewRegistry()
+	RegisterWireMetrics(r)
+	snap := r.Snapshot()
+	if snap.Gauges["wire.encode.heartbeat.messages"] < 1 {
+		t.Fatalf("wire.encode.heartbeat.messages missing: %v", snap.Gauges)
+	}
+	if snap.Gauges["wire.decode.heartbeat.bytes"] < float64(len(b)) {
+		t.Fatalf("wire.decode.heartbeat.bytes too small: %v", snap.Gauges)
+	}
+}

@@ -15,6 +15,10 @@ import (
 type ClientOptions struct {
 	// BufferSize is the per-subscription local queue. Zero selects 4096.
 	BufferSize int
+	// SendQueue is the outbound frame queue shared by publishes and
+	// control frames; the write loop drains it and flushes once per
+	// drain, coalescing syscalls under load. Zero selects 1024.
+	SendQueue int
 	// ReconnectInterval is the delay between reconnection attempts after the
 	// broker connection drops. Zero selects 250ms.
 	ReconnectInterval time.Duration
@@ -30,6 +34,27 @@ type ClientOptions struct {
 	PublishBackoff time.Duration
 }
 
+// connState is one live broker connection: its socket, its outbound frame
+// queue, and a closed channel latched when the connection is severed. The
+// write loop owns the socket's outbound half; everyone else only
+// enqueues.
+type connState struct {
+	conn   net.Conn
+	out    chan frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+// shutdown severs the connection exactly once: the closed channel wakes
+// blocked publishers and the write loop, closing the socket wakes the
+// read loop.
+func (cs *connState) shutdown() {
+	cs.once.Do(func() {
+		close(cs.closed)
+		_ = cs.conn.Close()
+	})
+}
+
 // Client connects to a tcp.Server broker and implements eventlayer.Bus.
 // The connection is re-established automatically after failures and all
 // active subscriptions are replayed to the broker on reconnect; messages
@@ -40,8 +65,7 @@ type Client struct {
 	opts ClientOptions
 
 	mu       sync.Mutex
-	conn     net.Conn
-	w        *bufio.Writer
+	cs       *connState
 	subs     map[*clientSub]struct{}
 	patterns map[string]int
 	closed   bool
@@ -54,6 +78,9 @@ type Client struct {
 func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if opts.BufferSize <= 0 {
 		opts.BufferSize = 4096
+	}
+	if opts.SendQueue <= 0 {
+		opts.SendQueue = 1024
 	}
 	if opts.ReconnectInterval <= 0 {
 		opts.ReconnectInterval = 250 * time.Millisecond
@@ -80,17 +107,29 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eventlayer/tcp: dial %s: %w", addr, err)
 	}
-	c.conn = conn
-	c.w = bufio.NewWriterSize(conn, 64<<10)
-	c.wg.Add(1)
-	go c.readLoop(conn)
+	c.startConn(conn)
 	return c, nil
 }
 
+// startConn installs conn as the live connection and starts its read and
+// write loops. Caller must guarantee no other connection is live.
+func (c *Client) startConn(conn net.Conn) {
+	cs := &connState{
+		conn:   conn,
+		out:    make(chan frame, c.opts.SendQueue),
+		closed: make(chan struct{}),
+	}
+	c.cs = cs
+	c.wg.Add(2)
+	go c.readLoop(cs)
+	go c.writeLoop(cs)
+}
+
 // Publish implements eventlayer.Bus. A failed send (no connection, or a
-// write error that severs the connection) is retried up to PublishRetries
-// times with exponential backoff, giving the reconnect loop a window to
-// restore the broker link before the publish is reported lost.
+// severed connection before the frame was queued) is retried up to
+// PublishRetries times with exponential backoff, giving the reconnect
+// loop a window to restore the broker link before the publish is
+// reported lost.
 func (c *Client) Publish(topic string, payload []byte) error {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -112,20 +151,32 @@ func (c *Client) Publish(topic string, payload []byte) error {
 	}
 }
 
+// tryPublish queues one publish frame on the live connection's outbound
+// queue. It blocks when the queue is full (publisher backpressure) but
+// never holds c.mu across the wait, and it fails — for the retry loop to
+// handle — when the connection is severed before the frame is accepted.
 func (c *Client) tryPublish(topic string, payload []byte) error {
+	if len(topic) > 0xFFFF {
+		return fmt.Errorf("eventlayer/tcp: topic too long (%d bytes)", len(topic))
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return eventlayer.ErrBusClosed
 	}
-	if c.conn == nil {
+	cs := c.cs
+	c.mu.Unlock()
+	if cs == nil {
 		return fmt.Errorf("eventlayer/tcp: not connected")
 	}
-	if err := writeFrame(c.w, frame{op: opPublish, topic: topic, payload: payload}); err != nil {
-		c.dropConnLocked()
-		return fmt.Errorf("eventlayer/tcp: publish: %w", err)
+	select {
+	case cs.out <- frame{op: opPublish, topic: topic, payload: payload}:
+		return nil
+	case <-cs.closed:
+		return fmt.Errorf("eventlayer/tcp: publish: connection lost")
+	case <-c.done:
+		return eventlayer.ErrBusClosed
 	}
-	return nil
 }
 
 // Subscribe implements eventlayer.Bus.
@@ -151,14 +202,25 @@ func (c *Client) Subscribe(patterns ...string) (eventlayer.Subscription, error) 
 			fresh = append(fresh, p)
 		}
 	}
-	if len(fresh) > 0 && c.conn != nil {
-		if err := writeFrame(c.w, frame{op: opSubscribe, patterns: fresh}); err != nil {
-			c.dropConnLocked()
-			// The reconnect loop re-sends all patterns; the subscription
-			// stays registered locally.
-		}
+	if len(fresh) > 0 {
+		c.enqueueControlLocked(frame{op: opSubscribe, patterns: fresh})
 	}
 	return s, nil
+}
+
+// enqueueControlLocked queues a control frame without blocking. A full
+// queue severs the connection instead of waiting — blocking here would
+// deadlock against the write loop's drop path, and the reconnect loop
+// replays the complete pattern set anyway. Caller holds c.mu.
+func (c *Client) enqueueControlLocked(f frame) {
+	if c.cs == nil {
+		return
+	}
+	select {
+	case c.cs.out <- f:
+	default:
+		c.dropConnLocked()
+	}
 }
 
 // Close implements eventlayer.Bus.
@@ -170,9 +232,9 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	close(c.done)
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
+	if c.cs != nil {
+		c.cs.shutdown()
+		c.cs = nil
 	}
 	for s := range c.subs {
 		s.closeInner()
@@ -183,12 +245,24 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// dropConn severs cs and, if it is still the live connection, triggers
+// the reconnect loop.
+func (c *Client) dropConn(cs *connState) {
+	c.mu.Lock()
+	if c.cs == cs {
+		c.dropConnLocked()
+	} else {
+		cs.shutdown()
+	}
+	c.mu.Unlock()
+}
+
 // dropConnLocked severs the current connection and triggers the reconnect
 // loop. Caller holds c.mu.
 func (c *Client) dropConnLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
+	if c.cs != nil {
+		c.cs.shutdown()
+		c.cs = nil
 	}
 	if !c.closed {
 		c.wg.Add(1)
@@ -209,42 +283,52 @@ func (c *Client) reconnectLoop() {
 			continue
 		}
 		c.mu.Lock()
-		if c.closed || c.conn != nil {
+		if c.closed || c.cs != nil {
 			c.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		c.conn = conn
-		c.w = bufio.NewWriterSize(conn, 64<<10)
+		c.startConn(conn)
 		pats := make([]string, 0, len(c.patterns))
 		for p := range c.patterns {
 			pats = append(pats, p)
 		}
 		if len(pats) > 0 {
-			if err := writeFrame(c.w, frame{op: opSubscribe, patterns: pats}); err != nil {
-				c.dropConnLocked()
-				c.mu.Unlock()
-				return
-			}
+			// The queue is freshly created and empty, so the pattern
+			// replay is always accepted.
+			c.enqueueControlLocked(frame{op: opSubscribe, patterns: pats})
 		}
 		c.mu.Unlock()
-		c.wg.Add(1)
-		go c.readLoop(conn)
 		return
 	}
 }
 
-func (c *Client) readLoop(conn net.Conn) {
+// writeLoop drains the outbound queue onto the socket: each wakeup
+// writes every queued frame through the reusable frame writer and
+// flushes exactly once when the queue is empty again.
+func (c *Client) writeLoop(cs *connState) {
 	defer c.wg.Done()
-	r := bufio.NewReaderSize(conn, 64<<10)
+	fw := newFrameWriter(cs.conn)
+	for {
+		select {
+		case <-cs.closed:
+			return
+		case f := <-cs.out:
+			if err := writeCoalesced(fw, cs.out, f); err != nil {
+				c.dropConn(cs)
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) readLoop(cs *connState) {
+	defer c.wg.Done()
+	r := bufio.NewReaderSize(cs.conn, 64<<10)
 	for {
 		f, err := readFrame(r)
 		if err != nil {
-			c.mu.Lock()
-			if c.conn == conn {
-				c.dropConnLocked()
-			}
-			c.mu.Unlock()
+			c.dropConn(cs)
 			return
 		}
 		if f.op != opMessage {
@@ -321,10 +405,8 @@ func (s *clientSub) Close() error {
 				gone = append(gone, p)
 			}
 		}
-		if len(gone) > 0 && c.conn != nil && !c.closed {
-			if err := writeFrame(c.w, frame{op: opUnsubscribe, patterns: gone}); err != nil {
-				c.dropConnLocked()
-			}
+		if len(gone) > 0 && !c.closed {
+			c.enqueueControlLocked(frame{op: opUnsubscribe, patterns: gone})
 		}
 	}
 	c.mu.Unlock()

@@ -33,52 +33,87 @@ type frame struct {
 	patterns []string
 }
 
-// writeFrame encodes a frame as: uint32 body length, op byte, body.
-func writeFrame(w *bufio.Writer, f frame) error {
-	var body []byte
+// appendFrame appends the encoding of f — uint32 body length, op byte,
+// body — to dst and returns the extended slice. Append-style encoding
+// into a caller-owned buffer is what lets a connection's write loop reuse
+// one scratch buffer for every frame instead of allocating per frame.
+func appendFrame(dst []byte, f frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, f.op) // length backfilled below
 	switch f.op {
 	case opPublish, opMessage:
 		if len(f.topic) > 0xFFFF {
-			return fmt.Errorf("tcp: topic too long (%d bytes)", len(f.topic))
+			return nil, fmt.Errorf("tcp: topic too long (%d bytes)", len(f.topic))
 		}
-		body = make([]byte, 2+len(f.topic)+len(f.payload))
-		binary.BigEndian.PutUint16(body[:2], uint16(len(f.topic)))
-		copy(body[2:], f.topic)
-		copy(body[2+len(f.topic):], f.payload)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.topic)))
+		dst = append(dst, f.topic...)
+		dst = append(dst, f.payload...)
 	case opSubscribe, opUnsubscribe:
-		n := 2
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.patterns)))
 		for _, p := range f.patterns {
 			if len(p) > 0xFFFF {
-				return fmt.Errorf("tcp: pattern too long (%d bytes)", len(p))
+				return nil, fmt.Errorf("tcp: pattern too long (%d bytes)", len(p))
 			}
-			n += 2 + len(p)
-		}
-		body = make([]byte, n)
-		binary.BigEndian.PutUint16(body[:2], uint16(len(f.patterns)))
-		off := 2
-		for _, p := range f.patterns {
-			binary.BigEndian.PutUint16(body[off:off+2], uint16(len(p)))
-			off += 2
-			copy(body[off:], p)
-			off += len(p)
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(p)))
+			dst = append(dst, p...)
 		}
 	case opPing, opPong:
 	default:
-		return fmt.Errorf("tcp: unknown frame op %d", f.op)
+		return nil, fmt.Errorf("tcp: unknown frame op %d", f.op)
 	}
-	if len(body)+1 > maxFrameSize {
-		return fmt.Errorf("tcp: frame too large (%d bytes)", len(body)+1)
+	size := len(dst) - start - 4
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("tcp: frame too large (%d bytes)", size)
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
-	hdr[4] = f.op
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(size))
+	return dst, nil
+}
+
+// frameWriter owns one connection's outbound half: frames are encoded
+// into a reusable scratch buffer and handed to the buffered writer;
+// nothing reaches the socket until Flush. Write loops flush only when
+// their outbound queue drains, so under load many frames amortize one
+// syscall.
+type frameWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// writeFrame encodes f into the scratch buffer and queues it on the
+// buffered writer without flushing.
+func (fw *frameWriter) writeFrame(f frame) error {
+	b, err := appendFrame(fw.scratch[:0], f)
+	if err != nil {
 		return err
 	}
-	if _, err := w.Write(body); err != nil {
-		return err
+	fw.scratch = b[:0]
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// Flush pushes all queued bytes to the connection.
+func (fw *frameWriter) Flush() error { return fw.w.Flush() }
+
+// writeCoalesced writes f plus every frame already queued on out, then
+// flushes once. This is the shared deliver/publish loop body: the flush
+// syscall happens only when the queue drains, so bursts coalesce, while
+// an idle queue still flushes immediately after its single frame (the
+// publish retry path never waits on an unflushed write).
+func writeCoalesced(fw *frameWriter, out <-chan frame, f frame) error {
+	for {
+		if err := fw.writeFrame(f); err != nil {
+			return err
+		}
+		select {
+		case f = <-out:
+		default:
+			return fw.Flush()
+		}
 	}
-	return w.Flush()
 }
 
 // readFrame decodes one frame from the stream.

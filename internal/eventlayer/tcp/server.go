@@ -243,11 +243,11 @@ func (sess *session) readLoop() {
 
 func (sess *session) writeLoop() {
 	defer sess.srv.wg.Done()
-	w := bufio.NewWriterSize(sess.conn, 64<<10)
+	fw := newFrameWriter(sess.conn)
 	for {
 		select {
 		case f := <-sess.out:
-			if err := writeFrame(w, f); err != nil {
+			if err := writeCoalesced(fw, sess.out, f); err != nil {
 				sess.close()
 				return
 			}

@@ -58,9 +58,12 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	for i, f := range frames {
 		var buf bytes.Buffer
-		w := bufio.NewWriter(&buf)
-		if err := writeFrame(w, f); err != nil {
+		fw := newFrameWriter(&buf)
+		if err := fw.writeFrame(f); err != nil {
 			t.Fatalf("frame %d: write: %v", i, err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatalf("frame %d: flush: %v", i, err)
 		}
 		got, err := readFrame(bufio.NewReader(&buf))
 		if err != nil {

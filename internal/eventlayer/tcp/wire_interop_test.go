@@ -1,0 +1,147 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// wireBinaryMagic mirrors the leading byte of the binary envelope encoding
+// (DESIGN.md §10). Redeclared here because the codec keeps it unexported;
+// the test only needs it to assert which format actually hit the wire.
+const wireBinaryMagic = 0xB1
+
+// TestWireMixedModeInterop proves mixed-version interop across a real TCP
+// broker: a peer that still speaks JSON drives a binary-speaking cluster
+// (and vice versa) with no negotiation, because DecodeWire auto-detects
+// the format from the first byte. Each direction runs the full
+// subscribe → write → notification loop and asserts the cluster's replies
+// are in its own configured format while the peer's hand-encoded frames
+// are in the other.
+func TestWireMixedModeInterop(t *testing.T) {
+	t.Run("json-peer-binary-cluster", func(t *testing.T) {
+		runMixedInterop(t, core.WireBinary,
+			func(e *core.Envelope) ([]byte, error) { return e.EncodeJSON() },
+			'{', wireBinaryMagic)
+	})
+	t.Run("binary-peer-json-cluster", func(t *testing.T) {
+		runMixedInterop(t, core.WireJSON,
+			func(e *core.Envelope) ([]byte, error) { return e.EncodeBinary() },
+			wireBinaryMagic, '{')
+	})
+}
+
+func runMixedInterop(t *testing.T, clusterFormat string, encodePeer func(*core.Envelope) ([]byte, error), wantPeerByte, wantClusterByte byte) {
+	t.Helper()
+	if err := core.SetWireFormat(clusterFormat); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := core.SetWireFormat(core.WireBinary); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	srv := newBroker(t)
+	clusterBus := newClient(t, srv)
+	cluster, err := core.NewCluster(clusterBus, core.Options{
+		Namespace:       "mix",
+		QueryPartitions: 1,
+		WritePartitions: 1,
+		TickInterval:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	peer := newClient(t, srv)
+	topics := cluster.Topics()
+	notif, err := peer.Subscribe(topics.Notify("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notif.Close()
+
+	subEnv := &core.Envelope{Kind: core.KindSubscribe, Subscribe: &core.SubscribeRequest{
+		Tenant:         "t1",
+		SubscriptionID: "interop-1",
+		Query:          query.Spec{Collection: "orders", Filter: map[string]any{"status": "open"}},
+		TTLMillis:      time.Minute.Milliseconds(),
+	}}
+	data, err := encodePeer(subEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != wantPeerByte {
+		t.Fatalf("peer subscribe encoding starts with %#x, want %#x", data[0], wantPeerByte)
+	}
+	// The broker registers the cluster's topic subscriptions asynchronously,
+	// so a lone publish can race them and be dropped. Subscribing is
+	// idempotent per SubscriptionID: republish until the install shows up.
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.Metrics().Snapshot().Counters["cluster.subscribes"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never installed from foreign-format envelope")
+		}
+		if err := peer.Publish(topics.Queries(), data); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	writeEnv := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{
+		Tenant: "t1",
+		SentNs: time.Now().UnixNano(),
+		Image: &document.AfterImage{
+			Collection: "orders",
+			Key:        "o1",
+			Version:    1,
+			Op:         document.OpInsert,
+			Doc:        document.Document{"_id": "o1", "status": "open"},
+		},
+	}}
+	if data, err = encodePeer(writeEnv); err != nil {
+		t.Fatal(err)
+	}
+	// Same race as above for the writes topic: republish (same version, so
+	// a duplicate is a no-op) until the notification arrives.
+	if err := peer.Publish(topics.Writes(), data); err != nil {
+		t.Fatal(err)
+	}
+	rewrite := time.NewTicker(50 * time.Millisecond)
+	defer rewrite.Stop()
+
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case <-rewrite.C:
+			if err := peer.Publish(topics.Writes(), data); err != nil {
+				t.Fatal(err)
+			}
+		case msg := <-notif.C():
+			env, err := core.DecodeWire(msg.Payload)
+			if err != nil {
+				t.Fatalf("decode cluster reply: %v (payload % x)", err, msg.Payload[:min(len(msg.Payload), 16)])
+			}
+			if env.Kind != core.KindNotification || env.Notification.Type != core.MatchAdd {
+				continue // heartbeats etc.
+			}
+			if msg.Payload[0] != wantClusterByte {
+				t.Fatalf("cluster notification starts with %#x, want %#x", msg.Payload[0], wantClusterByte)
+			}
+			if env.Notification.Key != "o1" {
+				t.Fatalf("notification key = %q, want o1", env.Notification.Key)
+			}
+			return
+		case <-timeout:
+			t.Fatal("no match notification within 5s")
+		}
+	}
+}
