@@ -47,6 +47,7 @@ chaos:
 bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkEnvelopeWire' -benchmem -benchtime=1x
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkCandidateProbe' -benchmem -benchtime=1000x
 
 # Fuzz smoke: run each native fuzz target briefly past its seed corpus.
 fuzz-smoke:

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|all")
 		capacity   = flag.Int("capacity", 50_000, "matching-node budget in match-ops/s (paper testbed: ~1.6M)")
 		measure    = flag.Duration("measure", time.Second, "measurement phase per point (paper: 1m)")
 		warmup     = flag.Duration("warmup", 300*time.Millisecond, "warmup phase per point")
@@ -130,6 +130,18 @@ func main() {
 			}
 			fmt.Println(experiments.RenderHistogram(
 				"Figure 6d — latency distribution, write-heavy snapshot", pair))
+		case "spatiotext":
+			// The generalized predicate index under a mixed equality/geo/text
+			// population (not a paper figure; see DESIGN.md §11). Unthrottled
+			// matching nodes: the numbers are real CPU cost, not the budget
+			// simulation, so this run takes a few minutes.
+			results, err := experiments.SpatioTextComparison(cfg,
+				experiments.SpatioTextQueries, experiments.SpatioTextBaseRate,
+				experiments.SpatioTextHighRate, progress)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderSpatioText(results))
 		case "baselines":
 			results, err := experiments.Baselines(cfg, progress)
 			if err != nil {

@@ -177,6 +177,16 @@ type Cluster struct {
 	mMatched  *metrics.Int // result changes produced by matching nodes
 	mNotifs   *metrics.Int // notifications published on tenant topics
 	mInstalls *metrics.Int // subscription installs processed by query ingest
+
+	// Query-index selectivity counters: writes that reached the matching
+	// stage, candidates the per-write probe produced, candidates whose
+	// filter was actually evaluated, and evaluations that matched.
+	// probed/writes relative to the registered query count is the index's
+	// pruning power (see `-exp` breakdown tables).
+	mCandWrites    *metrics.Int
+	mCandProbed    *metrics.Int
+	mCandEvaluated *metrics.Int
+	mCandMatched   *metrics.Int
 }
 
 // NewCluster assembles a cluster over the given event layer. Call Start to
@@ -203,6 +213,11 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 		mMatched:      reg.Counter("cluster.writes_matched"),
 		mNotifs:       reg.Counter("cluster.notifications"),
 		mInstalls:     reg.Counter("cluster.subscribes"),
+
+		mCandWrites:    reg.Counter("queryindex.writes"),
+		mCandProbed:    reg.Counter("queryindex.candidates.probed"),
+		mCandEvaluated: reg.Counter("queryindex.candidates.evaluated"),
+		mCandMatched:   reg.Counter("queryindex.candidates.matched"),
 	}
 
 	qp, wp := opts.QueryPartitions, opts.WritePartitions

@@ -263,9 +263,11 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 	// The node's matching budget: evaluating one after-image against every
 	// registered query costs len(queries) match-operations — unless the
 	// multi-query index narrows the probe to candidates.
+	b.c.mCandWrites.Inc()
 	if b.qindex != nil {
 		clear(b.cands)
 		cands := b.qindex.candidatesInto(we, ck, b.cands)
+		b.c.mCandProbed.Add(int64(len(cands)))
 		if b.bucket != nil {
 			b.bucket.take(float64(len(cands) + 1))
 		}
@@ -274,6 +276,7 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 		}
 		return
 	}
+	b.c.mCandProbed.Add(int64(len(b.queries)))
 	if b.bucket != nil {
 		cost := len(b.queries)
 		if cost == 0 {
@@ -301,7 +304,11 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 	if prev, tracked := mq.tracked[img.Key]; tracked && img.Version <= prev {
 		return // per-query staleness during replay
 	}
+	b.c.mCandEvaluated.Inc()
 	isMatch := img.Op != document.OpDelete && b.c.opts.Engine.Match(mq.q, img.Doc)
+	if isMatch {
+		b.c.mCandMatched.Inc()
+	}
 	_, wasTracked := mq.tracked[img.Key]
 	switch {
 	case isMatch && !wasTracked:

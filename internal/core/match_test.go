@@ -64,14 +64,11 @@ func TestHandleTickExpiresManyInOneTick(t *testing.T) {
 			t.Fatalf("survivor holds %d subscriptions, want 3", len(mq.subs))
 		}
 	}
-	// The index must have forgotten the expired queries: exactly one interval
-	// remains registered.
-	remaining := 0
-	for _, tree := range b.qindex.trees {
-		remaining += tree.size
-	}
+	// The index must have forgotten the expired queries: exactly one
+	// registration remains.
+	remaining := b.qindex.registered()
 	if remaining != 1 || len(b.qindex.unindexed) != 0 {
-		t.Fatalf("index still holds %d intervals / %d unindexed after expiry",
+		t.Fatalf("index still holds %d registrations / %d unindexed after expiry",
 			remaining, len(b.qindex.unindexed))
 	}
 }

@@ -2,82 +2,321 @@ package core
 
 import (
 	"sort"
+	"strings"
 
 	"invalidb/internal/document"
+	"invalidb/internal/geo"
 	"invalidb/internal/query"
 )
 
-// queryIndex is the matching node's multi-query optimization (an
-// optimization the InvaliDB thesis discusses alongside the prototype's
-// engine): instead of evaluating every after-image against every registered
-// query, queries with a numeric interval constraint (the shape of the
-// paper's evaluation workload, `random >= i AND random < j`) are indexed in
-// a centered interval tree per (tenant, collection, field). A write then
-// only probes
+// queryIndex is the matching node's multi-query optimization: instead of
+// evaluating every after-image against every registered query, each query is
+// registered under the most selective *necessary* condition its filter
+// exposes (query.IndexableConstraints), and a write only probes the queries
+// whose condition the written document could satisfy. Four index families
+// cover the common predicate shapes, echoing the per-predicate index lists
+// of distributed spatio-textual pub/sub systems (Chen et al.):
 //
-//   - the queries whose interval is stabbed by the written value,
+//   - interval trees for numeric range constraints (the paper's evaluation
+//     workload, `random >= i AND random < j`),
+//   - a hash index for scalar equality ({field: value}, $in),
+//   - a grid-cell index for $geoWithin/$nearSphere shapes (internal/geo
+//     cells at a fixed resolution → query postings),
+//   - an inverted token index for $text term queries.
+//
+// The families are grouped into per-(tenant, collection) buckets so a write
+// probes only its own collection's indexes; the bucket key is a slice of the
+// write's interned composite key, so the probe performs no per-write key
+// construction. On top of the bucket probe, every write also visits
+//
 //   - the queries currently tracking the written key (their matching status
-//     can only *end*, which the interval cannot rule out), and
+//     can only *end*, which no necessary condition can rule out), and
 //   - the residual queries with no extractable constraint.
 //
-// Correctness: an interval constraint is necessary for matching, so any
-// query not in the candidate set neither matches the new image nor tracked
-// the old one — its result cannot change.
+// Correctness: an indexed constraint is necessary for matching, so any query
+// not in the candidate set neither matches the new image nor tracked the old
+// one — its result cannot change. See DESIGN.md §11.
 type queryIndex struct {
-	// trees: tenant\x00collection\x00path -> interval tree over queries.
-	trees map[string]*intervalTree
+	// buckets: tenant\x00collection -> that collection's index families.
+	buckets map[string]*collectionIndex
 	// unindexed queries are probed on every write.
 	unindexed map[uint64]*matchQuery
 	// trackers: composite record key -> queries currently tracking it.
 	trackers map[string]map[uint64]*matchQuery
-	// ivByQuery remembers each indexed query's tree key and interval.
-	ivByQuery map[uint64]indexedAt
+	// byQuery remembers where each indexed query was registered.
+	byQuery map[uint64]indexedAt
+	// tokBuf is the reusable lowercase-token buffer of the text probe.
+	tokBuf []byte
+	// rangeMin/rangeMax/rangeAny accumulate the numeric extent of one
+	// probed path across every array branch (see accumRangePath).
+	rangeMin, rangeMax float64
+	rangeAny           bool
 }
 
-type indexedAt struct {
-	treeKey string
-	iv      query.Interval
+// collectionIndex holds one (tenant, collection)'s index families. size
+// counts the queries registered across all families, so empty buckets can be
+// dropped.
+type collectionIndex struct {
+	// trees: field path -> interval tree over numeric range constraints.
+	trees map[string]*intervalTree
+	// eq: field path -> scalar value -> queries requiring that value.
+	eq map[string]map[eqValue]map[uint64]*matchQuery
+	// geo: field path -> grid cell -> queries whose shape's bound covers it.
+	geo map[string]map[uint64]map[uint64]*matchQuery
+	// text: token -> queries requiring (at least) that token.
+	text map[string]map[uint64]*matchQuery
+	size int
 }
+
+// indexedAt records a query's registration for O(1) removal.
+type indexedAt struct {
+	bucket string
+	c      query.Constraint
+	eqVals []eqValue // ConstraintEquality: the hash keys registered
+	cells  []uint64  // ConstraintGeo: the cells registered
+}
+
+// eqValue is the equality index's hash key: a scalar normalized so that
+// values document.Compare would equate collide (int64 3 and float64 3.0 both
+// key as num 3). Bools key separately — they are their own type bracket.
+type eqValue struct {
+	kind uint8 // eqKindStr | eqKindNum | eqKindBool
+	str  string
+	num  float64
+}
+
+const (
+	eqKindStr uint8 = iota
+	eqKindNum
+	eqKindBool
+)
+
+// geoCellDeg is the grid resolution (degrees per cell). At 0.1° a cell is
+// ~11km at the equator — fine enough that city-scale query shapes cover a
+// handful of cells, coarse enough that country-scale shapes stay under the
+// cell cap.
+const geoCellDeg = 0.1
+
+// maxGeoCells caps the postings one geo query may occupy. Shapes covering
+// more cells fall through to the query's next constraint (or unindexed):
+// a near-worldwide query gains nothing from cell postings.
+const maxGeoCells = 4096
 
 func newQueryIndex() *queryIndex {
 	return &queryIndex{
-		trees:     map[string]*intervalTree{},
+		buckets:   map[string]*collectionIndex{},
 		unindexed: map[uint64]*matchQuery{},
 		trackers:  map[string]map[uint64]*matchQuery{},
-		ivByQuery: map[uint64]indexedAt{},
+		byQuery:   map[uint64]indexedAt{},
+		tokBuf:    make([]byte, 0, 64),
 	}
 }
 
-func treeKey(tenant, collection, path string) string {
-	return tenant + "\x00" + collection + "\x00" + path
+func bucketKey(tenant, collection string) string {
+	return tenant + "\x00" + collection
 }
 
-// add registers a query.
+// add registers a query under the most selective of its indexable
+// constraints; queries with none are probed on every write.
 func (qi *queryIndex) add(mq *matchQuery) {
-	if iv, ok := mq.q.IndexInterval(); ok {
-		key := treeKey(mq.tenant, mq.q.Collection, iv.Path)
-		tree := qi.trees[key]
-		if tree == nil {
-			tree = &intervalTree{}
-			qi.trees[key] = tree
+	bkey := bucketKey(mq.tenant, mq.q.Collection)
+	for _, c := range mq.q.IndexableConstraints() {
+		if qi.tryIndex(bkey, c, mq) {
+			return
 		}
-		tree.insert(iv, mq)
-		qi.ivByQuery[mq.hash] = indexedAt{treeKey: key, iv: iv}
-		return
 	}
 	qi.unindexed[mq.hash] = mq
 }
 
-// remove deregisters a query and its tracker entries. The query's own
-// tracked-key set makes this O(keys tracked by this query) rather than a
-// scan over every tracker on the node.
+// tryIndex attempts to register mq under one constraint. It returns false
+// when the constraint cannot be served (currently only a geo bound covering
+// more than maxGeoCells cells), letting add fall through to the next one.
+func (qi *queryIndex) tryIndex(bkey string, c query.Constraint, mq *matchQuery) bool {
+	at := indexedAt{bucket: bkey, c: c}
+	switch c.Kind {
+	case query.ConstraintGeo:
+		cells, ok := geo.CoverCells(c.Bound, geoCellDeg, maxGeoCells, nil)
+		if !ok {
+			return false
+		}
+		b := qi.bucket(bkey)
+		byCell := b.geo[c.Path]
+		if byCell == nil {
+			byCell = map[uint64]map[uint64]*matchQuery{}
+			b.geo[c.Path] = byCell
+		}
+		for _, cell := range cells {
+			set := byCell[cell]
+			if set == nil {
+				set = map[uint64]*matchQuery{}
+				byCell[cell] = set
+			}
+			set[mq.hash] = mq
+		}
+		at.cells = cells
+	case query.ConstraintEquality:
+		vals := make([]eqValue, 0, len(c.Values))
+		for _, v := range c.Values {
+			ev, ok := constraintEqValue(v)
+			if !ok {
+				return false // extraction only emits convertible scalars
+			}
+			vals = append(vals, ev)
+		}
+		b := qi.bucket(bkey)
+		byVal := b.eq[c.Path]
+		if byVal == nil {
+			byVal = map[eqValue]map[uint64]*matchQuery{}
+			b.eq[c.Path] = byVal
+		}
+		for _, ev := range vals {
+			set := byVal[ev]
+			if set == nil {
+				set = map[uint64]*matchQuery{}
+				byVal[ev] = set
+			}
+			set[mq.hash] = mq
+		}
+		at.eqVals = vals
+	case query.ConstraintText:
+		b := qi.bucket(bkey)
+		for _, tok := range c.Tokens {
+			set := b.text[tok]
+			if set == nil {
+				set = map[uint64]*matchQuery{}
+				b.text[tok] = set
+			}
+			set[mq.hash] = mq
+		}
+	case query.ConstraintInterval:
+		b := qi.bucket(bkey)
+		tree := b.trees[c.Path]
+		if tree == nil {
+			tree = &intervalTree{}
+			b.trees[c.Path] = tree
+		}
+		tree.insert(c.Interval, mq)
+	default:
+		return false
+	}
+	qi.bucket(bkey).size++
+	qi.byQuery[mq.hash] = at
+	return true
+}
+
+func (qi *queryIndex) bucket(bkey string) *collectionIndex {
+	b := qi.buckets[bkey]
+	if b == nil {
+		b = &collectionIndex{
+			trees: map[string]*intervalTree{},
+			eq:    map[string]map[eqValue]map[uint64]*matchQuery{},
+			geo:   map[string]map[uint64]map[uint64]*matchQuery{},
+			text:  map[string]map[uint64]*matchQuery{},
+		}
+		qi.buckets[bkey] = b
+	}
+	return b
+}
+
+// constraintEqValue converts an extraction-normalized scalar (string, bool,
+// float64) to its hash key.
+func constraintEqValue(v any) (eqValue, bool) {
+	switch t := v.(type) {
+	case string:
+		return eqValue{kind: eqKindStr, str: t}, true
+	case bool:
+		ev := eqValue{kind: eqKindBool}
+		if t {
+			ev.num = 1
+		}
+		return ev, true
+	case float64:
+		return eqValue{kind: eqKindNum, num: t}, true
+	case int64: // defensive: extraction normalizes, but accept raw int64 too
+		return eqValue{kind: eqKindNum, num: float64(t)}, true
+	default:
+		return eqValue{}, false
+	}
+}
+
+// docEqValue converts a document leaf value to its equality hash key.
+//
+//invalidb:hotpath
+func docEqValue(v any) (eqValue, bool) {
+	switch t := v.(type) {
+	case string:
+		return eqValue{kind: eqKindStr, str: t}, true
+	case int64:
+		return eqValue{kind: eqKindNum, num: float64(t)}, true
+	case float64:
+		return eqValue{kind: eqKindNum, num: t}, true
+	case bool:
+		ev := eqValue{kind: eqKindBool}
+		if t {
+			ev.num = 1
+		}
+		return ev, true
+	default:
+		return eqValue{}, false
+	}
+}
+
+// remove deregisters a query and its tracker entries. The byQuery record
+// makes this O(registration size); the query's own tracked-key set makes the
+// tracker cleanup O(keys tracked by this query).
 func (qi *queryIndex) remove(mq *matchQuery) {
-	if at, ok := qi.ivByQuery[mq.hash]; ok {
-		delete(qi.ivByQuery, mq.hash)
-		if tree := qi.trees[at.treeKey]; tree != nil {
-			tree.remove(mq.hash)
-			if tree.size == 0 {
-				delete(qi.trees, at.treeKey)
+	if at, ok := qi.byQuery[mq.hash]; ok {
+		delete(qi.byQuery, mq.hash)
+		if b := qi.buckets[at.bucket]; b != nil {
+			switch at.c.Kind {
+			case query.ConstraintGeo:
+				if byCell := b.geo[at.c.Path]; byCell != nil {
+					for _, cell := range at.cells {
+						if set := byCell[cell]; set != nil {
+							delete(set, mq.hash)
+							if len(set) == 0 {
+								delete(byCell, cell)
+							}
+						}
+					}
+					if len(byCell) == 0 {
+						delete(b.geo, at.c.Path)
+					}
+				}
+			case query.ConstraintEquality:
+				if byVal := b.eq[at.c.Path]; byVal != nil {
+					for _, ev := range at.eqVals {
+						if set := byVal[ev]; set != nil {
+							delete(set, mq.hash)
+							if len(set) == 0 {
+								delete(byVal, ev)
+							}
+						}
+					}
+					if len(byVal) == 0 {
+						delete(b.eq, at.c.Path)
+					}
+				}
+			case query.ConstraintText:
+				for _, tok := range at.c.Tokens {
+					if set := b.text[tok]; set != nil {
+						delete(set, mq.hash)
+						if len(set) == 0 {
+							delete(b.text, tok)
+						}
+					}
+				}
+			case query.ConstraintInterval:
+				if tree := b.trees[at.c.Path]; tree != nil {
+					tree.remove(mq.hash)
+					if tree.size == 0 {
+						delete(b.trees, at.c.Path)
+					}
+				}
+			}
+			b.size--
+			if b.size == 0 {
+				delete(qi.buckets, at.bucket)
 			}
 		}
 	}
@@ -91,6 +330,15 @@ func (qi *queryIndex) remove(mq *matchQuery) {
 		}
 	}
 	mq.trackedCK = nil
+}
+
+// registered returns the number of queries held in bucket indexes (tests).
+func (qi *queryIndex) registered() int {
+	n := 0
+	for _, b := range qi.buckets {
+		n += b.size
+	}
+	return n
 }
 
 // track records that a query's result partition now contains the record.
@@ -138,29 +386,286 @@ func (qi *queryIndex) candidatesInto(we *WriteEvent, ck string, out map[uint64]*
 		out[h] = mq
 	}
 	img := we.Image
-	if img.Doc != nil {
-		// ck is the interned tenant\x00collection\x00key composite, so the
-		// tenant\x00collection\x00 prefix is a slice of it — no per-write
-		// re-concatenation.
-		prefix := ck[:len(ck)-len(img.Key)]
-		for key, tree := range qi.trees {
-			if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
-				continue
-			}
-			path := key[len(prefix):]
-			for _, v := range document.Lookup(img.Doc, path) {
-				stabNumeric(tree, v, out)
-				if arr, ok := v.([]any); ok {
-					for _, e := range arr {
-						stabNumeric(tree, e, out)
-					}
-				}
-			}
+	if img.Doc == nil || len(ck) < len(img.Key)+2 {
+		return out
+	}
+	// ck is the interned tenant\x00collection\x00key composite, so the
+	// tenant\x00collection bucket key is a slice of it — no per-write key
+	// construction, and no scan over other collections' indexes.
+	b := qi.buckets[ck[:len(ck)-len(img.Key)-1]]
+	if b == nil {
+		return out
+	}
+	for path, tree := range b.trees {
+		// Numeric constraints are probed with the *extent* of the path's
+		// values, not per value: with an array field, {$gte: a, $lt: b} can
+		// be satisfied by two different elements, so the sound necessary
+		// condition is that the query interval overlaps [min, max] of the
+		// reachable values (exactly a point stab when the field is scalar).
+		qi.rangeAny = false
+		qi.accumRangePath(img.Doc, path)
+		if qi.rangeAny {
+			tree.stabRange(qi.rangeMin, qi.rangeMax, out)
 		}
+	}
+	for path, byVal := range b.eq {
+		probeEqualityPath(img.Doc, path, byVal, out)
+	}
+	for path, byCell := range b.geo {
+		probeGeoPath(img.Doc, path, byCell, out)
+	}
+	if len(b.text) > 0 {
+		qi.probeTextValue(map[string]any(img.Doc), b.text, out)
 	}
 	return out
 }
 
+// The path walkers below mirror document.Lookup's traversal — numeric
+// segments index arrays positionally, non-numeric segments fan out over
+// array elements — without its allocations (Lookup splits the path and
+// builds value slices per call; the walkers slice the path in place and
+// visit leaves directly). At a leaf they apply MongoDB's implicit array
+// semantics: the value itself and, when it is an array, each element.
+
+// splitSeg cuts the first dotted segment off a path.
+//
+//invalidb:hotpath
+func splitSeg(path string) (seg, rest string) {
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		return path[:i], path[i+1:]
+	}
+	return path, ""
+}
+
+// segIndex parses a path segment as a non-negative array index, mirroring
+// document's positional-lookup rule.
+//
+//invalidb:hotpath
+func segIndex(seg string) (int, bool) {
+	if seg == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(seg); i++ {
+		c := seg[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// accumRangePath widens qi.rangeMin/rangeMax with every numeric value the
+// path reaches (across all array branches and leaf array elements), so the
+// caller can run one interval-overlap query against the whole extent.
+//
+//invalidb:hotpath
+func (qi *queryIndex) accumRangePath(cur any, path string) {
+	if path == "" {
+		qi.accumRangeValue(cur)
+		if arr, ok := cur.([]any); ok {
+			for _, e := range arr {
+				qi.accumRangeValue(e)
+			}
+		}
+		return
+	}
+	seg, rest := splitSeg(path)
+	switch t := cur.(type) {
+	case map[string]any:
+		if v, ok := t[seg]; ok {
+			qi.accumRangePath(v, rest)
+		}
+	case document.Document:
+		if v, ok := t[seg]; ok {
+			qi.accumRangePath(v, rest)
+		}
+	case []any:
+		if idx, ok := segIndex(seg); ok {
+			if idx < len(t) {
+				qi.accumRangePath(t[idx], rest)
+			}
+			return
+		}
+		for _, e := range t {
+			qi.accumRangePath(e, path)
+		}
+	}
+}
+
+//invalidb:hotpath
+func (qi *queryIndex) accumRangeValue(v any) {
+	var f float64
+	switch t := v.(type) {
+	case int64:
+		f = float64(t)
+	case float64:
+		f = t
+	default:
+		return
+	}
+	if !qi.rangeAny {
+		qi.rangeMin, qi.rangeMax, qi.rangeAny = f, f, true
+		return
+	}
+	if f < qi.rangeMin {
+		qi.rangeMin = f
+	}
+	if f > qi.rangeMax {
+		qi.rangeMax = f
+	}
+}
+
+//invalidb:hotpath
+func probeEqualityPath(cur any, path string, byVal map[eqValue]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	if path == "" {
+		probeEqualityLeaf(cur, byVal, out)
+		if arr, ok := cur.([]any); ok {
+			for _, e := range arr {
+				probeEqualityLeaf(e, byVal, out)
+			}
+		}
+		return
+	}
+	seg, rest := splitSeg(path)
+	switch t := cur.(type) {
+	case map[string]any:
+		if v, ok := t[seg]; ok {
+			probeEqualityPath(v, rest, byVal, out)
+		}
+	case document.Document:
+		if v, ok := t[seg]; ok {
+			probeEqualityPath(v, rest, byVal, out)
+		}
+	case []any:
+		if idx, ok := segIndex(seg); ok {
+			if idx < len(t) {
+				probeEqualityPath(t[idx], rest, byVal, out)
+			}
+			return
+		}
+		for _, e := range t {
+			probeEqualityPath(e, path, byVal, out)
+		}
+	}
+}
+
+//invalidb:hotpath
+func probeEqualityLeaf(v any, byVal map[eqValue]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	ev, ok := docEqValue(v)
+	if !ok {
+		return
+	}
+	for h, mq := range byVal[ev] {
+		out[h] = mq
+	}
+}
+
+//invalidb:hotpath
+func probeGeoPath(cur any, path string, byCell map[uint64]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	if path == "" {
+		// A leaf is a point, or an array of points ($geoWithin's array form).
+		// ParsePoint itself understands the [lng, lat] array form, so try the
+		// value first and only then fan out.
+		if pt, ok := geo.ParsePoint(cur); ok {
+			probeGeoCell(pt, byCell, out)
+			return
+		}
+		if arr, ok := cur.([]any); ok {
+			for _, e := range arr {
+				if pt, ok := geo.ParsePoint(e); ok {
+					probeGeoCell(pt, byCell, out)
+				}
+			}
+		}
+		return
+	}
+	seg, rest := splitSeg(path)
+	switch t := cur.(type) {
+	case map[string]any:
+		if v, ok := t[seg]; ok {
+			probeGeoPath(v, rest, byCell, out)
+		}
+	case document.Document:
+		if v, ok := t[seg]; ok {
+			probeGeoPath(v, rest, byCell, out)
+		}
+	case []any:
+		if idx, ok := segIndex(seg); ok {
+			if idx < len(t) {
+				probeGeoPath(t[idx], rest, byCell, out)
+			}
+			return
+		}
+		for _, e := range t {
+			probeGeoPath(e, path, byCell, out)
+		}
+	}
+}
+
+//invalidb:hotpath
+func probeGeoCell(pt geo.Point, byCell map[uint64]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	for h, mq := range byCell[geo.CellID(pt, geoCellDeg)] {
+		out[h] = mq
+	}
+}
+
+// probeTextValue walks every value of the document (the $text operator spans
+// all string fields) and probes the token postings for each word.
+//
+//invalidb:hotpath
+func (qi *queryIndex) probeTextValue(v any, idx map[string]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	switch t := v.(type) {
+	case string:
+		qi.probeTokens(t, idx, out)
+	case map[string]any:
+		for _, e := range t {
+			qi.probeTextValue(e, idx, out)
+		}
+	case document.Document:
+		for _, e := range t {
+			qi.probeTextValue(e, idx, out)
+		}
+	case []any:
+		for _, e := range t {
+			qi.probeTextValue(e, idx, out)
+		}
+	}
+}
+
+// probeTokens scans a string's maximal ASCII-alphanumeric runs — the word
+// shape containsWord tests against — lowercased into the index's reusable
+// buffer, and merges each token's postings.
+//
+//invalidb:hotpath
+func (qi *queryIndex) probeTokens(s string, idx map[string]map[uint64]*matchQuery, out map[uint64]*matchQuery) {
+	buf := qi.tokBuf[:0]
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			buf = append(buf, c)
+		case c >= 'A' && c <= 'Z':
+			buf = append(buf, c+('a'-'A'))
+		default:
+			if len(buf) > 0 {
+				for h, mq := range idx[string(buf)] { // no alloc: compiler-optimized lookup
+					out[h] = mq
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		for h, mq := range idx[string(buf)] { // no alloc: compiler-optimized lookup
+			out[h] = mq
+		}
+	}
+	qi.tokBuf = buf[:0] // keep grown capacity for the next probe
+}
+
+//invalidb:hotpath
 func stabNumeric(tree *intervalTree, v any, out map[uint64]*matchQuery) {
 	switch t := v.(type) {
 	case int64:
@@ -258,18 +763,16 @@ func buildINode(items []treeItem) *inode {
 			n.byLo = append(n.byLo, it)
 		}
 	}
+	// Degenerate guard before the sorts: when nothing splits off (identical
+	// intervals, shared midpoints), keep everything in this node so recursion
+	// terminates — and so the byLo/byHi sorts below run exactly once.
+	if len(left) == len(items) || len(right) == len(items) {
+		n.byLo = items
+		left, right = nil, nil
+	}
 	n.byHi = append([]treeItem(nil), n.byLo...)
 	sort.Slice(n.byLo, func(i, j int) bool { return loValue(n.byLo[i].iv) < loValue(n.byLo[j].iv) })
 	sort.Slice(n.byHi, func(i, j int) bool { return hiValue(n.byHi[i].iv) > hiValue(n.byHi[j].iv) })
-	// Degenerate guard: if nothing splits off, avoid infinite recursion by
-	// keeping everything in this node.
-	if len(left) == len(items) || len(right) == len(items) {
-		n.byLo = items
-		n.byHi = append([]treeItem(nil), items...)
-		sort.Slice(n.byLo, func(i, j int) bool { return loValue(n.byLo[i].iv) < loValue(n.byLo[j].iv) })
-		sort.Slice(n.byHi, func(i, j int) bool { return hiValue(n.byHi[i].iv) > hiValue(n.byHi[j].iv) })
-		return n
-	}
 	n.left = buildINode(left)
 	n.right = buildINode(right)
 	return n
@@ -286,32 +789,91 @@ func clamp(v float64) float64 {
 }
 
 // stab adds every query whose interval contains v to out.
+//
+//invalidb:hotpath
 func (t *intervalTree) stab(v float64, out map[uint64]*matchQuery) {
+	t.stabRange(v, v, out)
+}
+
+// rangeOverlaps reports whether the interval admits some value in [mn, mx]:
+// mx satisfies the lower bound and mn the upper one. For mn == mx this is
+// exactly iv.Contains.
+//
+//invalidb:hotpath
+func rangeOverlaps(iv query.Interval, mn, mx float64) bool {
+	if iv.LoSet {
+		if iv.LoInc {
+			if mx < iv.Lo {
+				return false
+			}
+		} else if mx <= iv.Lo {
+			return false
+		}
+	}
+	if iv.HiSet {
+		if iv.HiInc {
+			if mn > iv.Hi {
+				return false
+			}
+		} else if mn >= iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// stabRange adds every query whose interval overlaps [mn, mx] to out.
+// Navigation and the sorted-scan cutoffs use clamped values: unbounded
+// endpoints are stored as ±1e308, so an unclamped |v| > 1e308 (the largest
+// finite float64 is ~1.8e308) would break out of the scan before reaching
+// the unbounded intervals that contain it. The overlap test itself uses the
+// original values.
+//
+//invalidb:hotpath
+func (t *intervalTree) stabRange(mn, mx float64, out map[uint64]*matchQuery) {
 	if t.dirty {
 		t.rebuild()
 	}
-	for n := t.root; n != nil; {
-		if v < n.center {
-			// Only intervals with lo <= v can contain v.
+	stabRangeNode(t.root, mn, mx, clamp(mn), clamp(mx), out)
+}
+
+//invalidb:hotpath
+func stabRangeNode(n *inode, mn, mx, cmn, cmx float64, out map[uint64]*matchQuery) {
+	for n != nil {
+		switch {
+		case cmx < n.center:
+			// The probe range lies left of center: only intervals starting
+			// at or before mx can overlap, and the right subtree (lo >
+			// center) cannot.
 			for _, it := range n.byLo {
-				if loValue(it.iv) > v {
+				if loValue(it.iv) > cmx {
 					break
 				}
-				if it.iv.Contains(v) {
+				if rangeOverlaps(it.iv, mn, mx) {
 					out[it.mq.hash] = it.mq
 				}
 			}
 			n = n.left
-		} else {
-			// Only intervals with hi >= v can contain v.
+		case cmn > n.center:
+			// Mirror image on the right.
 			for _, it := range n.byHi {
-				if hiValue(it.iv) < v {
+				if hiValue(it.iv) < cmn {
 					break
 				}
-				if it.iv.Contains(v) {
+				if rangeOverlaps(it.iv, mn, mx) {
 					out[it.mq.hash] = it.mq
 				}
 			}
+			n = n.right
+		default:
+			// center ∈ [mn, mx]: every interval stored here straddles
+			// center, so scan them all; both subtrees may overlap too.
+			for _, it := range n.byLo {
+				if rangeOverlaps(it.iv, mn, mx) {
+					out[it.mq.hash] = it.mq
+				}
+			}
+			stabRangeNode(n.left, mn, mx, cmn, cmx, out)
 			n = n.right
 		}
 	}

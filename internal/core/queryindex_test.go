@@ -300,7 +300,9 @@ func TestIntervalTreeDegenerateIdenticalIntervals(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		spec := query.Spec{Collection: "c", Filter: map[string]any{
 			"n": map[string]any{"$gte": 5, "$lt": 6},
-			"x": fmt.Sprintf("tag%d", i), // distinct identities
+			// Distinct identities via an unindexable predicate, so every
+			// query lands in the interval tree with an identical interval.
+			"x": map[string]any{"$ne": fmt.Sprintf("tag%d", i)},
 		}}
 		qi.add(mkMatchQuery(t, spec))
 	}

@@ -20,6 +20,7 @@ import (
 	"invalidb/internal/eventlayer"
 	"invalidb/internal/loadgen"
 	"invalidb/internal/metrics"
+	"invalidb/internal/query"
 	"invalidb/internal/storage"
 )
 
@@ -108,6 +109,26 @@ type Point struct {
 	// stage timestamps carried by each notification (ingest, grid, bus, and —
 	// for Quaestor points — appserver dispatch).
 	Breakdown metrics.Breakdown
+	// Query-index selectivity over the run (standalone cluster points only):
+	// Writes counts documents published by the client, WritesMatched counts
+	// writes the matching stage processed, and the Cand* fields snapshot the
+	// cluster's queryindex.* counters. CandProbed/WritesMatched is the
+	// per-write candidate-set size; against Queries it is the index's
+	// pruning factor.
+	Writes        int64
+	WritesMatched int64
+	CandProbed    int64
+	CandEvaluated int64
+	CandMatched   int64
+}
+
+// CandidatesPerWrite returns the mean candidate-set size the matching stage
+// probed per write, or 0 when no writes were processed.
+func (p Point) CandidatesPerWrite() float64 {
+	if p.WritesMatched == 0 {
+		return 0
+	}
+	return float64(p.CandProbed) / float64(p.WritesMatched)
 }
 
 // DeliveryOK reports whether at least 95% of expected notifications arrived.
@@ -125,15 +146,17 @@ func (p Point) SustainedUnder(slaMS float64) bool {
 
 const tenant = "bench"
 
-// RunClusterPoint measures a standalone InvaliDB deployment (§6): the
-// benchmark client speaks to the event layer directly, inserting documents
-// at a fixed rate and measuring the time from before the insert until the
-// change notification arrives.
-func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) {
-	cfg = cfg.Defaults()
-	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{BufferSize: 1 << 16})
-	defer bus.Close()
-	cluster, err := core.NewCluster(bus, core.Options{
+// workload abstracts the two load generators cluster points run: the
+// paper's range-query workload and the spatio-textual hot-region scenario.
+type workload interface {
+	Queries(total, matching int) []query.Spec
+	Doc(hit bool, idx int) document.Document
+}
+
+// clusterOptions maps an experiment Config onto the cluster options every
+// standalone point uses.
+func clusterOptions(cfg Config, qp, wp int) core.Options {
+	return core.Options{
 		QueryPartitions:   qp,
 		WritePartitions:   wp,
 		NodeCapacity:      cfg.NodeCapacity,
@@ -144,7 +167,31 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 		RetentionTime:     5 * time.Second,
 		QueueSize:         1 << 15,
 		EnableQueryIndex:  cfg.EnableQueryIndex,
-	})
+	}
+}
+
+// RunClusterPoint measures a standalone InvaliDB deployment (§6): the
+// benchmark client speaks to the event layer directly, inserting documents
+// at a fixed rate and measuring the time from before the insert until the
+// change notification arrives.
+func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) {
+	cfg = cfg.Defaults()
+	matching := cfg.MatchingQueries
+	if matching > queries {
+		matching = queries
+	}
+	w := loadgen.New(1, matching)
+	return runPoint(cfg, clusterOptions(cfg, qp, wp), w, loadgen.Collection, queries, matching, opsPerSec)
+}
+
+// runPoint deploys a cluster with the given options, registers the
+// workload's query population, drives its documents at the target rate, and
+// measures delivery, latency, and query-index selectivity.
+func runPoint(cfg Config, opts core.Options, w workload, collection string,
+	queries, matching, opsPerSec int) (Point, error) {
+	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{BufferSize: 1 << 16})
+	defer bus.Close()
+	cluster, err := core.NewCluster(bus, opts)
 	if err != nil {
 		return Point{}, err
 	}
@@ -160,12 +207,7 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 	}
 	defer notifSub.Close()
 
-	matching := cfg.MatchingQueries
-	if matching > queries {
-		matching = queries
-	}
-	w := loadgen.New(1, matching)
-	if err := registerQueries(bus, cluster, topics, w, queries, matching); err != nil {
+	if err := registerSpecs(bus, cluster, topics, w.Queries(queries, matching)); err != nil {
 		return Point{}, err
 	}
 
@@ -198,9 +240,10 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 		}
 	}()
 
+	var writes int64
 	publishWrite := func(d document.Document) error {
 		ai := &document.AfterImage{
-			Collection: loadgen.Collection,
+			Collection: collection,
 			Key:        mustID(d),
 			Version:    uint64(time.Now().UnixNano()),
 			Op:         document.OpInsert,
@@ -213,6 +256,7 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 		if err != nil {
 			return err
 		}
+		writes++
 		return bus.Publish(topics.Writes(), data)
 	}
 
@@ -223,10 +267,17 @@ func RunClusterPoint(cfg Config, qp, wp, queries, opsPerSec int) (Point, error) 
 	_ = notifSub.Close()
 	<-done
 
+	reg := cluster.Metrics()
 	return Point{
-		QP: qp, WP: wp, Queries: queries, OpsPerSec: opsPerSec,
+		QP: opts.QueryPartitions, WP: opts.WritePartitions,
+		Queries: queries, OpsPerSec: opsPerSec,
 		Summary: recorder.Snapshot(), Delivered: delivered, Expected: expected,
 		Hist: hist, Breakdown: stages.Breakdown(),
+		Writes:        writes,
+		WritesMatched: reg.Counter("queryindex.writes").Value(),
+		CandProbed:    reg.Counter("queryindex.candidates.probed").Value(),
+		CandEvaluated: reg.Counter("queryindex.candidates.evaluated").Value(),
+		CandMatched:   reg.Counter("queryindex.candidates.matched").Value(),
 	}, nil
 }
 
@@ -249,7 +300,7 @@ func stamp(d document.Document, due time.Time) {
 // documents matching exactly one registered query — are spaced so roughly
 // notifTarget of them fire per second (0 disables hits). It returns the
 // number of hits written.
-func runLoad(duration time.Duration, opsPerSec, notifTarget int, w *loadgen.Workload,
+func runLoad(duration time.Duration, opsPerSec, notifTarget int, w workload,
 	beforeHit func(document.Document, time.Time), publish func(document.Document) error) int {
 	if opsPerSec <= 0 || duration <= 0 {
 		return 0
@@ -294,11 +345,26 @@ func runLoad(duration time.Duration, opsPerSec, notifTarget int, w *loadgen.Work
 	}
 }
 
-// registerQueries publishes the subscription population and waits until the
-// cluster has ingested every request (the paper's preparation phase).
-func registerQueries(bus eventlayer.Bus, cluster *core.Cluster, topics core.Topics,
-	w *loadgen.Workload, total, matching int) error {
-	specs := w.Queries(total, matching)
+// registerSpecs publishes the subscription population and waits until the
+// cluster has ingested every request (the paper's preparation phase). The
+// publish loop is flow-controlled against the ingestion stage's progress so
+// a six-figure population never overruns the in-memory bus buffers.
+func registerSpecs(bus eventlayer.Bus, cluster *core.Cluster, topics core.Topics,
+	specs []query.Spec) error {
+	total := len(specs)
+	ingested := func() uint64 {
+		var n uint64
+		for _, s := range cluster.Stats() {
+			if s.Component == "query-ingest" {
+				n += s.Executed
+			}
+		}
+		return n
+	}
+	// The window must stay well under the bus buffer (1<<16) and the task
+	// queue (1<<15) so no subscribe request is ever dropped.
+	const window = 8192
+	deadline := time.Now().Add(5 * time.Minute)
 	for i, spec := range specs {
 		env := &core.Envelope{Kind: core.KindSubscribe, Subscribe: &core.SubscribeRequest{
 			Tenant:         tenant,
@@ -310,21 +376,20 @@ func registerQueries(bus eventlayer.Bus, cluster *core.Cluster, topics core.Topi
 		if err != nil {
 			return err
 		}
+		for uint64(i)-ingested() >= window {
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("experiments: query ingestion stalled at %d/%d", ingested(), total)
+			}
+			time.Sleep(time.Millisecond)
+		}
 		if err := bus.Publish(topics.Queries(), data); err != nil {
 			return err
 		}
 	}
 	// Preparation barrier: the query ingestion stage has executed one tuple
 	// per subscription once all requests are installed.
-	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		var ingested uint64
-		for _, s := range cluster.Stats() {
-			if s.Component == "query-ingest" {
-				ingested += s.Executed
-			}
-		}
-		if ingested >= uint64(total) {
+		if ingested() >= uint64(total) {
 			return nil
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -110,6 +110,15 @@ func RenderBreakdown(title string, p Point) string {
 	fmt.Fprintf(&b, "%d QP x %d WP, %d queries, %d ops/s: end-to-end avg=%.1fms p99=%.1fms (n=%d)\n",
 		p.QP, p.WP, p.Queries, p.OpsPerSec, p.Summary.AvgMS, p.Summary.P99MS, p.Summary.Count)
 	b.WriteString(p.Breakdown.String())
+	if p.WritesMatched > 0 {
+		perWrite := p.CandidatesPerWrite()
+		share := 0.0
+		if p.Queries > 0 {
+			share = perWrite / float64(p.Queries) * 100
+		}
+		fmt.Fprintf(&b, "query index selectivity: %.1f candidates/write (%.3f%% of %d queries), %d evaluated, %d matched over %d writes\n",
+			perWrite, share, p.Queries, p.CandEvaluated, p.CandMatched, p.WritesMatched)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpatioTextIndexSelectivity is the scaled-down version of the `-exp
+// spatiotext` run: over a mixed equality/geo/text population, the
+// generalized predicate index must keep per-write candidate sets at a tiny
+// fraction of the registered queries, while the unindexed baseline probes
+// the full population on every write and pays for it in grid-stage latency.
+func TestSpatioTextIndexSelectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spatiotext points take seconds")
+	}
+	cfg := fastCfg()
+	const queries = 12_000
+	without, err := RunSpatioTextPoint(cfg, queries, SpatioTextBaseRate, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := RunSpatioTextPoint(cfg, queries, 200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.WritesMatched == 0 || with.WritesMatched == 0 {
+		t.Fatalf("no writes reached the matching stage (without=%d with=%d)",
+			without.WritesMatched, with.WritesMatched)
+	}
+	// The unindexed node evaluates the full population per write.
+	if perWrite := without.CandidatesPerWrite(); perWrite < float64(queries) {
+		t.Fatalf("unindexed candidates/write = %.1f, want the full %d", perWrite, queries)
+	}
+	// The index keeps candidate sets under 1% of the registered queries.
+	perWrite := with.CandidatesPerWrite()
+	if share := perWrite / queries; share > 0.01 {
+		t.Fatalf("indexed candidates/write = %.1f (%.2f%% of %d queries), want <= 1%%",
+			perWrite, share*100, queries)
+	}
+	// And the saved work shows up as grid-stage (matching) latency: the
+	// indexed node at 50x the write rate still beats the full scan.
+	if with.Breakdown.Grid.AvgMS >= without.Breakdown.Grid.AvgMS {
+		t.Fatalf("grid latency: indexed %.3fms >= unindexed %.3fms",
+			with.Breakdown.Grid.AvgMS, without.Breakdown.Grid.AvgMS)
+	}
+	if !with.DeliveryOK() {
+		t.Fatalf("indexed point lost notifications: %d/%d", with.Delivered, with.Expected)
+	}
+	out := RenderSpatioText([]SpatioTextResult{
+		{Label: "unindexed (full scan)", Point: without},
+		{Label: "indexed", Point: with},
+	})
+	if !strings.Contains(out, "cand/write") {
+		t.Fatalf("render lost the candidate column:\n%s", out)
+	}
+}

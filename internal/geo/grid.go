@@ -1,0 +1,150 @@
+package geo
+
+import "math"
+
+// This file adds the query-side spatial index primitives: every filter shape
+// can report a bounding Bound, and a Bound can be covered by fixed-resolution
+// grid cells. The matching layer registers each $geoWithin/$near query under
+// the cells covering its shape's bound and probes a written point's single
+// cell — the grid-cell discipline of distributed spatio-textual pub/sub
+// systems (Chen et al.), reduced to the necessary-condition contract the
+// multi-query index needs: a shape can only contain a point whose cell is
+// among the cells covering the shape's bound.
+
+// Bound is an axis-aligned lng/lat bounding box. It is a *necessary* region:
+// every point a shape contains lies within the shape's Bound (the converse
+// need not hold).
+type Bound struct {
+	MinLng, MinLat, MaxLng, MaxLat float64
+}
+
+// Bounder is implemented by shapes that can report a bounding box. All
+// filter shapes in this package implement it.
+type Bounder interface {
+	Bound() Bound
+}
+
+// WorldBound covers every legal coordinate.
+func WorldBound() Bound {
+	return Bound{MinLng: -180, MinLat: -90, MaxLng: 180, MaxLat: 90}
+}
+
+// boundEps pads computed bounds so edge-epsilon containment decisions
+// (polygon on-segment tolerance, haversine roundoff) can never push a
+// contained point outside its shape's bound.
+const boundEps = 1e-9
+
+// Valid reports whether the bound is non-empty.
+func (b Bound) Valid() bool {
+	return b.MinLng <= b.MaxLng && b.MinLat <= b.MaxLat
+}
+
+// Contains reports whether the point lies within the bound (inclusive).
+func (b Bound) Contains(p Point) bool {
+	return p.Lng >= b.MinLng && p.Lng <= b.MaxLng &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// clampWorld intersects the bound with the legal coordinate ranges.
+func (b Bound) clampWorld() Bound {
+	return Bound{
+		MinLng: math.Max(b.MinLng, -180), MaxLng: math.Min(b.MaxLng, 180),
+		MinLat: math.Max(b.MinLat, -90), MaxLat: math.Min(b.MaxLat, 90),
+	}
+}
+
+// Bound returns the box itself.
+func (b Box) Bound() Bound {
+	return Bound{MinLng: b.Min.Lng, MinLat: b.Min.Lat, MaxLng: b.Max.Lng, MaxLat: b.Max.Lat}
+}
+
+// Bound returns a bounding box of the spherical cap. Latitude extent is
+// exact (center ± radius along the meridian); longitude extent uses the
+// spherical-cap formula with the cap's most poleward latitude, which is
+// conservative. Caps touching a pole, wrapping the antimeridian, or wider
+// than a quarter sphere degrade to the full longitude range — correct,
+// merely less selective.
+func (c Circle) Bound() Bound {
+	radDeg := c.RadiusRad * 180 / math.Pi
+	latMin := c.Center.Lat - radDeg - boundEps
+	latMax := c.Center.Lat + radDeg + boundEps
+	if latMin <= -90 || latMax >= 90 || c.RadiusRad >= math.Pi/2 {
+		return Bound{MinLng: -180, MaxLng: 180,
+			MinLat: math.Max(latMin, -90), MaxLat: math.Min(latMax, 90)}
+	}
+	// cos of the most poleward latitude the cap reaches: the smallest
+	// cos(lat), hence the widest longitude span.
+	phi := math.Max(math.Abs(latMin), math.Abs(latMax)) * math.Pi / 180
+	sinR := math.Sin(c.RadiusRad)
+	cosPhi := math.Cos(phi)
+	if sinR >= cosPhi {
+		return Bound{MinLng: -180, MaxLng: 180, MinLat: latMin, MaxLat: latMax}
+	}
+	dLng := math.Asin(sinR/cosPhi)*180/math.Pi + boundEps
+	lngMin := c.Center.Lng - dLng
+	lngMax := c.Center.Lng + dLng
+	if lngMin < -180 || lngMax > 180 {
+		// Antimeridian wrap: fall back to the full longitude range rather
+		// than splitting the bound in two.
+		lngMin, lngMax = -180, 180
+	}
+	return Bound{MinLng: lngMin, MinLat: latMin, MaxLng: lngMax, MaxLat: latMax}
+}
+
+// Bound returns the ring's bounding box (planar polygon semantics), padded
+// by the on-segment tolerance.
+func (pg Polygon) Bound() Bound {
+	if len(pg.Ring) == 0 {
+		return Bound{MinLng: 1, MaxLng: -1} // invalid/empty
+	}
+	b := Bound{MinLng: pg.Ring[0].Lng, MaxLng: pg.Ring[0].Lng,
+		MinLat: pg.Ring[0].Lat, MaxLat: pg.Ring[0].Lat}
+	for _, p := range pg.Ring[1:] {
+		b.MinLng = math.Min(b.MinLng, p.Lng)
+		b.MaxLng = math.Max(b.MaxLng, p.Lng)
+		b.MinLat = math.Min(b.MinLat, p.Lat)
+		b.MaxLat = math.Max(b.MaxLat, p.Lat)
+	}
+	b.MinLng -= boundEps
+	b.MaxLng += boundEps
+	b.MinLat -= boundEps
+	b.MaxLat += boundEps
+	return b
+}
+
+// CellID maps a point to its grid cell at the given resolution (degrees per
+// cell): the x/y cell coordinates packed into one uint64. The mapping is the
+// only contract — a point's cell computed at probe time must equal the cell
+// CoverCells produced for any bound containing the point.
+//
+//invalidb:hotpath
+func CellID(p Point, deg float64) uint64 {
+	x := uint64(uint32(int32(math.Floor((p.Lng + 180) / deg))))
+	y := uint64(uint32(int32(math.Floor((p.Lat + 90) / deg))))
+	return x<<32 | y
+}
+
+// CoverCells appends every cell overlapping the bound to cells and returns
+// the extended slice. When the bound spans more than maxCells cells, it
+// returns (nil, false): the caller falls back to a less selective index (a
+// worldwide query gains nothing from cell postings).
+func CoverCells(b Bound, deg float64, maxCells int, cells []uint64) ([]uint64, bool) {
+	b = b.clampWorld()
+	if !b.Valid() {
+		return cells, true // empty bound: no cells, trivially covered
+	}
+	x0 := int32(math.Floor((b.MinLng + 180) / deg))
+	x1 := int32(math.Floor((b.MaxLng + 180) / deg))
+	y0 := int32(math.Floor((b.MinLat + 90) / deg))
+	y1 := int32(math.Floor((b.MaxLat + 90) / deg))
+	nx, ny := int64(x1-x0)+1, int64(y1-y0)+1
+	if nx*ny > int64(maxCells) {
+		return nil, false
+	}
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			cells = append(cells, uint64(uint32(x))<<32|uint64(uint32(y)))
+		}
+	}
+	return cells, true
+}

@@ -1,0 +1,135 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cellSet(cells []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(cells))
+	for _, c := range cells {
+		m[c] = true
+	}
+	return m
+}
+
+// Property at the heart of the grid index: for any shape and any point the
+// shape contains, the point's cell must be among the cells covering the
+// shape's bound.
+func TestCoverCellsContainsShapePoints(t *testing.T) {
+	const deg = 0.25
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		var shape Shape
+		var bounder Bounder
+		switch iter % 3 {
+		case 0:
+			c := Point{Lng: rng.Float64()*340 - 170, Lat: rng.Float64()*160 - 80}
+			b := NewBox(c, Point{Lng: c.Lng + rng.Float64()*3, Lat: c.Lat + rng.Float64()*3})
+			shape, bounder = b, b
+		case 1:
+			c := Circle{
+				Center:    Point{Lng: rng.Float64()*340 - 170, Lat: rng.Float64()*160 - 80},
+				RadiusRad: rng.Float64() * 0.02,
+			}
+			shape, bounder = c, c
+		default:
+			c := Point{Lng: rng.Float64()*300 - 150, Lat: rng.Float64()*140 - 70}
+			ring := make([]Point, 0, 5)
+			for k := 0; k < 5; k++ {
+				ang := float64(k) / 5 * 2 * math.Pi
+				r := 0.5 + rng.Float64()*2
+				ring = append(ring, Point{Lng: c.Lng + r*math.Cos(ang), Lat: c.Lat + r*math.Sin(ang)})
+			}
+			pg, err := NewPolygon(ring)
+			if err != nil {
+				t.Fatalf("polygon: %v", err)
+			}
+			shape, bounder = pg, pg
+		}
+		cells, ok := CoverCells(bounder.Bound(), deg, 1<<20, nil)
+		if !ok {
+			t.Fatalf("iter %d: cover unexpectedly over cap", iter)
+		}
+		set := cellSet(cells)
+		bound := bounder.Bound()
+		for probe := 0; probe < 200; probe++ {
+			p := Point{
+				Lng: bound.MinLng + rng.Float64()*(bound.MaxLng-bound.MinLng),
+				Lat: bound.MinLat + rng.Float64()*(bound.MaxLat-bound.MinLat),
+			}
+			if !p.Valid() || !shape.Contains(p) {
+				continue
+			}
+			if !set[CellID(p, deg)] {
+				t.Fatalf("iter %d: shape contains %+v but its cell is not covered", iter, p)
+			}
+		}
+	}
+}
+
+func TestCircleBoundContainsCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		c := Circle{
+			Center:    Point{Lng: rng.Float64()*360 - 180, Lat: rng.Float64()*180 - 90},
+			RadiusRad: rng.Float64() * 0.5,
+		}
+		b := c.Bound()
+		for probe := 0; probe < 100; probe++ {
+			p := Point{Lng: rng.Float64()*360 - 180, Lat: rng.Float64()*180 - 90}
+			if c.Contains(p) && !b.Contains(p) {
+				t.Fatalf("circle %+v contains %+v outside bound %+v", c, p, b)
+			}
+		}
+	}
+}
+
+func TestCircleBoundAntimeridianAndPoles(t *testing.T) {
+	// A cap straddling the antimeridian must widen to the full lng range.
+	c := Circle{Center: Point{Lng: 179.9, Lat: 0}, RadiusRad: 0.01}
+	b := c.Bound()
+	p := Point{Lng: -179.8, Lat: 0}
+	if c.Contains(p) && !b.Contains(p) {
+		t.Fatalf("antimeridian point %+v escapes bound %+v", p, b)
+	}
+	// A cap over the pole must cover all longitudes.
+	c = Circle{Center: Point{Lng: 0, Lat: 89.5}, RadiusRad: 0.02}
+	b = c.Bound()
+	p = Point{Lng: 180, Lat: 89.9}
+	if c.Contains(p) && !b.Contains(p) {
+		t.Fatalf("polar point %+v escapes bound %+v", p, b)
+	}
+	if b.MinLng != -180 || b.MaxLng != 180 {
+		t.Fatalf("polar cap bound should span all longitudes, got %+v", b)
+	}
+}
+
+func TestCoverCellsCap(t *testing.T) {
+	cells, ok := CoverCells(WorldBound(), 0.1, 4096, nil)
+	if ok || cells != nil {
+		t.Fatalf("world bound at 0.1deg should exceed the cap, got ok=%v len=%d", ok, len(cells))
+	}
+	cells, ok = CoverCells(Bound{MinLng: 0, MinLat: 0, MaxLng: 0.55, MaxLat: 0.35}, 0.1, 4096, nil)
+	if !ok {
+		t.Fatal("small bound should be coverable")
+	}
+	if len(cells) != 6*4 {
+		t.Fatalf("expected 24 cells, got %d", len(cells))
+	}
+}
+
+func TestCellIDGridAlignment(t *testing.T) {
+	const deg = 0.1
+	// Points in the same cell share an ID; neighbours differ.
+	a := Point{Lng: 10.01, Lat: 20.01}
+	b := Point{Lng: 10.09, Lat: 20.09}
+	c := Point{Lng: 10.11, Lat: 20.01}
+	if CellID(a, deg) != CellID(b, deg) {
+		t.Fatal("points in the same cell must share an ID")
+	}
+	if CellID(a, deg) == CellID(c, deg) {
+		t.Fatal("points in adjacent cells must differ")
+	}
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// SpatioTextCollection is the collection the spatio-textual workload writes
+// into.
+const SpatioTextCollection = "events"
+
+// The spatio-textual scenario models a hot-region event feed: standing
+// queries split evenly between equality ("this category"), geo ("within this
+// circle"), and full-text ("mentions this topic") subscriptions, with both
+// the query centers and the written documents skewed toward a small hot
+// geographic region and a small hot topic set. It exercises every candidate
+// source of the generalized predicate index at once; the per-write candidate
+// set stays a tiny fraction of the registered population because each write
+// only probes its own category bucket, grid cells, and tokens.
+const (
+	// categoryVocab is the shared category vocabulary for cold equality
+	// queries and documents (~categoryLoad queries share each category).
+	categoryVocab = 2000
+	// topicVocab is the token vocabulary for cold text queries and document
+	// descriptions; hotTopics of them receive hotTopicBias of all draws.
+	topicVocab   = 2000
+	hotTopics    = 50
+	hotTopicBias = 0.20
+	// The hot geographic region: a 2°x2° box receiving hotGeoBias of all
+	// cold query centers and document locations.
+	hotLngMin, hotLngMax = 10.0, 12.0
+	hotLatMin, hotLatMax = 45.0, 47.0
+	hotGeoBias           = 0.80
+	// Cold query circle radii in degrees (0.02°..0.06°, i.e. roughly
+	// 2-7 km), small against the 0.1° index grid cell.
+	coldRadiusMinDeg, coldRadiusSpanDeg = 0.02, 0.04
+	// coldFloor starts the reserved threshold region: cold queries carry a
+	// qty/score floor at or above it while documents draw both attributes
+	// from [0, docAttrRange), so cold queries are probed as candidates but
+	// never match — notification volume stays pinned to the hit queries.
+	coldFloor    = 1_000_000
+	docAttrRange = 1000
+)
+
+// SpatioText deterministically generates the hot-region spatio-textual
+// workload: a mixed equality/geo/text query population plus documents that
+// carry all four indexed attributes (category, location, description, and
+// the numeric thresholds).
+type SpatioText struct {
+	rng      *rand.Rand
+	matching int
+	nextKey  int
+}
+
+// NewSpatioText creates the workload with the given number of hit queries
+// (queries documents can be aimed at; everything else never matches).
+func NewSpatioText(seed int64, matching int) *SpatioText {
+	return &SpatioText{rng: rand.New(rand.NewSource(seed)), matching: matching}
+}
+
+// Queries builds the standing-query population: `matching` hit queries
+// followed by total-matching cold queries, both cycling equality → geo →
+// text so each family holds a third of the population.
+func (st *SpatioText) Queries(total, matching int) []query.Spec {
+	if matching > total {
+		matching = total
+	}
+	specs := make([]query.Spec, 0, total)
+	for i := 0; i < matching; i++ {
+		specs = append(specs, st.HitQuery(i))
+	}
+	for i := 0; i < total-matching; i++ {
+		specs = append(specs, st.ColdQuery(i))
+	}
+	return specs
+}
+
+// HitQuery returns the i-th hit query. Hit queries select reserved values —
+// a private category, a far-away circle, a private token — so Doc(true, i)
+// matches exactly query i and cold documents match none of them.
+func (st *SpatioText) HitQuery(i int) query.Spec {
+	switch i % 3 {
+	case 0:
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"category": hitCategory(i),
+		}}
+	case 1:
+		c := hitCenter(i)
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"loc": map[string]any{"$geoWithin": map[string]any{
+				"$centerSphere": []any{[]any{c[0], c[1]}, degToRad(0.01)},
+			}},
+		}}
+	default:
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"$text": map[string]any{"$search": hitTerm(i)},
+		}}
+	}
+}
+
+// ColdQuery returns the i-th cold query. Every cold query conjoins its
+// indexable predicate with a qty/score floor in the reserved region, so it
+// is probed as a candidate whenever the index says so but never matches a
+// document — the filter's equality/geo/text part is still the most selective
+// constraint, so the floor never becomes the indexed predicate. The floor
+// doubles as the distinctness discriminator (i is unique per query).
+func (st *SpatioText) ColdQuery(i int) query.Spec {
+	switch i % 3 {
+	case 0:
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"category": coldCategory(i / 3 % categoryVocab),
+			"qty":      map[string]any{"$gte": int64(coldFloor + i)},
+		}}
+	case 1:
+		lng, lat := st.coldPoint()
+		radius := coldRadiusMinDeg + st.rng.Float64()*coldRadiusSpanDeg
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"loc": map[string]any{"$geoWithin": map[string]any{
+				"$centerSphere": []any{[]any{lng, lat}, degToRad(radius)},
+			}},
+			"qty": map[string]any{"$gte": int64(coldFloor + i)},
+		}}
+	default:
+		return query.Spec{Collection: SpatioTextCollection, Filter: map[string]any{
+			"$text": map[string]any{"$search": st.topic()},
+			"score": map[string]any{"$gte": int64(coldFloor + i)},
+		}}
+	}
+}
+
+// Doc produces the next document. With hit true it is aimed at hit query
+// idx (and only that query); either way it carries a category, a location,
+// a description, and both threshold attributes, so every write probes all
+// four candidate sources like the cold traffic does.
+func (st *SpatioText) Doc(hit bool, idx int) document.Document {
+	st.nextKey++
+	if st.matching > 0 {
+		idx %= st.matching
+	}
+	d := document.Document{
+		"_id":   fmt.Sprintf("ev%09d", st.nextKey),
+		"qty":   int64(st.rng.Intn(docAttrRange)),
+		"score": int64(st.rng.Intn(docAttrRange)),
+	}
+	category := coldCategory(st.rng.Intn(categoryVocab))
+	lng, lat := st.coldPoint()
+	desc := st.topic() + " " + st.filler() + " " + st.filler()
+	if hit {
+		switch idx % 3 {
+		case 0:
+			category = hitCategory(idx)
+		case 1:
+			c := hitCenter(idx)
+			lng, lat = c[0], c[1]
+		default:
+			desc = hitTerm(idx) + " " + st.filler()
+		}
+	}
+	d["category"] = category
+	d["loc"] = []any{lng, lat}
+	d["desc"] = desc
+	return d
+}
+
+// coldPoint draws a document/query location: hotGeoBias of them inside the
+// hot box, the rest anywhere in a continent-sized region around it.
+func (st *SpatioText) coldPoint() (lng, lat float64) {
+	if st.rng.Float64() < hotGeoBias {
+		return hotLngMin + st.rng.Float64()*(hotLngMax-hotLngMin),
+			hotLatMin + st.rng.Float64()*(hotLatMax-hotLatMin)
+	}
+	return hotLngMin - 20 + st.rng.Float64()*40, hotLatMin - 20 + st.rng.Float64()*40
+}
+
+// topic draws a description/search token with the hot-set skew.
+func (st *SpatioText) topic() string {
+	if st.rng.Float64() < hotTopicBias {
+		return fmt.Sprintf("topic%04d", st.rng.Intn(hotTopics))
+	}
+	return fmt.Sprintf("topic%04d", hotTopics+st.rng.Intn(topicVocab-hotTopics))
+}
+
+// filler draws a description word outside the topic vocabulary (never
+// indexed by any query).
+func (st *SpatioText) filler() string {
+	return fmt.Sprintf("w%03d", st.rng.Intn(200))
+}
+
+func coldCategory(n int) string { return fmt.Sprintf("cat-%04d", n) }
+func hitCategory(i int) string  { return fmt.Sprintf("hit-cat-%06d", i) }
+func hitTerm(i int) string      { return fmt.Sprintf("hitterm%06d", i) }
+
+// hitCenter places hit-query circles on a 0.5° lattice far south of the
+// cold traffic, so reserved circles never overlap each other or the cold
+// region.
+func hitCenter(i int) [2]float64 {
+	return [2]float64{-170 + 0.5*float64(i%600), -75 + 0.5*float64(i/600)}
+}
+
+func degToRad(deg float64) float64 { return deg * math.Pi / 180 }

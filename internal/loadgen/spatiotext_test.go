@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"testing"
+
+	"invalidb/internal/query"
+)
+
+// TestSpatioTextHitDocsMatchExactlyTheirQuery pins the workload's core
+// invariant: Doc(true, i) matches hit query i and nothing else, and cold
+// documents match no registered query at all — so notification volume is
+// fully controlled by the hit schedule even with a large cold population.
+func TestSpatioTextHitDocsMatchExactlyTheirQuery(t *testing.T) {
+	const total, matching = 300, 30
+	st := NewSpatioText(7, matching)
+	specs := st.Queries(total, matching)
+	if len(specs) != total {
+		t.Fatalf("specs = %d, want %d", len(specs), total)
+	}
+	queries := make([]*query.Query, len(specs))
+	seen := map[uint64]int{}
+	for i, s := range specs {
+		q, err := query.Compile(s)
+		if err != nil {
+			t.Fatalf("spec %d does not compile: %v", i, err)
+		}
+		if prev, dup := seen[q.Hash()]; dup {
+			t.Fatalf("specs %d and %d collapse to the same query", prev, i)
+		}
+		seen[q.Hash()] = i
+		queries[i] = q
+	}
+	for idx := 0; idx < matching; idx++ {
+		d := st.Doc(true, idx)
+		for i, q := range queries {
+			if got := q.Match(d); got != (i == idx) {
+				t.Fatalf("hit doc %d: query %d match = %v", idx, i, got)
+			}
+		}
+	}
+	for n := 0; n < 200; n++ {
+		d := st.Doc(false, 0)
+		for i, q := range queries {
+			if q.Match(d) {
+				t.Fatalf("cold doc matched query %d (%v)", i, specs[i].Filter)
+			}
+		}
+	}
+}
+
+// TestSpatioTextQueriesAreIndexable verifies every generated query feeds the
+// generalized predicate index through its intended family — none fall back
+// to the unindexed bucket, which would wreck the scenario's selectivity.
+func TestSpatioTextQueriesAreIndexable(t *testing.T) {
+	st := NewSpatioText(3, 9)
+	wantKind := func(i int) query.ConstraintKind {
+		switch i % 3 {
+		case 0:
+			return query.ConstraintEquality
+		case 1:
+			return query.ConstraintGeo
+		default:
+			return query.ConstraintText
+		}
+	}
+	check := func(name string, spec query.Spec, want query.ConstraintKind) {
+		q, err := query.Compile(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cons := q.IndexableConstraints()
+		if len(cons) == 0 {
+			t.Fatalf("%s is unindexable: %v", name, spec.Filter)
+		}
+		if cons[0].Kind != want {
+			t.Fatalf("%s indexes as kind %d, want %d", name, cons[0].Kind, want)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		check("hit", st.HitQuery(i), wantKind(i))
+		check("cold", st.ColdQuery(i), wantKind(i))
+	}
+}

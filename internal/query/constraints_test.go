@@ -1,0 +1,207 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"invalidb/internal/geo"
+)
+
+func compileFilter(t *testing.T, filter map[string]any) *Query {
+	t.Helper()
+	q, err := Compile(Spec{Collection: "c", Filter: filter})
+	if err != nil {
+		t.Fatalf("compile %v: %v", filter, err)
+	}
+	return q
+}
+
+func TestIndexableConstraintsEquality(t *testing.T) {
+	q := compileFilter(t, map[string]any{"category": "books"})
+	cs := q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintEquality || cs[0].Path != "category" {
+		t.Fatalf("got %+v", cs)
+	}
+	if !reflect.DeepEqual(cs[0].Values, []any{"books"}) {
+		t.Fatalf("values: %+v", cs[0].Values)
+	}
+
+	// Numeric equality normalizes to float64.
+	q = compileFilter(t, map[string]any{"n": int64(3)})
+	cs = q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintEquality {
+		t.Fatalf("got %+v", cs)
+	}
+	if !reflect.DeepEqual(cs[0].Values, []any{float64(3)}) {
+		t.Fatalf("values: %+v", cs[0].Values)
+	}
+
+	// Bool equality.
+	q = compileFilter(t, map[string]any{"active": true})
+	if cs := q.IndexableConstraints(); len(cs) != 1 || cs[0].Kind != ConstraintEquality {
+		t.Fatalf("got %+v", cs)
+	}
+
+	// Null equality matches missing fields: unindexable.
+	q = compileFilter(t, map[string]any{"f": nil})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("null equality should be unindexable, got %+v", cs)
+	}
+
+	// Container equality: unindexable.
+	q = compileFilter(t, map[string]any{"f": map[string]any{"$eq": []any{int64(1)}}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("array equality should be unindexable, got %+v", cs)
+	}
+}
+
+func TestIndexableConstraintsIn(t *testing.T) {
+	q := compileFilter(t, map[string]any{"tag": map[string]any{"$in": []any{"a", "b", int64(3)}}})
+	cs := q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintEquality {
+		t.Fatalf("got %+v", cs)
+	}
+	if !reflect.DeepEqual(cs[0].Values, []any{"a", "b", float64(3)}) {
+		t.Fatalf("values: %+v", cs[0].Values)
+	}
+
+	// $in with a null alternative: unindexable (null matches missing).
+	q = compileFilter(t, map[string]any{"tag": map[string]any{"$in": []any{"a", nil}}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("got %+v", cs)
+	}
+
+	// $in with a regex alternative: unindexable.
+	q = compileFilter(t, map[string]any{"tag": map[string]any{"$in": []any{"a", map[string]any{"$regex": "^x"}}}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("got %+v", cs)
+	}
+}
+
+func TestIndexableConstraintsInterval(t *testing.T) {
+	q := compileFilter(t, map[string]any{"age": map[string]any{"$gte": int64(3), "$lt": int64(9)}})
+	cs := q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintInterval {
+		t.Fatalf("got %+v", cs)
+	}
+	iv := cs[0].Interval
+	if iv.Path != "age" || !iv.LoSet || !iv.HiSet || iv.Lo != 3 || iv.Hi != 9 || !iv.LoInc || iv.HiInc {
+		t.Fatalf("interval: %+v", iv)
+	}
+
+	// Half-bounded still usable.
+	q = compileFilter(t, map[string]any{"age": map[string]any{"$gt": 5.5}})
+	cs = q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintInterval || cs[0].Interval.HiSet {
+		t.Fatalf("got %+v", cs)
+	}
+
+	// String comparison: not numeric, unindexable.
+	q = compileFilter(t, map[string]any{"name": map[string]any{"$gt": "m"}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("got %+v", cs)
+	}
+}
+
+func TestIndexableConstraintsGeoAndText(t *testing.T) {
+	q := compileFilter(t, map[string]any{"loc": map[string]any{
+		"$geoWithin": map[string]any{"$box": []any{[]any{0.0, 0.0}, []any{2.0, 3.0}}},
+	}})
+	cs := q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintGeo || cs[0].Path != "loc" {
+		t.Fatalf("got %+v", cs)
+	}
+	if !cs[0].Bound.Contains(geo.Point{Lng: 1, Lat: 1}) {
+		t.Fatalf("bound: %+v", cs[0].Bound)
+	}
+
+	q = compileFilter(t, map[string]any{"loc": map[string]any{
+		"$nearSphere": []any{10.0, 20.0}, "$maxDistance": 0.001,
+	}})
+	cs = q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintGeo {
+		t.Fatalf("got %+v", cs)
+	}
+	if !cs[0].Bound.Contains(geo.Point{Lng: 10, Lat: 20}) {
+		t.Fatalf("bound should contain center: %+v", cs[0].Bound)
+	}
+
+	q = compileFilter(t, map[string]any{"$text": map[string]any{"$search": "Coffee espresso"}})
+	cs = q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintText {
+		t.Fatalf("got %+v", cs)
+	}
+	if !reflect.DeepEqual(cs[0].Tokens, []string{"coffee", "espresso"}) {
+		t.Fatalf("tokens: %+v", cs[0].Tokens)
+	}
+
+	// Phrase-only: unindexable (substring can start mid-word).
+	q = compileFilter(t, map[string]any{"$text": map[string]any{"$search": `"hot dog"`}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("phrase-only should be unindexable, got %+v", cs)
+	}
+
+	// A term containing a word-boundary byte cannot key token postings.
+	q = compileFilter(t, map[string]any{"$text": map[string]any{"$search": "hot-dog"}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("non-alnum term should be unindexable, got %+v", cs)
+	}
+}
+
+func TestIndexableConstraintsConjunctiveOnly(t *testing.T) {
+	// Conditions under $or are not necessary for the whole filter.
+	q := compileFilter(t, map[string]any{"$or": []any{
+		map[string]any{"a": int64(1)},
+		map[string]any{"b": int64(2)},
+	}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("$or should be unindexable, got %+v", cs)
+	}
+
+	// But $and children are walked.
+	q = compileFilter(t, map[string]any{"$and": []any{
+		map[string]any{"a": "x"},
+		map[string]any{"$or": []any{map[string]any{"b": int64(1)}, map[string]any{"c": int64(2)}}},
+	}})
+	cs := q.IndexableConstraints()
+	if len(cs) != 1 || cs[0].Kind != ConstraintEquality || cs[0].Path != "a" {
+		t.Fatalf("got %+v", cs)
+	}
+
+	// $ne / $exists / $not contribute nothing.
+	q = compileFilter(t, map[string]any{"a": map[string]any{"$ne": int64(1)}})
+	if cs := q.IndexableConstraints(); len(cs) != 0 {
+		t.Fatalf("$ne should be unindexable, got %+v", cs)
+	}
+}
+
+func TestIndexableConstraintsSelectivityOrder(t *testing.T) {
+	q := compileFilter(t, map[string]any{
+		"age":      map[string]any{"$gte": int64(3), "$lt": int64(9)},
+		"category": "books",
+		"loc": map[string]any{
+			"$geoWithin": map[string]any{"$box": []any{[]any{0.0, 0.0}, []any{1.0, 1.0}}},
+		},
+		"$text": map[string]any{"$search": "coffee"},
+	})
+	cs := q.IndexableConstraints()
+	if len(cs) != 4 {
+		t.Fatalf("want 4 constraints, got %+v", cs)
+	}
+	want := []ConstraintKind{ConstraintEquality, ConstraintText, ConstraintGeo, ConstraintInterval}
+	for i, k := range want {
+		if cs[i].Kind != k {
+			t.Fatalf("position %d: want kind %d, got %+v", i, k, cs)
+		}
+	}
+
+	// Half-bounded sorts after two-sided.
+	q = compileFilter(t, map[string]any{
+		"a": map[string]any{"$gte": int64(1)},
+		"b": map[string]any{"$gte": int64(1), "$lte": int64(2)},
+	})
+	cs = q.IndexableConstraints()
+	if len(cs) != 2 || cs[0].Path != "b" || cs[1].Path != "a" {
+		t.Fatalf("got %+v", cs)
+	}
+}
