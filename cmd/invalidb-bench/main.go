@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|backfill|all")
 		capacity   = flag.Int("capacity", 50_000, "matching-node budget in match-ops/s (paper testbed: ~1.6M)")
 		measure    = flag.Duration("measure", time.Second, "measurement phase per point (paper: 1m)")
 		warmup     = flag.Duration("warmup", 300*time.Millisecond, "warmup phase per point")
@@ -142,6 +142,18 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(experiments.RenderSpatioText(results))
+		case "backfill":
+			// Subscription admission throughput under sustained writes:
+			// one-shot scan-and-race bootstrap vs watermark-certified chunked
+			// backfill (not a paper figure; see DESIGN.md §12). Unthrottled
+			// matching nodes — real CPU and protocol cost.
+			results, err := experiments.BackfillComparison(cfg,
+				experiments.BackfillDocs, experiments.BackfillGroups,
+				experiments.BackfillWriteRate, experiments.BackfillSubscribers, progress)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderBackfill(results))
 		case "baselines":
 			results, err := experiments.Baselines(cfg, progress)
 			if err != nil {

@@ -259,6 +259,16 @@ func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 					return "net connection " + sel.Sel.Name, true
 				}
 			}
+			// Query predicate evaluation (query.Query.Match and the filter
+			// condition types behind it) is unbounded, user-controlled work:
+			// a $text or deep $elemMatch filter over a large document can run
+			// arbitrarily long, so evaluating it under a mutex turns one slow
+			// scan into a stall for every writer contending on that lock.
+			// Snapshot the records under the lock and match outside it
+			// (storage.Collection.scan is the reference pattern).
+			if sel.Sel.Name == "Match" && typeFromPackage(tv.Type, "invalidb/internal/query") {
+				return "query predicate evaluation", true
+			}
 		}
 	}
 	return "", false

@@ -4,6 +4,9 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
 )
 
 type guarded struct {
@@ -110,4 +113,34 @@ func (g *guarded) closureEscapesLockRegion() {
 	f := func() { g.ch <- 1 } // runs later, outside the lock region: fine
 	g.mu.Unlock()
 	f()
+}
+
+// Predicate evaluation under a lock: query.Match is unbounded user work (the
+// Collection.scan regression — matching a large store under the shard lock
+// stalls every writer).
+
+func (g *guarded) matchWhileLocked(q *query.Query, docs []document.Document) []document.Document {
+	var out []document.Document
+	g.rw.RLock()
+	for _, d := range docs {
+		if q.Match(d) { // want `query predicate evaluation while holding g\.rw`
+			out = append(out, d)
+		}
+	}
+	g.rw.RUnlock()
+	return out
+}
+
+func (g *guarded) snapshotThenMatch(q *query.Query, docs []document.Document) []document.Document {
+	g.rw.RLock()
+	snap := make([]document.Document, len(docs))
+	copy(snap, docs)
+	g.rw.RUnlock()
+	var out []document.Document
+	for _, d := range snap {
+		if q.Match(d) { // lock released: fine
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -53,6 +53,21 @@ type Options struct {
 	RenewalMinInterval time.Duration
 	// EventBuffer is the per-subscription event queue length. Default 1024.
 	EventBuffer int
+	// Backfill switches unsorted subscriptions from the monolithic bootstrap
+	// (one FindEntries over the full result, shipped in a single subscribe
+	// request) to the incremental watermark-certified backfill (DESIGN.md
+	// §12): the initial result is read in chunks bracketed by watermarks,
+	// each chunk is certified by every cell of the query's row, and the
+	// subscription is admitted — EventInitial delivered — only after the
+	// final cut is certified. Ordered queries always use the legacy path
+	// (the sorting stage needs the full result at install time).
+	Backfill bool
+	// BackfillChunkSize is the per-chunk key budget. Default 256.
+	BackfillChunkSize int
+	// BackfillChunkTimeout bounds the wait for a chunk's certificates before
+	// the chunk is re-read and re-sent under a fresh watermark window.
+	// Default 2s.
+	BackfillChunkTimeout time.Duration
 	// WriteCapacity throttles the server's write path to this many
 	// operations per second (0 = unlimited). It models the per-server CPU
 	// budget the paper's Quaestor evaluation measured: a single application
@@ -90,6 +105,12 @@ func (o Options) withDefaults() Options {
 	if o.EventBuffer <= 0 {
 		o.EventBuffer = 1024
 	}
+	if o.BackfillChunkSize <= 0 {
+		o.BackfillChunkSize = 256
+	}
+	if o.BackfillChunkTimeout <= 0 {
+		o.BackfillChunkTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -125,6 +146,13 @@ type Server struct {
 	reconnects  atomic.Uint64
 	resubBusy   atomic.Bool
 
+	// bfCerts routes backfill certificates from the notification loop to the
+	// per-backfill driver goroutines; backfillActive counts in-flight
+	// backfills (the backfill.active gauge).
+	bfMu           sync.Mutex
+	bfCerts        map[string]chan *core.BackfillCert
+	backfillActive atomic.Int64
+
 	// metrics instruments this server; hot-path counters are resolved once
 	// here so the per-event cost is one atomic add.
 	metrics     *metrics.Registry
@@ -133,6 +161,11 @@ type Server struct {
 	mDedupDrops *metrics.Int // notifications dropped by seq/version dedup
 	mEventDrops *metrics.Int // events dropped on slow subscription consumers
 	mResubs     *metrics.Int // re-subscriptions published (failover recovery)
+	// mResubBackoff counts backoff sleeps taken while retrying a failed
+	// re-subscription publish; mBackfillRetries counts chunk re-sends after
+	// a certificate timeout.
+	mResubBackoff    *metrics.Int
+	mBackfillRetries *metrics.Int
 }
 
 // New creates an application server over a database and the cluster's event
@@ -164,6 +197,10 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		mDedupDrops: reg.Counter("appserver.dedup_drops"),
 		mEventDrops: reg.Counter("appserver.event_drops"),
 		mResubs:     reg.Counter("appserver.resubscribes"),
+
+		bfCerts:          map[string]chan *core.BackfillCert{},
+		mResubBackoff:    reg.Counter("appserver.resubscribe.backoff"),
+		mBackfillRetries: reg.Counter("backfill.retries"),
 	}
 	core.RegisterWireMetrics(reg)
 	reg.Gauge("appserver.subscriptions", func() float64 {
@@ -179,6 +216,7 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 	})
 	reg.Gauge("appserver.renewals", func() float64 { return float64(s.renewalsCtr.Load()) })
 	reg.Gauge("appserver.reconnects", func() float64 { return float64(s.reconnects.Load()) })
+	reg.Gauge("backfill.active", func() float64 { return float64(s.backfillActive.Load()) })
 	if opts.WriteCapacity > 0 {
 		s.writeBucket = newTokenBucket(float64(opts.WriteCapacity))
 	}
@@ -327,14 +365,26 @@ func (s *Server) Subscribe(spec query.Spec) (*Subscription, error) {
 
 	hash := core.TenantQueryHash(s.opts.Tenant, q)
 	sub := &Subscription{
-		server:  s,
-		id:      s.newSubscriptionID(),
-		q:       q,
-		hash:    hash,
+		server:   s,
+		id:       s.newSubscriptionID(),
+		q:        q,
+		hash:     hash,
 		ordered: q.Ordered(),
 		slack:   s.opts.Slack,
 		docs:    map[string]document.Document{},
 		events:  make(chan Event, s.opts.EventBuffer),
+	}
+
+	if s.opts.Backfill && !sub.ordered {
+		// Watermark-certified backfill (DESIGN.md §12): the subscription is
+		// attached (so live deltas fold into its state from the first chunk
+		// on) but not admitted — EventInitial arrives once every chunk of
+		// the initial result is certified by the full query row.
+		sub.backfilling = true
+		s.attach(sub)
+		s.wg.Add(1)
+		go s.backfillLoop(sub)
+		return sub, nil
 	}
 
 	entries, err := s.bootstrapResult(q, sub.slack)
@@ -344,15 +394,7 @@ func (s *Server) Subscribe(spec query.Spec) (*Subscription, error) {
 
 	// Register locally before the cluster sees the query so no notification
 	// can race past the routing table.
-	s.mu.Lock()
-	s.subsByID[sub.id] = sub
-	byHash := s.subsByHash[hash]
-	if byHash == nil {
-		byHash = map[string]*Subscription{}
-		s.subsByHash[hash] = byHash
-	}
-	byHash[sub.id] = sub
-	s.mu.Unlock()
+	s.attach(sub)
 
 	if err := s.publishSubscribe(sub, entries); err != nil {
 		s.detach(sub)
@@ -360,6 +402,19 @@ func (s *Server) Subscribe(spec query.Spec) (*Subscription, error) {
 	}
 	sub.installInitial(entries)
 	return sub, nil
+}
+
+// attach registers a subscription in the routing tables.
+func (s *Server) attach(sub *Subscription) {
+	s.mu.Lock()
+	s.subsByID[sub.id] = sub
+	byHash := s.subsByHash[sub.hash]
+	if byHash == nil {
+		byHash = map[string]*Subscription{}
+		s.subsByHash[sub.hash] = byHash
+	}
+	byHash[sub.id] = sub
+	s.mu.Unlock()
 }
 
 // bootstrapResult executes the rewritten query (§5.2) and returns its
@@ -454,6 +509,8 @@ func (s *Server) notifLoop() {
 				}
 			case core.KindNotification:
 				s.dispatch(env.Notification)
+			case core.KindBackfillCert:
+				s.routeBackfillCert(env.BackfillCert)
 			}
 		}
 	}
@@ -614,21 +671,85 @@ func (s *Server) resubscribeAll() {
 		sub.mu.Lock()
 		slack := sub.slack
 		closed := sub.closed
+		backfilling := sub.backfilling
 		sub.mu.Unlock()
 		if closed {
 			continue
 		}
+		if backfilling {
+			// A backfill is in flight: its driver recovers on its own (chunk
+			// timeouts, restart certificates); a monolithic re-bootstrap here
+			// would race the incremental admission.
+			continue
+		}
 		entries, err := s.bootstrapResult(sub.q, slack)
 		if err != nil {
+			// A failed bootstrap query is terminal: the local database is
+			// broken, retrying against it buys nothing.
 			sub.fail(fmt.Errorf("appserver: re-subscription failed: %w", err))
 			continue
 		}
-		if err := s.publishSubscribe(sub, entries); err != nil {
+		if err := s.publishSubscribeRetry(sub, entries); err != nil {
 			sub.fail(fmt.Errorf("appserver: re-subscription failed: %w", err))
 			continue
 		}
 		s.mResubs.Inc()
 		sub.reset(entries)
+	}
+}
+
+// publishSubscribeRetry publishes a re-subscription, retrying transient
+// event-layer failures (the broker is the very component whose outage
+// triggered the recovery) with jittered exponential backoff capped at the
+// heartbeat watchdog interval. Each backoff sleep is counted on
+// appserver.resubscribe.backoff; retries stop when the subscription or the
+// server closes.
+func (s *Server) publishSubscribeRetry(sub *Subscription, entries []core.ResultEntry) error {
+	err := s.publishSubscribe(sub, entries)
+	maxDelay := s.opts.HeartbeatTimeout
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	for attempt := 0; err != nil; attempt++ {
+		s.mResubBackoff.Inc()
+		if !s.sleepInterruptible(s.jitteredBackoff(attempt, 25*time.Millisecond, maxDelay)) {
+			return err
+		}
+		sub.mu.Lock()
+		closed := sub.closed
+		sub.mu.Unlock()
+		if closed {
+			return err
+		}
+		err = s.publishSubscribe(sub, entries)
+	}
+	return err
+}
+
+// jitteredBackoff returns base·2^attempt, capped at max, with ±25% jitter so
+// a fleet of recovering subscriptions does not hammer the broker in
+// lockstep.
+func (s *Server) jitteredBackoff(attempt int, base, max time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	s.rngMu.Lock()
+	jitter := time.Duration(s.rng.Int63n(int64(d)/2+1)) - d/4
+	s.rngMu.Unlock()
+	return d + jitter
+}
+
+// sleepInterruptible sleeps for d unless the server closes first, reporting
+// whether the full sleep elapsed.
+func (s *Server) sleepInterruptible(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.done:
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

@@ -97,6 +97,10 @@ type Subscription struct {
 	seen   map[string]*originState // per-origin notification dedup state
 	vers   map[string]uint64       // per-key last applied version (unsorted)
 	closed bool
+	// backfilling is true while a backfill assembles the initial result:
+	// notifications fold into the maintained state but no events reach the
+	// client until admit() delivers EventInitial (DESIGN.md §12).
+	backfilling bool
 
 	events  chan Event
 	dropped atomic.Uint64
@@ -297,8 +301,57 @@ func (sub *Subscription) apply(n *core.Notification) {
 		sub.mu.Unlock()
 		return
 	}
+	if sub.backfilling {
+		// Backfill in progress: the delta is folded into the maintained
+		// state (in-window writes supersede chunk rows via the version
+		// guard) but the client sees nothing before EventInitial.
+		sub.mu.Unlock()
+		return
+	}
 	sub.mu.Unlock()
 	sub.push(ev)
+}
+
+// mergeChunk folds one backfill chunk into the maintained state under the
+// never-regress rule: a chunk row older than an already-applied in-window
+// delta is discarded — the live stream delivered fresher state (including
+// deletes, whose version the guard retains).
+func (sub *Subscription) mergeChunk(entries []core.ResultEntry) {
+	sub.mu.Lock()
+	if sub.vers == nil {
+		sub.vers = map[string]uint64{}
+	}
+	for _, e := range entries {
+		if e.Version <= sub.vers[e.Key] {
+			continue
+		}
+		sub.vers[e.Key] = e.Version
+		sub.docs[e.Key] = sub.q.Project(e.Doc)
+	}
+	sub.mu.Unlock()
+}
+
+// admit delivers EventInitial with the assembled result and opens the event
+// stream. The event is pushed under the lock, so a delta arriving
+// concurrently is ordered strictly after the initial result.
+func (sub *Subscription) admit() {
+	sub.mu.Lock()
+	if sub.closed || !sub.backfilling {
+		sub.mu.Unlock()
+		return
+	}
+	sub.backfilling = false
+	keys := make([]string, 0, len(sub.docs))
+	for k := range sub.docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	docs := make([]document.Document, 0, len(keys))
+	for _, k := range keys {
+		docs = append(docs, sub.docs[k])
+	}
+	sub.pushLocked(Event{Type: EventInitial, Docs: docs, Index: -1})
+	sub.mu.Unlock()
 }
 
 // freshLocked reports whether a notification from origin with sequence
@@ -398,6 +451,11 @@ func (sub *Subscription) disconnect(err error) {
 func (sub *Subscription) push(ev Event) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
+	sub.pushLocked(ev)
+}
+
+// pushLocked is push for callers already holding sub.mu.
+func (sub *Subscription) pushLocked(ev Event) {
 	if sub.closed {
 		return
 	}

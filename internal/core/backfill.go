@@ -1,0 +1,270 @@
+package core
+
+import (
+	"time"
+
+	"invalidb/internal/query"
+	"invalidb/internal/topology"
+)
+
+// This file is the matching-grid half of the watermark-certified backfill
+// protocol (DESIGN.md §12). The application server reads the store in chunks,
+// bracketing every chunk read with a low and a high watermark drawn from the
+// storage sequence allocator; the high mark travels the writes topic behind
+// every write the chunk could have raced. A matching cell holds a chunk until
+// it has observed the chunk's high watermark — at which point every in-window
+// write has been applied to the cell's trackers — then installs the chunk
+// under the never-regress rule (an in-window delta supersedes the chunk's
+// stale row) and publishes a certificate. The application server admits the
+// subscription once every chunk holds certificates from all cells of the row:
+// the assembled result is equivalent to a snapshot taken at some point inside
+// the backfill window, despite full concurrent write load.
+
+// backfillChunkPayload is one write partition's slice of a BackfillChunk,
+// fanned by query ingestion to every cell of the query's row. Cells with an
+// empty slice still receive (and certify) the chunk: the certificate conveys
+// "my partition's in-window writes are folded in", which holds vacuously but
+// must still be attested so the application server can count Cells distinct
+// certificates.
+type backfillChunkPayload struct {
+	tenant string
+	sid    string
+	bfid   string
+	hash   uint64
+	chunk  int
+	low    uint64
+	high   uint64
+	last   bool
+	entries []ResultEntry
+}
+
+// backfillPendingBudget bounds how many chunks a cell buffers while waiting
+// for their high watermarks. Overflowing chunks are reconciled immediately:
+// per-key convergence is preserved by the never-regress install and the
+// version-guarded live stream (a racing write supersedes the early-installed
+// row when it arrives), only the cut certification weakens to eventual for
+// that chunk. The budget is the fixed in-flight memory the protocol promises.
+const backfillPendingBudget = 4
+
+// cellBackfill is one in-flight backfill as seen by one matching cell: the
+// highest watermark observed and the chunks still gated on theirs.
+type cellBackfill struct {
+	wmSeen  uint64
+	pending []*backfillChunkPayload
+	lastAt  time.Time
+}
+
+func (b *matchBolt) backfillState(bfid string) *cellBackfill {
+	cb := b.backfills[bfid]
+	if cb == nil {
+		cb = &cellBackfill{}
+		b.backfills[bfid] = cb
+	}
+	cb.lastAt = b.now
+	return cb
+}
+
+// handleBackfillMark folds a watermark broadcast into the backfill's window
+// state and releases every pending chunk whose high mark is now covered.
+// Marks are broadcast to all cells (write ingestion cannot know which rows
+// run backfills), so cells outside the query's row accumulate an empty
+// cellBackfill that the tick expiry reclaims.
+func (b *matchBolt) handleBackfillMark(t *topology.Tuple, m *BackfillMark) {
+	cb := b.backfillState(m.BackfillID)
+	if m.Seq > cb.wmSeen {
+		cb.wmSeen = m.Seq
+	}
+	if len(cb.pending) == 0 {
+		return
+	}
+	kept := cb.pending[:0]
+	for _, p := range cb.pending {
+		if p.high <= cb.wmSeen {
+			b.reconcileChunk(t, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(cb.pending); i++ {
+		cb.pending[i] = nil
+	}
+	cb.pending = kept
+}
+
+// handleBackfillChunk reconciles the chunk immediately when its window is
+// already closed (the high mark overtook the chunk on the queries topic),
+// otherwise parks it until the mark arrives.
+func (b *matchBolt) handleBackfillChunk(t *topology.Tuple, p *backfillChunkPayload) {
+	cb := b.backfillState(p.bfid)
+	if p.high <= cb.wmSeen {
+		b.reconcileChunk(t, p)
+		return
+	}
+	cb.pending = append(cb.pending, p)
+	if len(cb.pending) > backfillPendingBudget {
+		oldest := cb.pending[0]
+		copy(cb.pending, cb.pending[1:])
+		cb.pending[len(cb.pending)-1] = nil
+		cb.pending = cb.pending[:len(cb.pending)-1]
+		b.reconcileChunk(t, oldest)
+	}
+}
+
+// reconcileChunk applies the virtual-cut rule: chunk rows are folded into the
+// query's trackers under the never-regress guard — a tracked version newer
+// than the chunk's means an in-window write already delivered fresher state,
+// so the chunk row is discarded — then the retention buffer is replayed to
+// close the residual race (a write that slipped past the watermark barrier
+// through a different ingest node; the per-query version guard makes the
+// replay idempotent). The cell then attests the cut with a certificate.
+//
+//invalidb:hotpath
+func (b *matchBolt) reconcileChunk(t *topology.Tuple, p *backfillChunkPayload) {
+	mq := b.queries[p.hash]
+	if mq == nil {
+		// No live query at this cell: the subscribe tuple was lost or the
+		// subscription expired mid-backfill. Withhold the certificate — the
+		// application server's chunk timeout resends, and a restarted cell
+		// triggers a restart certificate via resync.
+		return
+	}
+	b.c.mBackfillChunks.Inc()
+	for i := range p.entries {
+		e := &p.entries[i]
+		if cur, ok := mq.tracked[e.Key]; ok && e.Version <= cur {
+			// In-window (or replayed) write superseded this chunk row: the
+			// live stream already delivered fresher state; installing the
+			// stale row would regress it.
+			b.c.mBackfillReconciled.Inc()
+			continue
+		}
+		mq.tracked[e.Key] = e.Version
+		if b.qindex != nil {
+			b.qindex.track(b.interner.key(mq.tenant, mq.q.Collection, e.Key), mq)
+		}
+	}
+	//invalidb:allow hotpathalloc one closure per chunk reconcile, amortized over the chunk's entries
+	b.retention.each(func(r *retainedImage) {
+		img := r.we.Image
+		if img.Version <= p.low {
+			// Pre-window: the chunk read began after this write was durable,
+			// so the chunk rows already reflect it. Only in-window and later
+			// images can supersede a chunk row.
+			return
+		}
+		ck := b.interner.key(r.we.Tenant, img.Collection, img.Key)
+		if img.Version < b.latest[ck] {
+			return // superseded within the retention window
+		}
+		b.processImage(t, mq, r.we, ck)
+	})
+	b.c.mBackfillCertified.Inc()
+	//invalidb:allow hotpathalloc one certificate per chunk reconcile, amortized over the chunk's entries
+	b.c.publishBackfillCert(&BackfillCert{
+		Tenant:         p.tenant,
+		SubscriptionID: p.sid,
+		BackfillID:     p.bfid,
+		QueryID:        QueryIDString(p.hash),
+		Chunk:          p.chunk,
+		Cell:           b.wp,
+		Cells:          b.c.opts.WritePartitions,
+		Last:           p.last,
+		Origin:         b.origin,
+		Status:         BackfillStatusOK,
+	})
+}
+
+// expireBackfills reclaims window state of backfills idle beyond twice the
+// retention window: either the backfill completed (certificates delivered,
+// marks stopped) or its application server is gone. Chunks still pending are
+// dropped; an abandoned backfill's chunks must not be installed later, when
+// their windows can no longer be related to the live stream.
+func (b *matchBolt) expireBackfills(now time.Time) {
+	cutoff := now.Add(-2 * b.c.opts.RetentionTime)
+	for bfid, cb := range b.backfills {
+		if cb.lastAt.Before(cutoff) {
+			delete(b.backfills, bfid)
+		}
+	}
+}
+
+// publishBackfillCert serializes and publishes a chunk certificate on the
+// tenant's notify topic.
+func (c *Cluster) publishBackfillCert(cert *BackfillCert) {
+	env := &Envelope{Kind: KindBackfillCert, BackfillCert: cert}
+	data, err := env.Encode()
+	if err != nil {
+		return
+	}
+	_ = c.bus.Publish(c.topics.Notify(cert.Tenant), data)
+}
+
+// backfillRestartCerts publishes a restart certificate for every in-flight
+// backfill whose query row contains a restarted matching cell. The restarted
+// cell lost its watermark window state, so certificates it owed can never be
+// issued; the restart certificate tells the application server to abandon the
+// attempt and start a fresh backfill (new BackfillID, new cursor) against the
+// resynced query state.
+func (c *Cluster) backfillRestartCerts(qp int) {
+	c.regMu.Lock()
+	var certs []*BackfillCert
+	for hash, sids := range c.registry {
+		if int(hash%uint64(c.opts.QueryPartitions)) != qp {
+			continue
+		}
+		for _, e := range sids {
+			if !e.backfilling {
+				continue
+			}
+			certs = append(certs, &BackfillCert{
+				Tenant:         e.req.Tenant,
+				SubscriptionID: e.req.SubscriptionID,
+				BackfillID:     e.backfillID,
+				QueryID:        QueryIDString(hash),
+				Chunk:          -1,
+				Cells:          c.opts.WritePartitions,
+				Status:         BackfillStatusRestart,
+			})
+		}
+	}
+	c.regMu.Unlock()
+	for _, cert := range certs {
+		c.publishBackfillCert(cert)
+	}
+}
+
+// registerBackfill records a backfilling subscription. The entry starts with
+// an empty Result that accumulates certified chunks (appendBackfillResult),
+// so a resync re-installs everything delivered so far; a restarted backfill
+// re-registers under a fresh BackfillID, resetting the accumulation.
+func (c *Cluster) registerBackfill(req *SubscribeRequest, q *query.Query, hash uint64, ttl time.Duration, bfid string) {
+	c.regMu.Lock()
+	sids := c.registry[hash]
+	if sids == nil {
+		sids = map[string]*regEntry{}
+		c.registry[hash] = sids
+	}
+	//invalidb:allow coarseclock control-plane TTL deadline, not on the write path
+	deadline := time.Now().Add(ttl)
+	sids[req.SubscriptionID] = &regEntry{
+		req: req, q: q, hash: hash, deadline: deadline,
+		backfillID: bfid, backfilling: true, lastChunk: -1,
+	}
+	c.regMu.Unlock()
+}
+
+// appendBackfillResult folds a chunk's entries into the registry entry's
+// accumulated bootstrap result, so a matching-cell resync mid-backfill
+// re-installs every chunk already shipped. Chunks arrive in order and
+// re-sends repeat an index, so only indexes beyond the high-water chunk are
+// appended — a retried chunk does not duplicate its entries.
+func (c *Cluster) appendBackfillResult(hash uint64, sid, bfid string, chunk int, entries []ResultEntry) {
+	c.regMu.Lock()
+	if sids := c.registry[hash]; sids != nil {
+		if e := sids[sid]; e != nil && e.backfillID == bfid && chunk > e.lastChunk {
+			e.lastChunk = chunk
+			e.req.Result = append(e.req.Result, entries...)
+		}
+	}
+	c.regMu.Unlock()
+}

@@ -187,6 +187,13 @@ type Cluster struct {
 	mCandProbed    *metrics.Int
 	mCandEvaluated *metrics.Int
 	mCandMatched   *metrics.Int
+
+	// Backfill counters (DESIGN.md §12): chunks reconciled by matching
+	// cells, chunk rows superseded by in-window writes, and certificates
+	// issued.
+	mBackfillChunks     *metrics.Int
+	mBackfillReconciled *metrics.Int
+	mBackfillCertified  *metrics.Int
 }
 
 // NewCluster assembles a cluster over the given event layer. Call Start to
@@ -218,6 +225,10 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 		mCandProbed:    reg.Counter("queryindex.candidates.probed"),
 		mCandEvaluated: reg.Counter("queryindex.candidates.evaluated"),
 		mCandMatched:   reg.Counter("queryindex.candidates.matched"),
+
+		mBackfillChunks:     reg.Counter("backfill.chunks"),
+		mBackfillReconciled: reg.Counter("backfill.reconciled"),
+		mBackfillCertified:  reg.Counter("backfill.certified"),
 	}
 
 	qp, wp := opts.QueryPartitions, opts.WritePartitions
@@ -428,6 +439,14 @@ type regEntry struct {
 	q        *query.Query
 	hash     uint64
 	deadline time.Time
+	// Backfill bookkeeping: the in-flight backfill's identity, whether one
+	// was ever started for this registration (restart certificates target
+	// these entries), and the highest chunk index folded into req.Result
+	// (so a retried chunk is not appended twice). A restarted backfill
+	// re-registers, resetting all three.
+	backfillID  string
+	backfilling bool
+	lastChunk   int
 }
 
 // registerSubscription records (or refreshes) a subscription.

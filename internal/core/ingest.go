@@ -128,6 +128,12 @@ const (
 	kindWriteBatch = "writeBatch" // several after-images in one tuple
 	kindDelta      = "delta"      // filtering-stage output for sorted queries
 	kindExpire     = "expire"     // all subscriptions of a query timed out
+
+	// Backfill protocol (DESIGN.md §12): a chunk of the initial result fanned
+	// to the query's row, and a watermark mark broadcast to every cell behind
+	// the writes it brackets.
+	kindBackfillChunk = "backfillChunk"
+	kindBackfillMark  = "backfillMark"
 )
 
 // writeBatch carries several after-images of one write partition in a single
@@ -148,6 +154,11 @@ type subscribePayload struct {
 	ttl   time.Duration
 	// entries is the (sliced or full) bootstrap result.
 	entries []ResultEntry
+	// backfill marks a chunked-backfill install (empty entries; the result
+	// arrives chunk by chunk). Cells skip the subscribe-time retention
+	// replay for these: the watermark windows of the chunks close the
+	// write-subscription race that replay exists to close.
+	backfill bool
 }
 
 // queryIngestBolt is a stateless query ingestion node (§5.1): it parses
@@ -200,6 +211,10 @@ func (b *queryIngestBolt) Execute(t *topology.Tuple) {
 		b.fanToRow(t, kindExtend, env.Extend.QueryHash, env.Extend)
 	case KindResync:
 		b.handleResync(t, env.Resync)
+	case KindBackfillStart:
+		b.handleBackfillStart(t, env.BackfillStart)
+	case KindBackfillChunk:
+		b.handleBackfillChunk(t, env.BackfillChunk)
 	}
 }
 
@@ -251,6 +266,85 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 	}
 }
 
+// handleBackfillStart registers a backfilling subscription and installs the
+// query — with an empty bootstrap partition — on every cell of its row, so
+// live deltas flow to the application server from the first chunk on. The
+// initial result follows incrementally as BackfillChunks (DESIGN.md §12);
+// ordered queries keep the legacy bootstrap path, because their sorting-stage
+// state needs the full result at install time.
+func (b *queryIngestBolt) handleBackfillStart(t *topology.Tuple, bs *BackfillStart) {
+	q, err := b.c.opts.Engine.Compile(bs.Query)
+	if err != nil {
+		b.c.publishNotification(&Notification{
+			Tenant:  bs.Tenant,
+			QueryID: "",
+			Type:    MatchError,
+			Index:   -1,
+			Error:   "invalid query: " + err.Error(),
+		})
+		return
+	}
+	if q.Ordered() {
+		b.c.publishNotification(&Notification{
+			Tenant:  bs.Tenant,
+			QueryID: "",
+			Type:    MatchError,
+			Index:   -1,
+			Error:   "backfill: ordered queries use the bootstrap path",
+		})
+		return
+	}
+	b.c.registerTenant(bs.Tenant)
+	hash := TenantQueryHash(bs.Tenant, q)
+	ttl := time.Duration(bs.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = b.c.opts.DefaultTTL
+	}
+	req := &SubscribeRequest{
+		Tenant:         bs.Tenant,
+		SubscriptionID: bs.SubscriptionID,
+		Query:          bs.Query,
+		Slack:          bs.Slack,
+		TTLMillis:      bs.TTLMillis,
+	}
+	b.c.registerBackfill(req, q, hash, ttl, bs.BackfillID)
+	b.c.mInstalls.Inc()
+	qp := int(hash % uint64(b.c.opts.QueryPartitions))
+	for w := 0; w < b.c.opts.WritePartitions; w++ {
+		payload := &subscribePayload{req: req, q: q, hash: hash, slack: bs.Slack, ttl: ttl, backfill: true}
+		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+	}
+	if len(b.c.opts.ExtraStages) > 0 {
+		payload := &subscribePayload{req: req, q: q, hash: hash, slack: bs.Slack, ttl: ttl, backfill: true}
+		b.out.EmitStream(streamBootstrap, t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+	}
+}
+
+// handleBackfillChunk slices a chunk by write partition and fans it to every
+// cell of the query's row — including cells whose slice is empty, because
+// each cell must certify that its partition's in-window writes are folded in.
+// The entries also accumulate in the subscription registry, so a mid-backfill
+// resync re-installs everything shipped so far.
+func (b *queryIngestBolt) handleBackfillChunk(t *topology.Tuple, bc *BackfillChunk) {
+	b.c.registerTenant(bc.Tenant)
+	wp := b.c.opts.WritePartitions
+	qp := int(bc.QueryHash % uint64(b.c.opts.QueryPartitions))
+	b.c.appendBackfillResult(bc.QueryHash, bc.SubscriptionID, bc.BackfillID, bc.Chunk, bc.Entries)
+	slices := make([][]ResultEntry, wp)
+	for _, e := range bc.Entries {
+		w := int(document.HashKey(e.Key) % uint64(wp))
+		slices[w] = append(slices[w], e)
+	}
+	for w := 0; w < wp; w++ {
+		payload := &backfillChunkPayload{
+			tenant: bc.Tenant, sid: bc.SubscriptionID, bfid: bc.BackfillID,
+			hash: bc.QueryHash, chunk: bc.Chunk, low: bc.Low, high: bc.High,
+			last: bc.Last, entries: slices[w],
+		}
+		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindBackfillChunk, QueryIDString(bc.QueryHash), payload})
+	}
+}
+
 // fanToRow delivers a control message to every matching node of the query's
 // partition row.
 func (b *queryIngestBolt) fanToRow(t *topology.Tuple, kind string, hash uint64, payload any) {
@@ -289,6 +383,11 @@ func (b *queryIngestBolt) handleResync(t *topology.Tuple, r *ResyncRequest) {
 			}
 			b.out.EmitDirect(r.TaskID, t, topology.Values{kindSubscribe, QueryIDString(e.hash), payload})
 		}
+		// The restarted cell lost its backfill window state (buffered chunks,
+		// watermarks seen), so certificates it owed will never arrive: tell
+		// the application servers of every in-flight backfill on this row to
+		// restart against the freshly resynced query state.
+		b.c.backfillRestartCerts(qp)
 		return
 	}
 	for _, e := range entries {
@@ -356,7 +455,15 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 		return
 	}
 	env, err := DecodeEnvelope(data)
-	if err != nil || env.Kind != KindWrite {
+	if err != nil {
+		b.out.Ack(t)
+		return
+	}
+	if env.Kind == KindBackfillMark {
+		b.handleMark(t, env.BackfillMark)
+		return
+	}
+	if env.Kind != KindWrite {
 		b.out.Ack(t)
 		return
 	}
@@ -381,6 +488,29 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 	if len(col.events) >= maxWriteBatch {
 		b.flush(w)
 	}
+}
+
+// handleMark is the watermark near-barrier (DESIGN.md §12): every column
+// batch buffered by THIS ingest node is flushed before the mark is broadcast
+// to every matching cell, so on each of this node's output channels the mark
+// trails every write it was published behind. With several shuffle-grouped
+// ingest nodes the barrier is approximate — a write routed through a slower
+// sibling can still arrive after the mark — which is why chunk installation
+// additionally carries the never-regress version guard and a retention
+// replay; the mark closes the common case, the guards close the residue.
+func (b *writeIngestBolt) handleMark(t *topology.Tuple, m *BackfillMark) {
+	for w := range b.cols {
+		if len(b.cols[w].events) > 0 {
+			b.flush(w)
+		}
+	}
+	vals := topology.Values{kindBackfillMark, "", m}
+	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
+		for w := 0; w < b.c.opts.WritePartitions; w++ {
+			b.out.EmitDirect(b.c.gridTask(qp, w), t, vals)
+		}
+	}
+	b.out.Ack(t)
 }
 
 // Idle flushes every pending column batch once the input queue drains; under

@@ -148,6 +148,9 @@ type matchBolt struct {
 	retention retentionRing
 	bucket    *tokenBucket
 	qindex    *queryIndex // nil unless Options.EnableQueryIndex
+	// backfills holds the watermark window state of in-flight backfills
+	// (chunks gated on their high mark); see backfill.go.
+	backfills map[string]*cellBackfill
 
 	// now is the node's coarse clock, advanced by tick tuples: the staleness
 	// table and retention buffer only need tick-interval resolution, so the
@@ -169,6 +172,7 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	b.queries = map[uint64]*matchQuery{}
 	b.latest = map[string]uint64{}
 	b.latestAt = map[string]time.Time{}
+	b.backfills = map[string]*cellBackfill{}
 	//invalidb:allow coarseclock one-time seed of the coarse clock at Prepare
 	b.now = time.Now()
 	b.interner = newKeyInterner()
@@ -233,6 +237,14 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 			for _, we := range p.events {
 				b.handleWrite(t, we)
 			}
+		}
+	case kindBackfillChunk:
+		if p, ok := payloadV.(*backfillChunkPayload); ok {
+			b.handleBackfillChunk(t, p)
+		}
+	case kindBackfillMark:
+		if p, ok := payloadV.(*BackfillMark); ok {
+			b.handleBackfillMark(t, p)
 		}
 	}
 }
@@ -411,6 +423,14 @@ func (b *matchBolt) handleSubscribe(t *topology.Tuple, p *subscribePayload) {
 			b.qindex.track(b.interner.key(mq.tenant, mq.q.Collection, e.Key), mq)
 		}
 	}
+	// A chunked-backfill install carries no result and needs no replay: the
+	// live stream covers every write from this install onward, chunk reads
+	// cover everything before their low watermark, and each chunk's
+	// reconcile replays its own window. Replaying here would only burn a
+	// full retention walk per install.
+	if p.backfill {
+		return
+	}
 	// Replay the retention buffer against the query to close the
 	// write-query and write-subscription races (§5.1): any retained image
 	// newer than the bootstrap state produces a regular result change. Only
@@ -487,6 +507,7 @@ func (b *matchBolt) handleTick(now time.Time) {
 			}
 		}
 	}
+	b.expireBackfills(now)
 	cutoff := now.Add(-b.c.opts.RetentionTime)
 	b.retention.prune(cutoff)
 	for ck, at := range b.latestAt {

@@ -167,6 +167,98 @@ type Notification struct {
 	MatchNs  int64 `json:"mNs,omitempty"`
 }
 
+// Backfill watermark phases and certificate statuses (DESIGN.md §12).
+const (
+	// BackfillPhaseLow marks the start of a chunk's watermark window.
+	BackfillPhaseLow = "low"
+	// BackfillPhaseHigh marks the end of a chunk's watermark window.
+	BackfillPhaseHigh = "high"
+	// BackfillStatusOK certifies a reconciled chunk.
+	BackfillStatusOK = "ok"
+	// BackfillStatusRestart tells the application server the owning matching
+	// node restarted mid-backfill and the backfill must start over.
+	BackfillStatusRestart = "restart"
+)
+
+// BackfillStart activates a subscription in backfill mode: the matching
+// cells install the query with an empty tracked set and start applying live
+// deltas immediately, while the application server streams the initial
+// result in watermark-delimited chunks (BackfillChunk). The subscription is
+// admitted client-side only once every chunk has been certified by every
+// cell of the query's grid row.
+type BackfillStart struct {
+	Tenant         string     `json:"tenant"`
+	SubscriptionID string     `json:"sid"`
+	// BackfillID distinguishes concurrent and restarted backfills of the
+	// same subscription; certificates echo it.
+	BackfillID string     `json:"bfid"`
+	Query      query.Spec `json:"query"`
+	Slack      int        `json:"slack,omitempty"`
+	TTLMillis  int64      `json:"ttlMs"`
+}
+
+// BackfillChunk carries one chunk of a subscription's initial result, read
+// from the store between the low and high watermarks (DBLog's virtual cut).
+// Matching cells reconcile the chunk against writes observed inside the
+// (Low, High) window — in-window deltas supersede chunk rows — and publish a
+// BackfillCert when the cut is certified.
+type BackfillChunk struct {
+	Tenant         string `json:"tenant"`
+	SubscriptionID string `json:"sid"`
+	BackfillID     string `json:"bfid"`
+	QueryHash      uint64 `json:"qh"`
+	// Chunk is the zero-based chunk index within the backfill.
+	Chunk int `json:"chunk"`
+	// Low and High are the watermark sequence numbers bracketing the chunk
+	// read; record versions draw from the same allocator, so any write that
+	// raced the read has a version strictly inside the window.
+	Low  uint64 `json:"low"`
+	High uint64 `json:"high"`
+	// Last marks the final chunk of the backfill.
+	Last    bool          `json:"last,omitempty"`
+	Entries []ResultEntry `json:"entries"`
+}
+
+// BackfillMark travels the writes topic — in stream order with the
+// after-images it brackets — announcing that watermark Seq was emitted into
+// the oplog. Write ingestion flushes its pending batches and broadcasts the
+// mark to every matching cell, so a cell that has seen a chunk's high mark
+// has also processed every write committed before it.
+type BackfillMark struct {
+	Tenant     string `json:"tenant"`
+	BackfillID string `json:"bfid"`
+	Chunk      int    `json:"chunk"`
+	// Phase is BackfillPhaseLow or BackfillPhaseHigh.
+	Phase string `json:"phase"`
+	// Seq is the watermark's global sequence number.
+	Seq uint64 `json:"seq"`
+}
+
+// BackfillCert is published on the tenant's notify topic by a matching cell
+// after reconciling a chunk (Status "ok"), or by query ingestion when a cell
+// of an in-flight backfill restarted and lost its window state (Status
+// "restart", Chunk -1). The application server admits the subscription once
+// it holds ok-certificates from all Cells distinct cells for every chunk.
+type BackfillCert struct {
+	Tenant         string `json:"tenant"`
+	SubscriptionID string `json:"sid"`
+	BackfillID     string `json:"bfid"`
+	QueryID        string `json:"qid"`
+	// Chunk echoes the certified chunk index; -1 for restart certificates.
+	Chunk int `json:"chunk"`
+	// Cell is the certifying cell's write-partition index; Cells is the row
+	// width, so the receiver knows how many distinct certificates complete a
+	// chunk.
+	Cell  int  `json:"cell"`
+	Cells int  `json:"cells"`
+	Last  bool `json:"last,omitempty"`
+	// Origin identifies the certifying node instance, like
+	// Notification.Origin.
+	Origin string `json:"org,omitempty"`
+	// Status is BackfillStatusOK or BackfillStatusRestart.
+	Status string `json:"status"`
+}
+
 // ResyncRequest asks the cluster to re-broadcast active subscription state
 // to a restarted task. It is published cluster-internally on the queries
 // topic by the supervisor's restart hook; the query-ingest stage answers it
@@ -190,25 +282,33 @@ type Heartbeat struct {
 // Envelope is the single wire format of the event layer: exactly one field
 // besides Kind is set.
 type Envelope struct {
-	Kind         string            `json:"kind"`
-	Subscribe    *SubscribeRequest `json:"sub,omitempty"`
-	Cancel       *CancelRequest    `json:"cancel,omitempty"`
-	Extend       *ExtendRequest    `json:"extend,omitempty"`
-	Write        *WriteEvent       `json:"write,omitempty"`
-	Notification *Notification     `json:"notif,omitempty"`
-	Heartbeat    *Heartbeat        `json:"hb,omitempty"`
-	Resync       *ResyncRequest    `json:"resync,omitempty"`
+	Kind          string            `json:"kind"`
+	Subscribe     *SubscribeRequest `json:"sub,omitempty"`
+	Cancel        *CancelRequest    `json:"cancel,omitempty"`
+	Extend        *ExtendRequest    `json:"extend,omitempty"`
+	Write         *WriteEvent       `json:"write,omitempty"`
+	Notification  *Notification     `json:"notif,omitempty"`
+	Heartbeat     *Heartbeat        `json:"hb,omitempty"`
+	Resync        *ResyncRequest    `json:"resync,omitempty"`
+	BackfillStart *BackfillStart    `json:"bfs,omitempty"`
+	BackfillChunk *BackfillChunk    `json:"bfc,omitempty"`
+	BackfillMark  *BackfillMark     `json:"bfm,omitempty"`
+	BackfillCert  *BackfillCert     `json:"bfcert,omitempty"`
 }
 
 // Envelope kinds.
 const (
-	KindSubscribe    = "subscribe"
-	KindCancel       = "cancel"
-	KindExtend       = "extend"
-	KindWrite        = "write"
-	KindNotification = "notification"
-	KindHeartbeat    = "heartbeat"
-	KindResync       = "resync"
+	KindSubscribe     = "subscribe"
+	KindCancel        = "cancel"
+	KindExtend        = "extend"
+	KindWrite         = "write"
+	KindNotification  = "notification"
+	KindHeartbeat     = "heartbeat"
+	KindResync        = "resync"
+	KindBackfillStart = "backfillStart"
+	KindBackfillChunk = "backfillChunk"
+	KindBackfillMark  = "backfillMark"
+	KindBackfillCert  = "backfillCert"
 )
 
 // Encode serializes an envelope for the event layer in the process-wide
@@ -309,6 +409,36 @@ func decodeJSONEnvelope(data []byte) (*Envelope, error) {
 	case KindResync:
 		ok = e.Resync != nil
 		clean.Resync = e.Resync
+	case KindBackfillStart:
+		ok = e.BackfillStart != nil
+		if ok {
+			e.BackfillStart.Query.Filter = normalizeFilter(e.BackfillStart.Query.Filter)
+			clean.BackfillStart = e.BackfillStart
+		}
+	case KindBackfillChunk:
+		ok = e.BackfillChunk != nil
+		if ok {
+			for i := range e.BackfillChunk.Entries {
+				e.BackfillChunk.Entries[i].Doc = document.Normalize(e.BackfillChunk.Entries[i].Doc)
+			}
+			clean.BackfillChunk = e.BackfillChunk
+		}
+	case KindBackfillMark:
+		ok = e.BackfillMark != nil
+		if ok {
+			if p := e.BackfillMark.Phase; p != BackfillPhaseLow && p != BackfillPhaseHigh {
+				return nil, fmt.Errorf("core: backfill mark with invalid phase %q", p)
+			}
+			clean.BackfillMark = e.BackfillMark
+		}
+	case KindBackfillCert:
+		ok = e.BackfillCert != nil
+		if ok {
+			if s := e.BackfillCert.Status; s != BackfillStatusOK && s != BackfillStatusRestart {
+				return nil, fmt.Errorf("core: backfill cert with invalid status %q", s)
+			}
+			clean.BackfillCert = e.BackfillCert
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown envelope kind %q", e.Kind)
 	}

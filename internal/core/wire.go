@@ -45,8 +45,12 @@ const (
 	wireTagNotification
 	wireTagHeartbeat
 	wireTagResync
+	wireTagBackfillStart
+	wireTagBackfillChunk
+	wireTagBackfillMark
+	wireTagBackfillCert
 
-	wireTagCount = int(wireTagResync) + 1
+	wireTagCount = int(wireTagBackfillCert) + 1
 )
 
 // Document value tags. Every document value is one tag byte followed by
@@ -134,6 +138,11 @@ var wireKindNames = [wireTagCount]string{
 	wireTagNotification: KindNotification,
 	wireTagHeartbeat:    KindHeartbeat,
 	wireTagResync:       KindResync,
+
+	wireTagBackfillStart: KindBackfillStart,
+	wireTagBackfillChunk: KindBackfillChunk,
+	wireTagBackfillMark:  KindBackfillMark,
+	wireTagBackfillCert:  KindBackfillCert,
 }
 
 // RegisterWireMetrics exposes the codec's per-kind traffic counters
@@ -185,6 +194,14 @@ func wireKindTag(kind string) byte {
 		return wireTagHeartbeat
 	case KindResync:
 		return wireTagResync
+	case KindBackfillStart:
+		return wireTagBackfillStart
+	case KindBackfillChunk:
+		return wireTagBackfillChunk
+	case KindBackfillMark:
+		return wireTagBackfillMark
+	case KindBackfillCert:
+		return wireTagBackfillCert
 	}
 	return 0
 }
@@ -245,6 +262,26 @@ func AppendEnvelope(buf []byte, e *Envelope) ([]byte, error) {
 		}
 		b = appendString(b, e.Resync.Component)
 		b = appendSvarint(b, int64(e.Resync.TaskID))
+	case wireTagBackfillStart:
+		if e.BackfillStart == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendBackfillStart(b, e.BackfillStart)
+	case wireTagBackfillChunk:
+		if e.BackfillChunk == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendBackfillChunk(b, e.BackfillChunk)
+	case wireTagBackfillMark:
+		if e.BackfillMark == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendBackfillMark(b, e.BackfillMark)
+	case wireTagBackfillCert:
+		if e.BackfillCert == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendBackfillCert(b, e.BackfillCert)
 	}
 	if err != nil {
 		return nil, err
@@ -344,6 +381,98 @@ func appendNotification(b []byte, n *Notification) ([]byte, error) {
 	b = appendSvarint(b, n.IngestNs)
 	b = appendSvarint(b, n.MatchNs)
 	return b, nil
+}
+
+//invalidb:hotpath
+func appendBackfillStart(b []byte, s *BackfillStart) ([]byte, error) {
+	b = appendString(b, s.Tenant)
+	b = appendString(b, s.SubscriptionID)
+	b = appendString(b, s.BackfillID)
+	b = appendSvarint(b, s.TTLMillis)
+	b = appendSvarint(b, int64(s.Slack))
+	return appendSpec(b, &s.Query)
+}
+
+//invalidb:hotpath
+func appendBackfillChunk(b []byte, c *BackfillChunk) ([]byte, error) {
+	b = appendString(b, c.Tenant)
+	b = appendString(b, c.SubscriptionID)
+	b = appendString(b, c.BackfillID)
+	b = appendFixed64(b, c.QueryHash)
+	b = appendSvarint(b, int64(c.Chunk))
+	b = appendUvarint(b, c.Low)
+	b = appendUvarint(b, c.High)
+	b = appendBool(b, c.Last)
+	// Entries uses the Subscribe.Result presence scheme: no omitempty tag in
+	// JSON, so nil and empty stay distinct (0 = nil, n+1 = n entries).
+	if c.Entries == nil {
+		b = appendUvarint(b, 0)
+		return b, nil
+	}
+	b = appendUvarint(b, uint64(len(c.Entries))+1)
+	var err error
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		b = appendString(b, e.Key)
+		b = appendUvarint(b, e.Version)
+		if b, err = appendDocExact(b, e.Doc); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendBackfillMark(b []byte, m *BackfillMark) ([]byte, error) {
+	var phase byte
+	switch m.Phase {
+	case BackfillPhaseLow:
+		phase = 0
+	case BackfillPhaseHigh:
+		phase = 1
+	default:
+		// JSON parity: the JSON decoder rejects unknown phases, so the
+		// binary encoder must refuse to produce them.
+		return nil, errWireBadValue
+	}
+	b = appendString(b, m.Tenant)
+	b = appendString(b, m.BackfillID)
+	b = appendSvarint(b, int64(m.Chunk))
+	b = append(b, phase)
+	b = appendUvarint(b, m.Seq)
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendBackfillCert(b []byte, c *BackfillCert) ([]byte, error) {
+	var status byte
+	switch c.Status {
+	case BackfillStatusOK:
+		status = 0
+	case BackfillStatusRestart:
+		status = 1
+	default:
+		return nil, errWireBadValue
+	}
+	b = appendString(b, c.Tenant)
+	b = appendString(b, c.SubscriptionID)
+	b = appendString(b, c.BackfillID)
+	b = appendString(b, c.QueryID)
+	b = appendSvarint(b, int64(c.Chunk))
+	b = appendSvarint(b, int64(c.Cell))
+	b = appendSvarint(b, int64(c.Cells))
+	b = appendBool(b, c.Last)
+	b = appendString(b, c.Origin)
+	b = append(b, status)
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
 }
 
 //invalidb:hotpath
@@ -577,6 +706,24 @@ func (r *wireReader) byte() (byte, error) {
 	return v, nil
 }
 
+// bool decodes a strict boolean byte: anything but 0 or 1 is corrupt input,
+// so a flipped bit never silently becomes "true".
+//
+//invalidb:hotpath
+func (r *wireReader) bool() (bool, error) {
+	v, err := r.byte()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, errWireBadValue
+}
+
 // str decodes a length-prefixed string. The copy is required: the result
 // outlives the network read buffer the envelope was framed from. Invalid
 // UTF-8 is rejected — the JSON decoder coerces it to U+FFFD, so accepting
@@ -747,6 +894,18 @@ func decodeBinaryEnvelope(data []byte) (*Envelope, error) {
 	case wireTagResync:
 		e.Kind = KindResync
 		e.Resync, err = r.decodeResync()
+	case wireTagBackfillStart:
+		e.Kind = KindBackfillStart
+		e.BackfillStart, err = r.decodeBackfillStart()
+	case wireTagBackfillChunk:
+		e.Kind = KindBackfillChunk
+		e.BackfillChunk, err = r.decodeBackfillChunk()
+	case wireTagBackfillMark:
+		e.Kind = KindBackfillMark
+		e.BackfillMark, err = r.decodeBackfillMark()
+	case wireTagBackfillCert:
+		e.Kind = KindBackfillCert
+		e.BackfillCert, err = r.decodeBackfillCert()
 	default:
 		return nil, errWireBadKind
 	}
@@ -1035,4 +1194,178 @@ func (r *wireReader) decodeResync() (*ResyncRequest, error) {
 	}
 	rs.TaskID = int(task)
 	return rs, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeBackfillStart() (*BackfillStart, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	s := new(BackfillStart)
+	var err error
+	if s.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.BackfillID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.TTLMillis, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	slack, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Slack = int(slack)
+	if err = r.decodeSpec(&s.Query); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeBackfillChunk() (*BackfillChunk, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	c := new(BackfillChunk)
+	var err error
+	if c.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.BackfillID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.QueryHash, err = r.fixed64(); err != nil {
+		return nil, err
+	}
+	chunk, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	c.Chunk = int(chunk)
+	if c.Low, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if c.High, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if c.Last, err = r.bool(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return c, nil // nil entries
+	}
+	n--
+	if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
+		return nil, errWireTruncated
+	}
+	//invalidb:allow hotpathalloc decoded chunk entries are retained by the envelope
+	c.Entries = make([]ResultEntry, n)
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if e.Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.Doc, err = r.docExact(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeBackfillMark() (*BackfillMark, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	m := new(BackfillMark)
+	var err error
+	if m.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.BackfillID, err = r.str(); err != nil {
+		return nil, err
+	}
+	chunk, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	m.Chunk = int(chunk)
+	phase, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch phase {
+	case 0:
+		m.Phase = BackfillPhaseLow
+	case 1:
+		m.Phase = BackfillPhaseHigh
+	default:
+		return nil, errWireBadValue
+	}
+	if m.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeBackfillCert() (*BackfillCert, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	c := new(BackfillCert)
+	var err error
+	if c.Tenant, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.SubscriptionID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.BackfillID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.QueryID, err = r.str(); err != nil {
+		return nil, err
+	}
+	chunk, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	c.Chunk = int(chunk)
+	cell, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	c.Cell = int(cell)
+	cells, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	c.Cells = int(cells)
+	if c.Last, err = r.bool(); err != nil {
+		return nil, err
+	}
+	if c.Origin, err = r.str(); err != nil {
+		return nil, err
+	}
+	status, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case 0:
+		c.Status = BackfillStatusOK
+	case 1:
+		c.Status = BackfillStatusRestart
+	default:
+		return nil, errWireBadValue
+	}
+	return c, nil
 }

@@ -68,6 +68,47 @@ func wireTestEnvelopes() []*Envelope {
 		}},
 		{Kind: KindHeartbeat, Heartbeat: &Heartbeat{Tenant: "t3", TimeMillis: 1712345678901}},
 		{Kind: KindResync, Resync: &ResyncRequest{Component: "match", TaskID: 4}},
+		{Kind: KindBackfillStart, BackfillStart: &BackfillStart{
+			Tenant:         "t1",
+			SubscriptionID: "sub-7",
+			BackfillID:     "bf-7.1",
+			Query: query.Spec{
+				Collection: "orders",
+				Filter:     map[string]any{"status": "open", "total": map[string]any{"$lt": int64(-5)}},
+			},
+			Slack:     3,
+			TTLMillis: 45000,
+		}},
+		{Kind: KindBackfillChunk, BackfillChunk: &BackfillChunk{
+			Tenant:         "t1",
+			SubscriptionID: "sub-7",
+			BackfillID:     "bf-7.1",
+			QueryHash:      0xDEADBEEFCAFE1234,
+			Chunk:          2,
+			Low:            1001,
+			High:           1017,
+			Last:           true,
+			Entries: []ResultEntry{
+				{Key: "o1", Version: 1005, Doc: document.Document{"_id": "o1", "total": int64(9)}},
+				{Key: "o2", Version: 1002, Doc: document.Document{}},
+			},
+		}},
+		{Kind: KindBackfillChunk, BackfillChunk: &BackfillChunk{
+			Tenant: "t1", SubscriptionID: "sub-7", BackfillID: "bf-7.1",
+			QueryHash: 1, Chunk: 0, Low: 3, High: 4, Entries: nil,
+		}},
+		{Kind: KindBackfillMark, BackfillMark: &BackfillMark{
+			Tenant: "t1", BackfillID: "bf-7.1", Chunk: 2, Phase: BackfillPhaseHigh, Seq: 1017,
+		}},
+		{Kind: KindBackfillCert, BackfillCert: &BackfillCert{
+			Tenant: "t1", SubscriptionID: "sub-7", BackfillID: "bf-7.1",
+			QueryID: "q00000000deadbeef", Chunk: 2, Cell: 1, Cells: 2,
+			Last: true, Origin: "m3.0", Status: BackfillStatusOK,
+		}},
+		{Kind: KindBackfillCert, BackfillCert: &BackfillCert{
+			Tenant: "t1", SubscriptionID: "sub-7", BackfillID: "bf-7.1",
+			QueryID: "q00000000deadbeef", Chunk: -1, Cells: 2, Status: BackfillStatusRestart,
+		}},
 	}
 }
 

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/metrics"
+	"invalidb/internal/query"
+	"invalidb/internal/storage"
+)
+
+// Defaults for the `-exp backfill` scenario: subscription admission
+// throughput under sustained write load, one-shot scan-and-race bootstrap vs
+// the watermark-certified chunked backfill (DESIGN.md §12).
+const (
+	// BackfillDocs is the pre-populated collection size every bootstrap has
+	// to walk.
+	BackfillDocs = 20_000
+	// BackfillGroups partitions the documents into result sets of
+	// BackfillDocs/BackfillGroups documents each; subscribers rotate over
+	// the groups.
+	BackfillGroups = 8
+	// BackfillWriteRate is the sustained write load (ops/s) running for the
+	// whole measurement — every admission happens against a moving store.
+	BackfillWriteRate = 200
+	// BackfillSubscribers is the number of concurrent subscriber loops
+	// (subscribe, await the initial result, close, repeat).
+	BackfillSubscribers = 8
+)
+
+// BackfillPoint is one measured admission-throughput run.
+type BackfillPoint struct {
+	Mode        string // "bootstrap" (one-shot scan) or "backfill" (chunked)
+	Docs        int
+	ResultSize  int
+	WriteRate   int
+	Subscribers int
+	// Admitted counts subscriptions that received their initial result
+	// inside the measurement window; Failed counts admission timeouts.
+	Admitted int
+	Failed   int
+	Elapsed  time.Duration
+	// Latency is the subscribe-to-initial-result distribution.
+	Latency metrics.Summary
+	// Writes is how many sustained-load updates actually landed during the
+	// measurement.
+	Writes int64
+	// Backfill protocol counters (zero in bootstrap mode): chunks installed
+	// by matching cells, chunk rows superseded by in-window deltas,
+	// certified cuts, and driver-side chunk re-sends.
+	Chunks, Reconciled, Certified, Retries int64
+}
+
+// AdmitsPerSec is the headline number: initial results delivered per second.
+func (p BackfillPoint) AdmitsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Admitted) / p.Elapsed.Seconds()
+}
+
+// RunBackfillPoint measures admission throughput for one bootstrap mode. The
+// store is pre-populated with docs documents split into groups equally-sized
+// result sets, a background writer updates documents at writeRate for the
+// whole run, and subscribers concurrent loops subscribe, wait for the
+// initial result, close, and go again. The matching nodes run unthrottled:
+// the comparison is real CPU and protocol cost, not the budget simulation.
+func RunBackfillPoint(cfg Config, useBackfill bool, docs, groups, writeRate, subscribers int) (BackfillPoint, error) {
+	cfg = cfg.Defaults()
+	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{BufferSize: 1 << 16})
+	defer bus.Close()
+	opts := clusterOptions(cfg, 2, 2)
+	opts.NodeCapacity = 0
+	cluster, err := core.NewCluster(bus, opts)
+	if err != nil {
+		return BackfillPoint{}, err
+	}
+	if err := cluster.Start(); err != nil {
+		return BackfillPoint{}, err
+	}
+	defer cluster.Stop()
+
+	db := storage.Open(storage.Options{Shards: 16, OplogCapacity: 4096})
+	srv, err := appserver.New(db, bus, appserver.Options{
+		Tenant:               tenant,
+		TTL:                  10 * time.Minute,
+		EventBuffer:          256,
+		Backfill:             useBackfill,
+		BackfillChunkSize:    1024,
+		BackfillChunkTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return BackfillPoint{}, err
+	}
+	defer srv.Close()
+
+	mode := "bootstrap"
+	if useBackfill {
+		mode = "backfill"
+	}
+	for i := 0; i < docs; i++ {
+		if err := srv.Insert(backfillCollection, document.Document{
+			"_id": fmt.Sprintf("d%06d", i),
+			"grp": int64(i % groups),
+			"v":   int64(0),
+		}); err != nil {
+			return BackfillPoint{}, err
+		}
+	}
+
+	// Sustained write load: version bumps across all groups, so every chunk
+	// window of every backfill has concurrent writes to reconcile against.
+	stopWrites := make(chan struct{})
+	var writerWG sync.WaitGroup
+	var writes int64
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		start := time.Now()
+		sent := 0
+		for {
+			select {
+			case <-stopWrites:
+				return
+			default:
+			}
+			due := int(time.Since(start).Seconds() * float64(writeRate))
+			for sent < due {
+				key := fmt.Sprintf("d%06d", (sent*2654435761)%docs)
+				if err := srv.Update(backfillCollection, key,
+					map[string]any{"$set": map[string]any{"v": int64(sent)}}); err == nil {
+					atomic.AddInt64(&writes, 1)
+				}
+				sent++
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	recorder := metrics.NewLatencyRecorder()
+	var admitted, failed atomic.Int64
+	measureStart := time.Now().Add(cfg.Warmup)
+	deadline := measureStart.Add(cfg.Measure)
+	var subWG sync.WaitGroup
+	for g := 0; g < subscribers; g++ {
+		subWG.Add(1)
+		go func(g int) {
+			defer subWG.Done()
+			for iter := 0; ; iter++ {
+				if !time.Now().Before(deadline) {
+					return
+				}
+				spec := query.Spec{
+					Collection: backfillCollection,
+					Filter:     map[string]any{"grp": int64((g + iter) % groups)},
+				}
+				t0 := time.Now()
+				sub, err := srv.Subscribe(spec)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if awaitInitial(sub, 15*time.Second) {
+					if t0.After(measureStart) {
+						recorder.Record(time.Since(t0))
+						admitted.Add(1)
+					}
+				} else {
+					failed.Add(1)
+				}
+				_ = sub.Close()
+			}
+		}(g)
+	}
+	subWG.Wait()
+	close(stopWrites)
+	writerWG.Wait()
+
+	creg := cluster.Metrics()
+	return BackfillPoint{
+		Mode: mode, Docs: docs, ResultSize: docs / groups,
+		WriteRate: writeRate, Subscribers: subscribers,
+		Admitted: int(admitted.Load()), Failed: int(failed.Load()),
+		Elapsed: cfg.Measure, Latency: recorder.Snapshot(),
+		Writes:     atomic.LoadInt64(&writes),
+		Chunks:     creg.Counter("backfill.chunks").Value(),
+		Reconciled: creg.Counter("backfill.reconciled").Value(),
+		Certified:  creg.Counter("backfill.certified").Value(),
+		Retries:    srv.Metrics().Counter("backfill.retries").Value(),
+	}, nil
+}
+
+// awaitInitial drains a subscription until its initial result arrives.
+func awaitInitial(sub *appserver.Subscription, timeout time.Duration) bool {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return false
+			}
+			switch ev.Type {
+			case appserver.EventInitial:
+				return true
+			case appserver.EventError:
+				return false
+			}
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+const backfillCollection = "bootstrap"
+
+// BackfillComparison runs the admission-throughput scenario both ways over
+// identical stores and write load.
+func BackfillComparison(cfg Config, docs, groups, writeRate, subscribers int, progress func(string)) ([]BackfillPoint, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	var out []BackfillPoint
+	for _, useBackfill := range []bool{false, true} {
+		mode := "bootstrap (one-shot scan)"
+		if useBackfill {
+			mode = "backfill (certified chunks)"
+		}
+		progress(fmt.Sprintf("backfill: %s — %d docs, %d writes/s, %d subscribers", mode, docs, writeRate, subscribers))
+		p, err := RunBackfillPoint(cfg, useBackfill, docs, groups, writeRate, subscribers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderBackfill prints the before/after admission table.
+func RenderBackfill(points []BackfillPoint) string {
+	var b strings.Builder
+	if len(points) == 0 {
+		return ""
+	}
+	p0 := points[0]
+	fmt.Fprintf(&b, "Subscription bootstrap under sustained writes — %d docs, %d-doc results, %d writes/s, %d subscriber loops\n",
+		p0.Docs, p0.ResultSize, p0.WriteRate, p0.Subscribers)
+	fmt.Fprintf(&b, "%-12s %10s %9s %9s %9s %7s %8s %10s %10s %8s\n",
+		"mode", "admitted", "subs/s", "p50", "p99", "failed", "chunks", "reconciled", "certified", "retries")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s %10d %9.1f %7.1fms %7.1fms %7d %8d %10d %10d %8d\n",
+			p.Mode, p.Admitted, p.AdmitsPerSec(),
+			p.Latency.P50MS, p.Latency.P99MS,
+			p.Failed, p.Chunks, p.Reconciled, p.Certified, p.Retries)
+	}
+	return b.String()
+}

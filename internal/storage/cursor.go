@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"sort"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+// WatermarkCollection is the reserved collection name watermark records are
+// emitted under. Watermarks are transient protocol state for the DBLog-style
+// backfill (DESIGN.md §12): they travel the oplog so log consumers can
+// establish a position relative to chunk reads, but they are never stored in
+// a collection and never journaled.
+const WatermarkCollection = "_invalidb.watermark"
+
+// EmitWatermark allocates a fresh global sequence number and appends a
+// watermark record carrying it to the oplog. Because record versions and
+// watermark sequences draw from the same allocator (DB.nextSeq), any write
+// that committed between a low and a high watermark has a version strictly
+// inside the (low, high) window — the property the backfill's virtual-cut
+// reconciliation relies on. The label distinguishes concurrent backfills.
+//
+// Watermarks bypass the journal deliberately: replaying one after a restart
+// would re-announce a cut that no longer exists.
+func (db *DB) EmitWatermark(label string) uint64 {
+	seq := db.nextSeq()
+	db.oplog.append(&document.AfterImage{
+		Collection: WatermarkCollection,
+		Key:        label,
+		Version:    seq,
+		Op:         document.OpUpdate,
+		Doc:        document.Document{"_id": label, "wm": int64(seq)},
+	})
+	return seq
+}
+
+// ChunkCursor iterates a collection's keyspace in stable, bounded chunks for
+// the backfill engine. The cursor snapshots one shard's key set at a time
+// (sorted, so a retry of the same chunk re-reads the same keys), then
+// resolves each key's current record in small batches: the lookup happens
+// under the shard read lock, predicate evaluation and cloning happen outside
+// it. Keys inserted after a shard's snapshot was taken are not seen by the
+// cursor — they are covered by the live write stream, which is the standard
+// DBLog chunking argument; keys deleted since the snapshot simply resolve to
+// nothing.
+type ChunkCursor struct {
+	c    *Collection
+	q    *query.Query
+	next int      // next shard to snapshot
+	keys []string // sorted key snapshot of the current shard
+	pos  int      // next key within keys
+
+	// segs records the exact key ranges the most recent Next walked, and
+	// lastDone its exhaustion result, so the same chunk can be re-read
+	// later (Retry, Segments/Reread) against the store's current state.
+	// Re-walking the recorded segments — not re-running the position-based
+	// read — matters: a fresh shard snapshot taken mid-re-read could have
+	// shifted under concurrent inserts and silently skip a key that no
+	// other chunk covers.
+	segs     []ChunkSegment
+	lastDone bool
+
+	snap []scanned // reusable lookup batch
+}
+
+// ChunkSegment is one contiguous run of a shard's key snapshot (keys never
+// spans shards). The slice is immutable; segments stay valid for the
+// cursor's lifetime.
+type ChunkSegment struct {
+	keys   []string
+	lo, hi int
+}
+
+// NewChunkCursor creates a cursor over the documents of q's collection. The
+// query's filter decides membership; sort, offset and limit are ignored
+// (chunked backfill is for unordered membership queries).
+func (c *Collection) NewChunkCursor(q *query.Query) *ChunkCursor {
+	return &ChunkCursor{c: c, q: q}
+}
+
+// Next returns the next chunk of at most maxKeys keys' worth of matching
+// entries and reports whether the keyspace is exhausted. The bound is on
+// keys examined, not entries returned, so a chunk's cost stays fixed even
+// when the filter is selective; a chunk can therefore be empty without being
+// the last. Call Retry to rewind and re-read the same chunk.
+func (cur *ChunkCursor) Next(maxKeys int) ([]Entry, bool) {
+	if maxKeys <= 0 {
+		maxKeys = 1
+	}
+	cur.segs = cur.segs[:0]
+	out, done := cur.read(maxKeys)
+	cur.lastDone = done
+	return out, done
+}
+
+// Retry re-reads the chunk most recently returned by Next — exactly the same
+// keys — resolving each against the store's current state. Entries written
+// since the original read come back with their newer versions, which the
+// version-guarded install on the matching nodes already tolerates. The
+// maxKeys parameter is accepted for symmetry with Next but ignored: the
+// chunk's key range is already fixed.
+func (cur *ChunkCursor) Retry(int) ([]Entry, bool) {
+	return cur.reread(cur.segs), cur.lastDone
+}
+
+// Segments returns the key segments of the chunk most recently returned by
+// Next. A pipelined backfill retains one segment list per in-flight chunk so
+// any of them — not just the most recent — can be re-read after a
+// certificate timeout (Reread).
+func (cur *ChunkCursor) Segments() []ChunkSegment {
+	return append([]ChunkSegment(nil), cur.segs...)
+}
+
+// Reread resolves a previously recorded chunk's exact key range against the
+// store's current state.
+func (cur *ChunkCursor) Reread(segs []ChunkSegment) []Entry {
+	return cur.reread(segs)
+}
+
+func (cur *ChunkCursor) reread(segs []ChunkSegment) []Entry {
+	var out []Entry
+	for _, seg := range segs {
+		if seg.lo >= seg.hi {
+			continue
+		}
+		batch := seg.keys[seg.lo:seg.hi]
+		out = cur.resolve(batch, out)
+	}
+	return out
+}
+
+func (cur *ChunkCursor) read(maxKeys int) ([]Entry, bool) {
+	var out []Entry
+	budget := maxKeys
+	for budget > 0 {
+		if cur.pos >= len(cur.keys) {
+			if cur.next >= len(cur.c.shards) {
+				return out, true
+			}
+			cur.snapshotShard(cur.c.shards[cur.next])
+			cur.next++
+			continue
+		}
+		end := cur.pos + budget
+		if end > len(cur.keys) {
+			end = len(cur.keys)
+		}
+		batch := cur.keys[cur.pos:end]
+		cur.segs = append(cur.segs, ChunkSegment{keys: cur.keys, lo: cur.pos, hi: end})
+		budget -= len(batch)
+		cur.pos = end
+		out = cur.resolve(batch, out)
+	}
+	done := cur.pos >= len(cur.keys) && cur.next >= len(cur.c.shards)
+	return out, done
+}
+
+// resolve looks one shard-contiguous batch of keys up under a single read
+// lock and appends the matching entries; predicate evaluation and cloning
+// happen outside the lock.
+func (cur *ChunkCursor) resolve(batch []string, out []Entry) []Entry {
+	s := cur.c.shardFor(batch[0])
+	cur.snap = cur.snap[:0]
+	s.mu.RLock()
+	for _, key := range batch {
+		if rec, ok := s.docs[key]; ok {
+			cur.snap = append(cur.snap, scanned{key: key, rec: rec})
+		}
+	}
+	s.mu.RUnlock()
+	for _, sn := range cur.snap {
+		if !cur.q.Match(sn.rec.doc) {
+			continue
+		}
+		doc := sn.rec.doc.Clone()
+		if len(cur.q.Projection) > 0 {
+			doc = cur.q.Project(doc)
+		}
+		out = append(out, Entry{Key: sn.key, Version: sn.rec.version, Doc: doc})
+	}
+	return out
+}
+
+// snapshotShard captures the shard's key set under its read lock and sorts
+// it so chunk boundaries are stable across retries. Sorted snapshots are
+// cached on the shard against its keyset generation: concurrent backfills
+// over a stable keyspace (updates bump versions, not the key set) share one
+// sort instead of paying one per cursor.
+func (cur *ChunkCursor) snapshotShard(s *shard) {
+	s.mu.RLock()
+	gen := s.keyGen
+	if s.sortedGen == gen && s.sortedKeys != nil {
+		cur.keys = s.sortedKeys
+		s.mu.RUnlock()
+		cur.pos = 0
+		return
+	}
+	keys := make([]string, 0, len(s.docs))
+	for key := range s.docs {
+		keys = append(keys, key)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	s.mu.Lock()
+	if s.keyGen == gen {
+		s.sortedGen, s.sortedKeys = gen, keys
+	}
+	s.mu.Unlock()
+	cur.keys = keys
+	cur.pos = 0
+}

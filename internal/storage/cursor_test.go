@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"invalidb/internal/document"
+	"invalidb/internal/query"
+)
+
+func cursorTestDB(t *testing.T, n int) (*DB, *Collection) {
+	t.Helper()
+	db := Open(Options{Shards: 4, OplogCapacity: 4096})
+	c := db.C("items")
+	for i := 0; i < n; i++ {
+		_, err := c.Insert(document.Document{
+			"_id": fmt.Sprintf("k%04d", i),
+			"grp": int64(i % 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, c
+}
+
+func mustCompile(t *testing.T, spec query.Spec) *query.Query {
+	t.Helper()
+	q, err := query.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestChunkCursorCoversKeyspace: the union of all chunks equals a full
+// FindEntries scan, every chunk stays within the key budget, and no key is
+// delivered twice in a quiesced store.
+func TestChunkCursorCoversKeyspace(t *testing.T) {
+	_, c := cursorTestDB(t, 137)
+	q := mustCompile(t, query.Spec{Collection: "items", Filter: map[string]any{"grp": int64(1)}})
+
+	cur := c.NewChunkCursor(q)
+	got := map[string]uint64{}
+	const chunk = 16
+	for {
+		entries, done := cur.Next(chunk)
+		if len(entries) > chunk {
+			t.Fatalf("chunk returned %d entries, budget %d", len(entries), chunk)
+		}
+		for _, e := range entries {
+			if _, dup := got[e.Key]; dup {
+				t.Fatalf("key %s delivered twice", e.Key)
+			}
+			got[e.Key] = e.Version
+		}
+		if done {
+			break
+		}
+	}
+
+	want, err := c.FindEntries(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor found %d entries, scan found %d", len(got), len(want))
+	}
+	for _, e := range want {
+		if got[e.Key] != e.Version {
+			t.Fatalf("key %s: cursor version %d, scan version %d", e.Key, got[e.Key], e.Version)
+		}
+	}
+}
+
+// TestChunkCursorRetryStable: retrying a chunk re-reads the same keys, and a
+// write between read and retry surfaces with its newer version.
+func TestChunkCursorRetryStable(t *testing.T) {
+	_, c := cursorTestDB(t, 64)
+	q := mustCompile(t, query.Spec{Collection: "items", Filter: map[string]any{}})
+
+	cur := c.NewChunkCursor(q)
+	first, _ := cur.Next(8)
+	if len(first) == 0 {
+		t.Fatal("first chunk empty")
+	}
+	bumped := first[0].Key
+	if _, err := c.Replace(bumped, document.Document{"_id": bumped, "grp": int64(9)}); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := cur.Retry(8)
+	if len(again) != len(first) {
+		t.Fatalf("retry returned %d entries, original %d", len(again), len(first))
+	}
+	for i := range again {
+		if again[i].Key != first[i].Key {
+			t.Fatalf("retry key %d = %s, original %s", i, again[i].Key, first[i].Key)
+		}
+	}
+	found := false
+	for _, e := range again {
+		if e.Key == bumped {
+			found = true
+			if e.Version <= first[0].Version {
+				t.Fatalf("retried entry version %d not newer than %d", e.Version, first[0].Version)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("replaced key %s missing from retried chunk", bumped)
+	}
+}
+
+// TestChunkCursorSkipsDeleted: a key deleted after the shard snapshot is
+// silently absent from later chunks.
+func TestChunkCursorSkipsDeleted(t *testing.T) {
+	_, c := cursorTestDB(t, 40)
+	q := mustCompile(t, query.Spec{Collection: "items", Filter: map[string]any{}})
+
+	cur := c.NewChunkCursor(q)
+	first, done := cur.Next(5)
+	if done || len(first) == 0 {
+		t.Fatal("expected a first chunk with more to come")
+	}
+	seen := map[string]bool{}
+	for _, e := range first {
+		seen[e.Key] = true
+	}
+	// Delete one not-yet-delivered key.
+	var victim string
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if !seen[k] {
+			victim = k
+			break
+		}
+	}
+	if _, err := c.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		entries, done := cur.Next(5)
+		for _, e := range entries {
+			if e.Key == victim {
+				t.Fatalf("deleted key %s delivered", victim)
+			}
+		}
+		if done {
+			break
+		}
+	}
+}
+
+// TestEmitWatermarkWindow: watermark sequences come from the same allocator
+// as record versions, so a write racing a chunk read lands strictly inside
+// the (low, high) window; the watermark reaches oplog tailers but is never
+// journaled.
+func TestEmitWatermarkWindow(t *testing.T) {
+	db, c := cursorTestDB(t, 1)
+	tail := db.Oplog().Tail(db.Oplog().LastSeq())
+
+	low := db.EmitWatermark("bf-1.c0")
+	ai, err := c.Replace("k0000", document.Document{"_id": "k0000", "grp": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := db.EmitWatermark("bf-1.c0")
+	if !(low < ai.Version && ai.Version < high) {
+		t.Fatalf("write version %d outside watermark window (%d, %d)", ai.Version, low, high)
+	}
+
+	var wms []uint64
+	for i := 0; i < 3; i++ {
+		got, err := tail.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Collection == WatermarkCollection {
+			if got.Key != "bf-1.c0" {
+				t.Fatalf("watermark label %q", got.Key)
+			}
+			wms = append(wms, got.Version)
+		}
+	}
+	if len(wms) != 2 || wms[0] != low || wms[1] != high {
+		t.Fatalf("oplog watermarks %v, want [%d %d]", wms, low, high)
+	}
+}
+
+// TestScanDoesNotBlockWriters: a concurrent full scan with an expensive
+// predicate must not serialize writers behind the shard locks. This is a
+// liveness regression test for the snapshot-then-match scan; under the old
+// match-under-lock scan the writer goroutines would stall for the whole
+// walk.
+func TestScanDoesNotBlockWriters(t *testing.T) {
+	_, c := cursorTestDB(t, 2000)
+	q := mustCompile(t, query.Spec{Collection: "items", Filter: map[string]any{"grp": int64(2)}})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("k%04d", i%2000)
+			_, err := c.FindAndModify(key, map[string]any{"$set": map[string]any{"touch": int64(i)}}, true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := c.FindEntries(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

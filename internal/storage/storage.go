@@ -118,6 +118,14 @@ type Collection struct {
 type shard struct {
 	mu   sync.RWMutex
 	docs map[string]*record
+	// keyGen counts keyset changes (insert of a new key, delete). Updates in
+	// place do not bump it: chunk cursors only need the key set, and caching
+	// its sorted snapshot (sortedKeys, valid while sortedGen == keyGen) turns
+	// repeated backfills over a stable keyspace from a sort per cursor into a
+	// sort per keyset change. The cached slice is immutable once published.
+	keyGen     uint64
+	sortedGen  uint64
+	sortedKeys []string
 }
 
 type record struct {
@@ -164,6 +172,7 @@ func (c *Collection) Insert(d document.Document) (*document.AfterImage, error) {
 	stored := d.Clone()
 	ver := c.db.nextSeq()
 	s.docs[key] = &record{doc: stored, version: ver}
+	s.keyGen++
 	c.indexAdd(key, stored)
 	s.mu.Unlock()
 
@@ -232,6 +241,9 @@ func (c *Collection) FindAndModify(key string, update map[string]any, upsert boo
 	updated["_id"] = key
 	ver := c.db.nextSeq()
 	s.docs[key] = &record{doc: updated, version: ver}
+	if !exists {
+		s.keyGen++
+	}
 	if old != nil {
 		c.indexRemove(key, old)
 	}
@@ -255,6 +267,7 @@ func (c *Collection) Delete(key string) (*document.AfterImage, error) {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, key)
 	}
 	delete(s.docs, key)
+	s.keyGen++
 	ver := c.db.nextSeq()
 	c.indexRemove(key, rec.doc)
 	s.mu.Unlock()
@@ -334,50 +347,79 @@ func (c *Collection) FindEntries(q *query.Query) ([]Entry, error) {
 	return matched, nil
 }
 
+// scanned is a point-in-time reference to a stored record. Records are
+// immutable once stored (writes replace the *record pointer under the shard
+// lock), so a snapshot taken under RLock can be matched and cloned after the
+// lock is released without racing concurrent writers.
+type scanned struct {
+	key string
+	rec *record
+}
+
+// snapshotShard copies the shard's (key, record) pairs under its read lock.
+// Predicate evaluation deliberately happens outside: query.Match is
+// unbounded, user-controlled work, and running it under the shard lock would
+// let a single large scan stall every concurrent writer on the shard.
+func (s *shard) snapshot(buf []scanned) []scanned {
+	s.mu.RLock()
+	for key, rec := range s.docs {
+		buf = append(buf, scanned{key: key, rec: rec})
+	}
+	s.mu.RUnlock()
+	return buf
+}
+
+// matchSnapshot evaluates the query against a record snapshot, lock-free.
+func matchSnapshot(q *query.Query, snap []scanned, out []Entry) []Entry {
+	for _, sn := range snap {
+		if q.Match(sn.rec.doc) {
+			out = append(out, Entry{Key: sn.key, Version: sn.rec.version, Doc: sn.rec.doc.Clone()})
+		}
+	}
+	return out
+}
+
 // scan gathers matching entries, using a hash index when the query pins an
 // indexed path to a constant, and falling back to a full collection scan.
+// Both paths evaluate the predicate outside the shard locks (see snapshot).
 func (c *Collection) scan(q *query.Query) []Entry {
 	if keys, ok := c.indexCandidates(q); ok {
-		var out []Entry
+		snap := make([]scanned, 0, len(keys))
 		for _, key := range keys {
 			s := c.shardFor(key)
 			s.mu.RLock()
-			rec, exists := s.docs[key]
-			if exists && q.Match(rec.doc) {
-				out = append(out, Entry{Key: key, Version: rec.version, Doc: rec.doc.Clone()})
+			if rec, exists := s.docs[key]; exists {
+				snap = append(snap, scanned{key: key, rec: rec})
 			}
 			s.mu.RUnlock()
 		}
-		return out
+		return matchSnapshot(q, snap, nil)
 	}
 	var out []Entry
+	var snap []scanned
 	for _, s := range c.shards {
-		s.mu.RLock()
-		for key, rec := range s.docs {
-			if q.Match(rec.doc) {
-				out = append(out, Entry{Key: key, Version: rec.version, Doc: rec.doc.Clone()})
-			}
-		}
-		s.mu.RUnlock()
+		snap = s.snapshot(snap[:0])
+		out = matchSnapshot(q, snap, out)
 	}
 	return out
 }
 
 // Count returns the number of documents matching the query's filter
-// (ignoring limit/offset).
+// (ignoring limit/offset). Like scan, the predicate runs on a lock-free
+// record snapshot so counting never blocks writers.
 func (c *Collection) Count(q *query.Query) (int, error) {
 	if q.Collection != c.name {
 		return 0, fmt.Errorf("storage: query targets %q, collection is %q", q.Collection, c.name)
 	}
 	n := 0
+	var snap []scanned
 	for _, s := range c.shards {
-		s.mu.RLock()
-		for _, rec := range s.docs {
-			if q.Match(rec.doc) {
+		snap = s.snapshot(snap[:0])
+		for _, sn := range snap {
+			if q.Match(sn.rec.doc) {
 				n++
 			}
 		}
-		s.mu.RUnlock()
 	}
 	return n, nil
 }
