@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke check
+.PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke resize-smoke check
 
 all: check
 
@@ -70,5 +70,12 @@ obs-smoke:
 	curl -sf http://127.0.0.1:7599/healthz | grep -q ok || { echo "obs-smoke: /healthz not ok"; exit 1; }; \
 	curl -sf 'http://127.0.0.1:7599/metrics?format=text' | grep -q 'topology\.' || { echo "obs-smoke: text metrics missing topology stats"; exit 1; }; \
 	echo "obs-smoke: ok"
+
+# Resize smoke: boot the real multi-process deployment (broker + two grid
+# server processes + coordinator), perform a live QP resize under write load
+# via the one-shot CLI, and assert zero dropped or duplicated notifications
+# (DESIGN.md §13). Gated behind RESIZE_SMOKE so `go test ./...` stays fast.
+resize-smoke:
+	RESIZE_SMOKE=1 $(GO) test ./internal/smoke -run TestResizeSmoke -count=1 -v
 
 check: vet staticcheck lint build race bench-smoke

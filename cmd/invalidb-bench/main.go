@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|backfill|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|backfill|resize|all")
 		capacity   = flag.Int("capacity", 50_000, "matching-node budget in match-ops/s (paper testbed: ~1.6M)")
 		measure    = flag.Duration("measure", time.Second, "measurement phase per point (paper: 1m)")
 		warmup     = flag.Duration("warmup", 300*time.Millisecond, "warmup phase per point")
@@ -154,6 +154,17 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(experiments.RenderBackfill(results))
+		case "resize":
+			// Live grid resize on a multi-process deployment: notification
+			// continuity and per-phase latency while a coordinator grows the
+			// query-partition axis under sustained writes (not a paper
+			// figure; see DESIGN.md §13).
+			progress(fmt.Sprintf("resize: 2x2 -> 3x2 under %d writes/s", experiments.ResizeWriteRate))
+			p, err := experiments.RunResizePoint(cfg, experiments.ResizeWriteRate)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderResize(p))
 		case "baselines":
 			results, err := experiments.Baselines(cfg, progress)
 			if err != nil {

@@ -26,8 +26,11 @@ import (
 func main() {
 	var (
 		broker   = flag.String("broker", "127.0.0.1:7587", "event-layer broker address")
-		qp       = flag.Int("qp", 1, "query partitions")
-		wp       = flag.Int("wp", 1, "write partitions")
+		qp       = flag.Int("qp", 1, "query partitions (single-process mode)")
+		wp       = flag.Int("wp", 1, "write partitions (single-process mode)")
+		node     = flag.String("node", "", "node id for a multi-process grid (empty = single-process mode)")
+		slots    = flag.Int("slots", 1, "grid mode: local query-partition rows this process hosts")
+		maxWP    = flag.Int("max-wp", 0, "grid mode: column capacity for live write-partition resize (0 = wp)")
 		capacity = flag.Int("capacity", 0, "per-node match-ops/s budget (0 = unthrottled)")
 		ns       = flag.String("namespace", "invalidb", "event-layer topic namespace")
 		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables; unauthenticated — \":port\" binds loopback, use an explicit host like 0.0.0.0:9090 to expose)")
@@ -44,10 +47,13 @@ func main() {
 		fatal(err)
 	}
 	cluster, err := core.NewCluster(bus, core.Options{
-		Namespace:       *ns,
-		QueryPartitions: *qp,
-		WritePartitions: *wp,
-		NodeCapacity:    *capacity,
+		Namespace:          *ns,
+		QueryPartitions:    *qp,
+		WritePartitions:    *wp,
+		NodeID:             *node,
+		GridSlots:          *slots,
+		MaxWritePartitions: *maxWP,
+		NodeCapacity:       *capacity,
 	})
 	if err != nil {
 		fatal(err)
@@ -55,8 +61,13 @@ func main() {
 	if err := cluster.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("invalidb-server: %dx%d matching grid on broker %s (namespace %s)\n",
-		*qp, *wp, *broker, *ns)
+	if *node != "" {
+		fmt.Printf("invalidb-server: grid node %s (%d slots) on broker %s (namespace %s), awaiting partition map\n",
+			*node, *slots, *broker, *ns)
+	} else {
+		fmt.Printf("invalidb-server: %dx%d matching grid on broker %s (namespace %s)\n",
+			*qp, *wp, *broker, *ns)
+	}
 
 	if *obsAddr != "" {
 		o, err := obs.Serve(*obsAddr, obs.Options{

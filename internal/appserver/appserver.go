@@ -19,6 +19,7 @@ import (
 	"invalidb/internal/eventlayer"
 	"invalidb/internal/metrics"
 	"invalidb/internal/query"
+	"invalidb/internal/ratelimit"
 	"invalidb/internal/storage"
 )
 
@@ -74,6 +75,9 @@ type Options struct {
 	// server topped out near 6 000 ops/s regardless of cluster capacity
 	// (§7.3, Figure 6b).
 	WriteCapacity int
+	// WriteBurst overrides the write limiter's burst allowance in
+	// operations; zero selects ratelimit's default (5% of WriteCapacity).
+	WriteBurst float64
 	// Metrics receives the server's counters, gauges, and the per-stage
 	// latency recorders fed by notification stage timestamps. Nil creates
 	// a private registry; read it back via Server.Metrics.
@@ -135,13 +139,20 @@ type Server struct {
 	connected bool // false while the cluster heartbeat is overdue
 	hbMu      sync.Mutex
 
+	// pmap is the newest partition map from the coordinator's retained
+	// control topic (nil in static clusters); mapKick wakes the migration
+	// loop after a map with a higher epoch is adopted.
+	pmMu    sync.Mutex
+	pmap    *core.PartitionMap
+	mapKick chan struct{}
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	writeBucket *tokenBucket
+	writeBucket *ratelimit.Bucket
 	renewalsCtr atomic.Uint64
 	reconnects  atomic.Uint64
 	resubBusy   atomic.Bool
@@ -163,9 +174,11 @@ type Server struct {
 	mResubs     *metrics.Int // re-subscriptions published (failover recovery)
 	// mResubBackoff counts backoff sleeps taken while retrying a failed
 	// re-subscription publish; mBackfillRetries counts chunk re-sends after
-	// a certificate timeout.
+	// a certificate timeout; mMigrations counts subscriptions re-installed
+	// because a partition-map epoch moved their query row.
 	mResubBackoff    *metrics.Int
 	mBackfillRetries *metrics.Int
+	mMigrations      *metrics.Int
 }
 
 // New creates an application server over a database and the cluster's event
@@ -189,6 +202,7 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		renewals:    map[uint64]time.Time{},
 		lastHB:      time.Now(),
 		connected:   true,
+		mapKick:     make(chan struct{}, 1),
 		done:        make(chan struct{}),
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 		metrics:     reg,
@@ -201,6 +215,7 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 		bfCerts:          map[string]chan *core.BackfillCert{},
 		mResubBackoff:    reg.Counter("appserver.resubscribe.backoff"),
 		mBackfillRetries: reg.Counter("backfill.retries"),
+		mMigrations:      reg.Counter("appserver.migrations"),
 	}
 	core.RegisterWireMetrics(reg)
 	reg.Gauge("appserver.subscriptions", func() float64 {
@@ -217,17 +232,21 @@ func New(db *storage.DB, bus eventlayer.Bus, opts Options) (*Server, error) {
 	reg.Gauge("appserver.renewals", func() float64 { return float64(s.renewalsCtr.Load()) })
 	reg.Gauge("appserver.reconnects", func() float64 { return float64(s.reconnects.Load()) })
 	reg.Gauge("backfill.active", func() float64 { return float64(s.backfillActive.Load()) })
+	reg.Gauge("appserver.epoch", func() float64 { return float64(s.currentEpoch()) })
 	if opts.WriteCapacity > 0 {
-		s.writeBucket = newTokenBucket(float64(opts.WriteCapacity))
+		s.writeBucket = ratelimit.New(float64(opts.WriteCapacity), opts.WriteBurst)
 	}
-	sub, err := bus.Subscribe(s.topics.Notify(opts.Tenant))
+	// The control topic is retained, so a server that starts after the
+	// coordinator published the current partition map still learns it here.
+	sub, err := bus.Subscribe(s.topics.Notify(opts.Tenant), s.topics.Control())
 	if err != nil {
 		return nil, fmt.Errorf("appserver: subscribe notifications: %w", err)
 	}
 	s.notifSub = sub
-	s.wg.Add(2)
+	s.wg.Add(3)
 	go s.notifLoop()
 	go s.maintenanceLoop()
+	go s.migrationLoop()
 	return s, nil
 }
 
@@ -267,7 +286,7 @@ func (s *Server) Close() error {
 // returned by FindAndModify is simply forwarded).
 func (s *Server) forward(ai *document.AfterImage) error {
 	if s.writeBucket != nil {
-		s.writeBucket.take(1)
+		s.writeBucket.Take(1)
 	}
 	env := &core.Envelope{Kind: core.KindWrite, Write: &core.WriteEvent{
 		Tenant: s.opts.Tenant,
@@ -374,6 +393,9 @@ func (s *Server) Subscribe(spec query.Spec) (*Subscription, error) {
 		docs:    map[string]document.Document{},
 		events:  make(chan Event, s.opts.EventBuffer),
 	}
+	if m := s.currentMap(); m != nil {
+		sub.place = placeFor(m, hash)
+	}
 
 	if s.opts.Backfill && !sub.ordered {
 		// Watermark-certified backfill (DESIGN.md §12): the subscription is
@@ -440,6 +462,7 @@ func (s *Server) publishSubscribe(sub *Subscription, entries []core.ResultEntry)
 		Slack:          sub.slack,
 		TTLMillis:      s.opts.TTL.Milliseconds(),
 		Result:         entries,
+		Epoch:          sub.epoch(),
 	}}
 	data, err := env.Encode()
 	if err != nil {
@@ -461,12 +484,21 @@ func (s *Server) detach(sub *Subscription) {
 	s.mu.Unlock()
 }
 
-// cancel publishes the cancellation with the remembered query hash (§5.1).
+// cancel publishes the cancellation with the remembered query hash (§5.1),
+// addressed at the epoch the subscription is currently installed under.
 func (s *Server) cancel(sub *Subscription) {
+	s.cancelAt(sub, sub.epoch())
+}
+
+// cancelAt publishes a cancellation stamped with an explicit map epoch, so
+// a migration can tear down the OLD owner's install without touching the
+// new one.
+func (s *Server) cancelAt(sub *Subscription, epoch uint64) {
 	env := &core.Envelope{Kind: core.KindCancel, Cancel: &core.CancelRequest{
 		Tenant:         s.opts.Tenant,
 		SubscriptionID: sub.id,
 		QueryHash:      sub.hash,
+		Epoch:          epoch,
 	}}
 	if data, err := env.Encode(); err == nil {
 		_ = s.bus.Publish(s.topics.Queries(), data)
@@ -511,6 +543,8 @@ func (s *Server) notifLoop() {
 				s.dispatch(env.Notification)
 			case core.KindBackfillCert:
 				s.routeBackfillCert(env.BackfillCert)
+			case core.KindPartitionMap:
+				s.handleMap(env.Map)
 			}
 		}
 	}
@@ -639,6 +673,7 @@ func (s *Server) extendAll() {
 			SubscriptionID: sub.id,
 			QueryHash:      sub.hash,
 			TTLMillis:      s.opts.TTL.Milliseconds(),
+			Epoch:          s.currentEpoch(),
 		}}
 		if data, err := env.Encode(); err == nil {
 			_ = s.bus.Publish(s.topics.Queries(), data)
@@ -681,6 +716,12 @@ func (s *Server) resubscribeAll() {
 			// timeouts, restart certificates); a monolithic re-bootstrap here
 			// would race the incremental admission.
 			continue
+		}
+		// The outage may have hidden one or more map epochs; re-place the
+		// subscription under the newest map so the re-subscription installs
+		// on the current owner.
+		if m := s.currentMap(); m != nil {
+			sub.setPlace(placeFor(m, sub.hash))
 		}
 		entries, err := s.bootstrapResult(sub.q, slack)
 		if err != nil {

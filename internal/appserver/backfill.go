@@ -63,8 +63,23 @@ func (s *Server) backfillLoop(sub *Subscription) {
 				return
 			}
 		}
-		err = s.runBackfill(sub)
-		if err == nil || err == errBackfillAborted {
+		start := sub.getPlace()
+		err = s.runBackfill(sub, start.epoch, false)
+		if err == nil {
+			// Admitted. Map epochs published mid-backfill were deliberately
+			// left to this driver (migrateAll skips backfilling
+			// subscriptions): if the query row moved meanwhile, migrate now.
+			if m := s.currentMap(); m != nil {
+				np := placeFor(m, sub.hash)
+				if start.moved(np) {
+					s.migrateSub(sub, start, np)
+				} else {
+					sub.setPlace(np)
+				}
+			}
+			return
+		}
+		if err == errBackfillAborted {
 			return
 		}
 		if err != errBackfillRestart {
@@ -89,7 +104,13 @@ type inflightChunk struct {
 // runBackfill executes one backfill attempt: announce, then pipeline chunk
 // reads against certificate collection — up to backfillPipelineWindow chunks
 // are in flight at once — and admit when the final chunk is certified.
-func (s *Server) runBackfill(sub *Subscription) error {
+// Every control envelope is stamped with epoch so the owner under that map
+// installs the window. With migration set the subscription is already
+// admitted (this is a resize moving its row): no EventInitial is emitted,
+// chunk rows surface as live events where they win, and on completion the
+// maintained result is reconciled against the scan to drop documents
+// deleted during the ownership gap.
+func (s *Server) runBackfill(sub *Subscription, epoch uint64, migration bool) error {
 	bfid := s.newBackfillID()
 	certs := make(chan *core.BackfillCert, 64)
 	s.bfMu.Lock()
@@ -101,13 +122,20 @@ func (s *Server) runBackfill(sub *Subscription) error {
 		s.bfMu.Unlock()
 	}()
 
-	if err := s.publishBackfillStart(sub, bfid); err != nil {
+	if err := s.publishBackfillStart(sub, bfid, epoch); err != nil {
 		return err
 	}
 	cur := s.db.C(sub.q.Collection).NewChunkCursor(sub.q)
 	var inflight []*inflightChunk
 	chunkIdx := 0
 	lastRead := false
+	// firstLow and chunkKeys feed the migration reconciliation: the earliest
+	// watermark of the scan and every key the scan returned.
+	var firstLow uint64
+	var chunkKeys map[string]struct{}
+	if migration {
+		chunkKeys = map[string]struct{}{}
+	}
 	timer := time.NewTimer(s.opts.BackfillChunkTimeout)
 	defer timer.Stop()
 	for {
@@ -124,6 +152,14 @@ func (s *Server) runBackfill(sub *Subscription) error {
 				return err
 			}
 			last := !more
+			if chunkIdx == 0 {
+				firstLow = entries.low
+			}
+			if migration {
+				for _, e := range entries.rows {
+					chunkKeys[e.Key] = struct{}{}
+				}
+			}
 			bc := &core.BackfillChunk{
 				Tenant:         s.opts.Tenant,
 				SubscriptionID: sub.id,
@@ -134,6 +170,7 @@ func (s *Server) runBackfill(sub *Subscription) error {
 				High:           entries.high,
 				Last:           last,
 				Entries:        entries.rows,
+				Epoch:          epoch,
 			}
 			if err := s.publishEnvelope(s.topics.Queries(), &core.Envelope{Kind: core.KindBackfillChunk, BackfillChunk: bc}); err != nil {
 				return err
@@ -195,12 +232,21 @@ func (s *Server) runBackfill(sub *Subscription) error {
 			if err != nil {
 				return err
 			}
+			if migration {
+				for _, e := range entries.rows {
+					chunkKeys[e.Key] = struct{}{}
+				}
+			}
 			fc.bc.Low, fc.bc.High, fc.bc.Entries = entries.low, entries.high, entries.rows
 			if err := s.publishEnvelope(s.topics.Queries(), &core.Envelope{Kind: core.KindBackfillChunk, BackfillChunk: fc.bc}); err != nil {
 				return err
 			}
 			fc.deadline = time.Now().Add(s.opts.BackfillChunkTimeout)
 		}
+	}
+	if migration {
+		sub.reconcileMigration(chunkKeys, firstLow)
+		return nil
 	}
 	sub.admit()
 	return nil
@@ -261,7 +307,7 @@ func (s *Server) routeBackfillCert(cert *core.BackfillCert) {
 	}
 }
 
-func (s *Server) publishBackfillStart(sub *Subscription, bfid string) error {
+func (s *Server) publishBackfillStart(sub *Subscription, bfid string, epoch uint64) error {
 	return s.publishEnvelope(s.topics.Queries(), &core.Envelope{Kind: core.KindBackfillStart, BackfillStart: &core.BackfillStart{
 		Tenant:         s.opts.Tenant,
 		SubscriptionID: sub.id,
@@ -269,6 +315,7 @@ func (s *Server) publishBackfillStart(sub *Subscription, bfid string) error {
 		Query:          sub.q.Spec(),
 		Slack:          sub.slack,
 		TTLMillis:      s.opts.TTL.Milliseconds(),
+		Epoch:          epoch,
 	}})
 }
 

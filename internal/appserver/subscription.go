@@ -101,6 +101,10 @@ type Subscription struct {
 	// notifications fold into the maintained state but no events reach the
 	// client until admit() delivers EventInitial (DESIGN.md §12).
 	backfilling bool
+	// place is where the query row was last installed (node, slot, column
+	// count, epoch); the migration loop compares it against new partition
+	// maps to decide whether the subscription must move (DESIGN.md §13).
+	place placement
 
 	events  chan Event
 	dropped atomic.Uint64
@@ -123,6 +127,26 @@ type originState struct {
 
 // ID returns the client-visible subscription identifier.
 func (sub *Subscription) ID() string { return sub.id }
+
+// epoch is the partition-map epoch the subscription is installed under,
+// stamped on its control envelopes (zero = "current", static clusters).
+func (sub *Subscription) epoch() uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.place.epoch
+}
+
+func (sub *Subscription) getPlace() placement {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.place
+}
+
+func (sub *Subscription) setPlace(p placement) {
+	sub.mu.Lock()
+	sub.place = p
+	sub.mu.Unlock()
+}
 
 // Query returns the subscribed query.
 func (sub *Subscription) Query() *query.Query { return sub.q }
@@ -315,7 +339,10 @@ func (sub *Subscription) apply(n *core.Notification) {
 // mergeChunk folds one backfill chunk into the maintained state under the
 // never-regress rule: a chunk row older than an already-applied in-window
 // delta is discarded — the live stream delivered fresher state (including
-// deletes, whose version the guard retains).
+// deletes, whose version the guard retains). During a migration backfill
+// the subscription is already admitted; a chunk row that wins there is
+// state the live stream never delivered (typically a write that fell into
+// the ownership gap of a resize), so it is surfaced as an event.
 func (sub *Subscription) mergeChunk(entries []core.ResultEntry) {
 	sub.mu.Lock()
 	if sub.vers == nil {
@@ -326,9 +353,42 @@ func (sub *Subscription) mergeChunk(entries []core.ResultEntry) {
 			continue
 		}
 		sub.vers[e.Key] = e.Version
-		sub.docs[e.Key] = sub.q.Project(e.Doc)
+		_, had := sub.docs[e.Key]
+		d := sub.q.Project(e.Doc)
+		sub.docs[e.Key] = d
+		if !sub.backfilling {
+			ev := Event{Type: EventChange, Key: e.Key, Doc: d, Index: -1}
+			if !had {
+				ev.Type = EventAdd
+			}
+			sub.pushLocked(ev)
+		}
 	}
 	sub.mu.Unlock()
+}
+
+// reconcileMigration finishes a migration backfill: a maintained document
+// that appeared in no chunk and was last touched before the backfill's
+// first watermark existed before the scan began yet was absent from it —
+// it was deleted (or stopped matching) during the ownership gap, so it is
+// removed now. Keys touched at or after the first watermark are governed
+// by the live stream and left alone.
+func (sub *Subscription) reconcileMigration(chunkKeys map[string]struct{}, firstLow uint64) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	for key := range sub.docs {
+		if _, ok := chunkKeys[key]; ok {
+			continue
+		}
+		if sub.vers[key] >= firstLow {
+			continue
+		}
+		delete(sub.docs, key)
+		sub.pushLocked(Event{Type: EventRemove, Key: key, Index: -1})
+	}
 }
 
 // admit delivers EventInitial with the assembled result and opens the event

@@ -35,6 +35,12 @@ type backfillChunkPayload struct {
 	low    uint64
 	high   uint64
 	last   bool
+	// cells is the write-partition count of the map the chunk was sliced
+	// under: the certificate quorum the application server must collect.
+	// Carried in the payload — not read from cluster options at certify
+	// time — so a write-partition resize mid-backfill cannot desync the
+	// quorum between slicing and certification.
+	cells   int
 	entries []ResultEntry
 }
 
@@ -156,6 +162,10 @@ func (b *matchBolt) reconcileChunk(t *topology.Tuple, p *backfillChunkPayload) {
 		if img.Version < b.latest[ck] {
 			return // superseded within the retention window
 		}
+		// Only post-low-watermark images reach here: the replay is bounded by
+		// the chunk's window, never the whole retention ring. The counter is
+		// the migration tests' evidence of that bound.
+		b.c.mBackfillReplayed.Inc()
 		b.processImage(t, mq, r.we, ck)
 	})
 	b.c.mBackfillCertified.Inc()
@@ -166,8 +176,8 @@ func (b *matchBolt) reconcileChunk(t *topology.Tuple, p *backfillChunkPayload) {
 		BackfillID:     p.bfid,
 		QueryID:        QueryIDString(p.hash),
 		Chunk:          p.chunk,
-		Cell:           b.wp,
-		Cells:          b.c.opts.WritePartitions,
+		Cell:           b.cell.Col,
+		Cells:          p.cells,
 		Last:           p.last,
 		Origin:         b.origin,
 		Status:         BackfillStatusOK,
@@ -204,12 +214,18 @@ func (c *Cluster) publishBackfillCert(cert *BackfillCert) {
 // cell lost its watermark window state, so certificates it owed can never be
 // issued; the restart certificate tells the application server to abandon the
 // attempt and start a fresh backfill (new BackfillID, new cursor) against the
-// resynced query state.
-func (c *Cluster) backfillRestartCerts(qp int) {
+// resynced query state. row and qp come from the partition map the resync
+// resolved against, not from cluster options — the global row count changes
+// across resize epochs.
+func (c *Cluster) backfillRestartCerts(row, qp int) {
+	cells := c.opts.WritePartitions
+	if cur := c.maps.current(); cur != nil {
+		cells = cur.m.WritePartitions
+	}
 	c.regMu.Lock()
 	var certs []*BackfillCert
 	for hash, sids := range c.registry {
-		if int(hash%uint64(c.opts.QueryPartitions)) != qp {
+		if int(hash%uint64(qp)) != row {
 			continue
 		}
 		for _, e := range sids {
@@ -222,7 +238,7 @@ func (c *Cluster) backfillRestartCerts(qp int) {
 				BackfillID:     e.backfillID,
 				QueryID:        QueryIDString(hash),
 				Chunk:          -1,
-				Cells:          c.opts.WritePartitions,
+				Cells:          cells,
 				Status:         BackfillStatusRestart,
 			})
 		}

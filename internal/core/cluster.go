@@ -23,6 +23,21 @@ type Options struct {
 	// partitions raises sustainable write throughput (paper Figure 5).
 	// Default 1.
 	WritePartitions int
+	// NodeID names this process in a multi-process grid (DESIGN.md §13).
+	// Empty (the default) selects single-process mode: the cluster runs the
+	// full QP x WP grid behind an identity partition map at epoch 0. Non-empty
+	// selects grid mode: the process hosts GridSlots local rows, routes only
+	// the global rows a coordinator-published partition map assigns to it,
+	// and stays idle until the first map arrives on the control topic.
+	NodeID string
+	// GridSlots is the number of local query-partition rows this process
+	// hosts in grid mode (ignored in single-process mode). Default 1.
+	GridSlots int
+	// MaxWritePartitions is the local grid's column capacity in grid mode:
+	// the ceiling on any partition map's WritePartitions this process can
+	// serve, and the headroom a live write-partition resize grows into.
+	// Default: WritePartitions. Ignored in single-process mode.
+	MaxWritePartitions int
 	// QueryIngestNodes and WriteIngestNodes size the stateless ingestion
 	// stages (the paper used 1 and 4 in all experiments). Defaults 1 and 4.
 	QueryIngestNodes int
@@ -36,6 +51,10 @@ type Options struct {
 	// capped to 80% of one core); saturation behaviour — queue growth, then
 	// latency SLA violations — emerges exactly as in the testbed.
 	NodeCapacity int
+	// NodeBurst overrides the matching-node limiter's burst allowance in
+	// match-operations; zero selects ratelimit's default (5% of
+	// NodeCapacity, i.e. 50ms of headroom).
+	NodeBurst float64
 	// RetentionTime bounds the write-stream retention buffer used for
 	// subscription replay and staleness avoidance (§5.1; Baqend production
 	// uses a few seconds). Default 5s.
@@ -108,6 +127,12 @@ func (o Options) withDefaults() Options {
 	if o.WritePartitions <= 0 {
 		o.WritePartitions = 1
 	}
+	if o.GridSlots <= 0 {
+		o.GridSlots = 1
+	}
+	if o.MaxWritePartitions <= 0 {
+		o.MaxWritePartitions = o.WritePartitions
+	}
 	if o.QueryIngestNodes <= 0 {
 		o.QueryIngestNodes = 1
 	}
@@ -145,6 +170,13 @@ type Cluster struct {
 	topics Topics
 	bus    eventlayer.Bus
 	top    *topology.Topology
+
+	// layout is the process-local grid geometry (rows x column capacity);
+	// maps holds the installed partition-map epochs that route global rows
+	// onto it. Single-process mode installs an identity map at construction,
+	// so routing follows one uniform code path in both modes.
+	layout gridLayout
+	maps   mapState
 
 	tenantMu sync.RWMutex
 	tenants  map[string]struct{}
@@ -189,10 +221,14 @@ type Cluster struct {
 	mCandMatched   *metrics.Int
 
 	// Backfill counters (DESIGN.md §12): chunks reconciled by matching
-	// cells, chunk rows superseded by in-window writes, and certificates
-	// issued.
+	// cells, chunk rows superseded by in-window writes, retention-ring
+	// writes replayed over a chunk's watermark window, and certificates
+	// issued. replayed is the yardstick migration tests use: a migrated
+	// subscription must replay only its watermark window, never the whole
+	// retention ring.
 	mBackfillChunks     *metrics.Int
 	mBackfillReconciled *metrics.Int
+	mBackfillReplayed   *metrics.Int
 	mBackfillCertified  *metrics.Int
 }
 
@@ -228,10 +264,20 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 
 		mBackfillChunks:     reg.Counter("backfill.chunks"),
 		mBackfillReconciled: reg.Counter("backfill.reconciled"),
+		mBackfillReplayed:   reg.Counter("backfill.replayed"),
 		mBackfillCertified:  reg.Counter("backfill.certified"),
 	}
 
-	qp, wp := opts.QueryPartitions, opts.WritePartitions
+	if opts.NodeID != "" {
+		// Grid mode: the local grid has GridSlots rows and MaxWritePartitions
+		// columns of capacity; the coordinator's maps decide which global
+		// rows land here. No map is installed yet — the process routes
+		// nothing until the control topic delivers one.
+		c.layout = gridLayout{rows: opts.GridSlots, cols: opts.MaxWritePartitions}
+	} else {
+		c.layout = gridLayout{rows: opts.QueryPartitions, cols: opts.WritePartitions}
+		c.maps.install(IdentityMap(opts.QueryPartitions, opts.WritePartitions), "")
+	}
 	b := topology.NewBuilder()
 
 	// Event-layer sources: one spout per inbound topic; the ingestion bolts
@@ -259,7 +305,11 @@ func NewCluster(bus eventlayer.Bus, opts Options) (*Cluster, error) {
 
 	b.SetBolt("match", func() topology.Bolt {
 		return newMatchBolt(c)
-	}, qp*wp, "kind", "qkey", "payload").
+	}, c.layout.tasks(), "kind", "qkey", "payload").
+		TaskMeta(func(taskID int) any {
+			row, col := c.layout.cell(taskID)
+			return GridCell{Row: row, Col: col}
+		}).
 		DirectGrouping("query-ingest").
 		DirectGrouping("write-ingest").
 		BroadcastGrouping("tick")
@@ -339,19 +389,39 @@ func (c *Cluster) Options() Options { return c.opts }
 // Topics returns the cluster's event-layer topic scheme.
 func (c *Cluster) Topics() Topics { return c.topics }
 
-// Start launches the topology and the heartbeat publisher.
+// Start launches the topology and the heartbeat publisher. Grid-mode
+// processes additionally subscribe to the retained control topic (so the
+// coordinator's current partition map arrives immediately, even if it was
+// published before this process came up) and announce themselves with a
+// NodeHello on the coordination topic.
 func (c *Cluster) Start() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.started {
 		return fmt.Errorf("core: cluster already started")
 	}
+	var ctl eventlayer.Subscription
+	if c.opts.NodeID != "" {
+		var err error
+		ctl, err = c.bus.Subscribe(c.topics.Control())
+		if err != nil {
+			return err
+		}
+	}
 	if err := c.top.Start(); err != nil {
+		if ctl != nil {
+			_ = ctl.Close()
+		}
 		return err
 	}
 	c.started = true
 	c.hbWG.Add(1)
 	go c.heartbeatLoop()
+	if ctl != nil {
+		c.hbWG.Add(1)
+		go c.controlLoop(ctl)
+		c.publishHello()
+	}
 	return nil
 }
 
@@ -413,8 +483,85 @@ func (c *Cluster) heartbeatLoop() {
 					_ = c.bus.Publish(c.topics.Notify(tenant), data)
 				}
 			}
+			if c.opts.NodeID != "" {
+				c.publishHello()
+			}
 		}
 	}
+}
+
+// controlLoop consumes the coordinator's retained control topic: every
+// partition-map publication with a higher epoch is installed (demoting the
+// previous map) and acknowledged back on the coordination topic so the
+// coordinator can track convergence. Re-publications of the current epoch
+// are ignored silently — the coordinator re-publishes periodically so late
+// joiners converge.
+func (c *Cluster) controlLoop(sub eventlayer.Subscription) {
+	defer c.hbWG.Done()
+	defer sub.Close()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case msg, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			env, err := DecodeEnvelope(msg.Payload)
+			if err != nil || env.Kind != KindPartitionMap || env.Map == nil {
+				continue
+			}
+			if c.maps.install(env.Map.Clone(), c.opts.NodeID) {
+				c.publishEpochAck(env.Map.Epoch)
+			}
+		}
+	}
+}
+
+// publishHello announces this process on the coordination topic: its
+// identity, capacity, and the map epoch it currently routes by (so a
+// restarted coordinator can recover the authoritative map from the fleet).
+func (c *Cluster) publishHello() {
+	hello := &NodeHello{
+		Node:               c.opts.NodeID,
+		Slots:              c.opts.GridSlots,
+		MaxWritePartitions: c.opts.MaxWritePartitions,
+	}
+	if cur := c.maps.current(); cur != nil {
+		hello.Map = cur.m.Clone()
+	}
+	env := &Envelope{Kind: KindNodeHello, Hello: hello}
+	if data, err := env.Encode(); err == nil {
+		_ = c.bus.Publish(c.topics.Coord(), data)
+	}
+}
+
+func (c *Cluster) publishEpochAck(epoch uint64) {
+	env := &Envelope{Kind: KindEpochAck, EpochAck: &EpochAck{Node: c.opts.NodeID, Epoch: epoch}}
+	if data, err := env.Encode(); err == nil {
+		_ = c.bus.Publish(c.topics.Coord(), data)
+	}
+}
+
+// CurrentMap returns a copy of the partition map the cluster currently
+// routes by, or nil when none is installed yet (a grid-mode process before
+// its first control-topic delivery).
+func (c *Cluster) CurrentMap() *PartitionMap {
+	cur := c.maps.current()
+	if cur == nil {
+		return nil
+	}
+	return cur.m.Clone()
+}
+
+// reportsQueryErrors reports whether this process should publish
+// compile-error notifications for malformed subscriptions. Every process
+// sees all control traffic, so exactly one — the owner of global row 0 —
+// speaks for the cluster to avoid duplicate error notifications. The
+// single-process identity map always owns row 0.
+func (c *Cluster) reportsQueryErrors() bool {
+	cur := c.maps.current()
+	return cur != nil && cur.ownedSlot(0) >= 0
 }
 
 // publishNotification serializes and publishes a notification on the
@@ -588,14 +735,4 @@ func (c *Cluster) resyncHandled(component string, taskID int) {
 	c.resyncMu.Lock()
 	delete(c.pendingResync, resyncKey(component, taskID))
 	c.resyncMu.Unlock()
-}
-
-// gridCell converts a match task id into its (query partition, write
-// partition) coordinates; gridTask is the inverse.
-func (c *Cluster) gridCell(taskID int) (qp, wp int) {
-	return taskID / c.opts.WritePartitions, taskID % c.opts.WritePartitions
-}
-
-func (c *Cluster) gridTask(qp, wp int) int {
-	return qp*c.opts.WritePartitions + wp
 }

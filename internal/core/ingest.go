@@ -195,8 +195,15 @@ func (b *queryIngestBolt) Execute(t *topology.Tuple) {
 	case KindCancel:
 		b.c.registerTenant(env.Cancel.Tenant)
 		b.c.cancelSubscription(env.Cancel.QueryHash, env.Cancel.SubscriptionID)
-		b.fanToRow(t, kindCancel, env.Cancel.QueryHash, env.Cancel)
-		b.out.EmitStream(streamBootstrap, t, topology.Values{kindCancel, QueryIDString(env.Cancel.QueryHash), env.Cancel})
+		// Cancels resolve at their stamped epoch: during a migration the
+		// application server cancels the OLD owner specifically, while the
+		// new owner's fresh install stays untouched.
+		if r := b.c.maps.at(env.Cancel.Epoch); r != nil {
+			b.fanToRow(r, t, kindCancel, env.Cancel.QueryHash, env.Cancel)
+			if r.ownedSlot(r.m.Row(env.Cancel.QueryHash)) >= 0 {
+				b.out.EmitStream(streamBootstrap, t, topology.Values{kindCancel, QueryIDString(env.Cancel.QueryHash), env.Cancel})
+			}
+		}
 	case KindExtend:
 		// Registering the tenant here matters for failover: a replacement
 		// cluster that has never seen this tenant learns of it from the
@@ -208,7 +215,17 @@ func (b *queryIngestBolt) Execute(t *topology.Tuple) {
 			ttl = b.c.opts.DefaultTTL
 		}
 		b.c.extendSubscription(env.Extend.QueryHash, env.Extend.SubscriptionID, ttl)
-		b.fanToRow(t, kindExtend, env.Extend.QueryHash, env.Extend)
+		// Extends fan under BOTH epochs: mid-migration the subscription is
+		// installed on the old and the new owner, and an extend that reached
+		// only one would let the other expire under load. Repeats to the
+		// same cell are idempotent renewals.
+		cur, prev := b.c.maps.both()
+		if cur != nil {
+			b.fanToRow(cur, t, kindExtend, env.Extend.QueryHash, env.Extend)
+		}
+		if prev != nil {
+			b.fanToRow(prev, t, kindExtend, env.Extend.QueryHash, env.Extend)
+		}
 	case KindResync:
 		b.handleResync(t, env.Resync)
 	case KindBackfillStart:
@@ -222,14 +239,18 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 	q, err := b.c.opts.Engine.Compile(req.Query)
 	if err != nil {
 		// An uncompilable query cannot be routed; report the error on the
-		// tenant's topic so the application server can surface it.
-		b.c.publishNotification(&Notification{
-			Tenant:  req.Tenant,
-			QueryID: "",
-			Type:    MatchError,
-			Index:   -1,
-			Error:   "invalid query: " + err.Error(),
-		})
+		// tenant's topic so the application server can surface it. Every
+		// process of a multi-process grid sees the request, so only the
+		// owner of global row 0 speaks — one error, not one per process.
+		if b.c.reportsQueryErrors() {
+			b.c.publishNotification(&Notification{
+				Tenant:  req.Tenant,
+				QueryID: "",
+				Type:    MatchError,
+				Index:   -1,
+				Error:   "invalid query: " + err.Error(),
+			})
+		}
 		return
 	}
 	b.c.registerTenant(req.Tenant)
@@ -238,10 +259,21 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 	if ttl <= 0 {
 		ttl = b.c.opts.DefaultTTL
 	}
+	// The registry is maintained on every process regardless of ownership:
+	// any ingest node can then serve a resync after a resize moves the row
+	// here, and the coordinator never has to replicate registry state.
 	b.c.registerSubscription(req, q, hash, ttl)
+	r := b.c.maps.at(req.Epoch)
+	if r == nil {
+		return // grid node awaiting its first partition map
+	}
+	row := r.m.Row(hash)
+	slot := r.ownedSlot(row)
+	if slot < 0 {
+		return // another process owns this row
+	}
 	b.c.mInstalls.Inc()
-	wp := b.c.opts.WritePartitions
-	qp := int(hash % uint64(b.c.opts.QueryPartitions))
+	wp := r.m.WritePartitions
 
 	// Slice the bootstrap result by write partition: every matching node of
 	// the row receives only its partition of the result (§5.1).
@@ -255,7 +287,7 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 			req: req, q: q, hash: hash, slack: req.Slack, ttl: ttl,
 			entries: slices[w],
 		}
-		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+		b.out.EmitDirect(b.c.layout.task(slot, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
 	}
 	if q.Ordered() || len(b.c.opts.ExtraStages) > 0 {
 		payload := &subscribePayload{
@@ -275,23 +307,27 @@ func (b *queryIngestBolt) handleSubscribe(t *topology.Tuple, req *SubscribeReque
 func (b *queryIngestBolt) handleBackfillStart(t *topology.Tuple, bs *BackfillStart) {
 	q, err := b.c.opts.Engine.Compile(bs.Query)
 	if err != nil {
-		b.c.publishNotification(&Notification{
-			Tenant:  bs.Tenant,
-			QueryID: "",
-			Type:    MatchError,
-			Index:   -1,
-			Error:   "invalid query: " + err.Error(),
-		})
+		if b.c.reportsQueryErrors() {
+			b.c.publishNotification(&Notification{
+				Tenant:  bs.Tenant,
+				QueryID: "",
+				Type:    MatchError,
+				Index:   -1,
+				Error:   "invalid query: " + err.Error(),
+			})
+		}
 		return
 	}
 	if q.Ordered() {
-		b.c.publishNotification(&Notification{
-			Tenant:  bs.Tenant,
-			QueryID: "",
-			Type:    MatchError,
-			Index:   -1,
-			Error:   "backfill: ordered queries use the bootstrap path",
-		})
+		if b.c.reportsQueryErrors() {
+			b.c.publishNotification(&Notification{
+				Tenant:  bs.Tenant,
+				QueryID: "",
+				Type:    MatchError,
+				Index:   -1,
+				Error:   "backfill: ordered queries use the bootstrap path",
+			})
+		}
 		return
 	}
 	b.c.registerTenant(bs.Tenant)
@@ -308,11 +344,19 @@ func (b *queryIngestBolt) handleBackfillStart(t *topology.Tuple, bs *BackfillSta
 		TTLMillis:      bs.TTLMillis,
 	}
 	b.c.registerBackfill(req, q, hash, ttl, bs.BackfillID)
+	r := b.c.maps.at(bs.Epoch)
+	if r == nil {
+		return
+	}
+	row := r.m.Row(hash)
+	slot := r.ownedSlot(row)
+	if slot < 0 {
+		return
+	}
 	b.c.mInstalls.Inc()
-	qp := int(hash % uint64(b.c.opts.QueryPartitions))
-	for w := 0; w < b.c.opts.WritePartitions; w++ {
+	for w := 0; w < r.m.WritePartitions; w++ {
 		payload := &subscribePayload{req: req, q: q, hash: hash, slack: bs.Slack, ttl: ttl, backfill: true}
-		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
+		b.out.EmitDirect(b.c.layout.task(slot, w), t, topology.Values{kindSubscribe, QueryIDString(hash), payload})
 	}
 	if len(b.c.opts.ExtraStages) > 0 {
 		payload := &subscribePayload{req: req, q: q, hash: hash, slack: bs.Slack, ttl: ttl, backfill: true}
@@ -327,9 +371,17 @@ func (b *queryIngestBolt) handleBackfillStart(t *topology.Tuple, bs *BackfillSta
 // resync re-installs everything shipped so far.
 func (b *queryIngestBolt) handleBackfillChunk(t *topology.Tuple, bc *BackfillChunk) {
 	b.c.registerTenant(bc.Tenant)
-	wp := b.c.opts.WritePartitions
-	qp := int(bc.QueryHash % uint64(b.c.opts.QueryPartitions))
 	b.c.appendBackfillResult(bc.QueryHash, bc.SubscriptionID, bc.BackfillID, bc.Chunk, bc.Entries)
+	r := b.c.maps.at(bc.Epoch)
+	if r == nil {
+		return
+	}
+	row := r.m.Row(bc.QueryHash)
+	slot := r.ownedSlot(row)
+	if slot < 0 {
+		return
+	}
+	wp := r.m.WritePartitions
 	slices := make([][]ResultEntry, wp)
 	for _, e := range bc.Entries {
 		w := int(document.HashKey(e.Key) % uint64(wp))
@@ -339,18 +391,21 @@ func (b *queryIngestBolt) handleBackfillChunk(t *topology.Tuple, bc *BackfillChu
 		payload := &backfillChunkPayload{
 			tenant: bc.Tenant, sid: bc.SubscriptionID, bfid: bc.BackfillID,
 			hash: bc.QueryHash, chunk: bc.Chunk, low: bc.Low, high: bc.High,
-			last: bc.Last, entries: slices[w],
+			last: bc.Last, cells: wp, entries: slices[w],
 		}
-		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kindBackfillChunk, QueryIDString(bc.QueryHash), payload})
+		b.out.EmitDirect(b.c.layout.task(slot, w), t, topology.Values{kindBackfillChunk, QueryIDString(bc.QueryHash), payload})
 	}
 }
 
-// fanToRow delivers a control message to every matching node of the query's
-// partition row.
-func (b *queryIngestBolt) fanToRow(t *topology.Tuple, kind string, hash uint64, payload any) {
-	qp := int(hash % uint64(b.c.opts.QueryPartitions))
-	for w := 0; w < b.c.opts.WritePartitions; w++ {
-		b.out.EmitDirect(b.c.gridTask(qp, w), t, topology.Values{kind, QueryIDString(hash), payload})
+// fanToRow delivers a control message to every matching cell of the query's
+// partition row under the given routing, when this process owns the row.
+func (b *queryIngestBolt) fanToRow(r *routing, t *topology.Tuple, kind string, hash uint64, payload any) {
+	slot := r.ownedSlot(r.m.Row(hash))
+	if slot < 0 {
+		return
+	}
+	for w := 0; w < r.m.WritePartitions; w++ {
+		b.out.EmitDirect(b.c.layout.task(slot, w), t, topology.Values{kind, QueryIDString(hash), payload})
 	}
 }
 
@@ -366,28 +421,52 @@ func (b *queryIngestBolt) handleResync(t *topology.Tuple, r *ResyncRequest) {
 	b.c.resyncHandled(r.Component, r.TaskID)
 	entries := b.c.snapshotSubscriptions()
 	if r.Component == "match" {
-		qp, wp := b.c.gridCell(r.TaskID)
-		for _, e := range entries {
-			if int(e.hash%uint64(b.c.opts.QueryPartitions)) != qp {
-				continue
+		slot, col := b.c.layout.cell(r.TaskID)
+		// Resync under every installed epoch: mid-migration a cell can hold
+		// installs from both the current and the previous map, and a restart
+		// loses both. Rows already covered under cur are skipped under prev.
+		cur, prev := b.c.maps.both()
+		// Row indexes only identify the same query set under the same QP
+		// count, so the repeat guard keys on both.
+		type rowID struct{ row, qp int }
+		resynced := map[rowID]bool{}
+		for _, rt := range []*routing{cur, prev} {
+			if rt == nil || col >= rt.m.WritePartitions {
+				continue // idle column under this map's dimensions
 			}
-			var slice []ResultEntry
-			for _, re := range e.req.Result {
-				if int(document.HashKey(re.Key)%uint64(b.c.opts.WritePartitions)) == wp {
-					slice = append(slice, re)
+			row := -1
+			for _, rs := range rt.owned {
+				if rs.slot == slot {
+					row = rs.row
+					break
 				}
 			}
-			payload := &subscribePayload{
-				req: e.req, q: e.q, hash: e.hash, slack: e.req.Slack,
-				ttl: time.Until(e.deadline), entries: slice,
+			if row < 0 || resynced[rowID{row, rt.m.QueryPartitions}] {
+				continue
 			}
-			b.out.EmitDirect(r.TaskID, t, topology.Values{kindSubscribe, QueryIDString(e.hash), payload})
+			resynced[rowID{row, rt.m.QueryPartitions}] = true
+			for _, e := range entries {
+				if rt.m.Row(e.hash) != row {
+					continue
+				}
+				var slice []ResultEntry
+				for _, re := range e.req.Result {
+					if int(document.HashKey(re.Key)%uint64(rt.m.WritePartitions)) == col {
+						slice = append(slice, re)
+					}
+				}
+				payload := &subscribePayload{
+					req: e.req, q: e.q, hash: e.hash, slack: e.req.Slack,
+					ttl: time.Until(e.deadline), entries: slice,
+				}
+				b.out.EmitDirect(r.TaskID, t, topology.Values{kindSubscribe, QueryIDString(e.hash), payload})
+			}
+			// The restarted cell lost its backfill window state (buffered
+			// chunks, watermarks seen), so certificates it owed will never
+			// arrive: tell the application servers of every in-flight backfill
+			// on this row to restart against the freshly resynced query state.
+			b.c.backfillRestartCerts(row, rt.m.QueryPartitions)
 		}
-		// The restarted cell lost its backfill window state (buffered chunks,
-		// watermarks seen), so certificates it owed will never arrive: tell
-		// the application servers of every in-flight backfill on this row to
-		// restart against the freshly resynced query state.
-		b.c.backfillRestartCerts(qp)
 		return
 	}
 	for _, e := range entries {
@@ -443,7 +522,9 @@ func newWriteIngestBolt(c *Cluster) topology.Bolt { return &writeIngestBolt{c: c
 
 func (b *writeIngestBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
 	b.out = out
-	b.cols = make([]writeColumnBatch, b.c.opts.WritePartitions)
+	// One batch per local grid column (the fixed column capacity, not the
+	// current map's write-partition count, which changes across resizes).
+	b.cols = make([]writeColumnBatch, b.c.layout.cols)
 	return nil
 }
 
@@ -473,6 +554,16 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 		return
 	}
 	b.c.registerTenant(env.Write.Tenant)
+	// Writes route ONLY by the current map: during a query-partition resize
+	// the old rows keep receiving every write (all owned rows get the
+	// column's batches), and during a write-partition resize the migration
+	// backfill re-reads anything that raced the column flip, so the window
+	// between enqueue here and flush never loses a notification.
+	cur := b.c.maps.current()
+	if cur == nil {
+		b.out.Ack(t)
+		return // grid node awaiting its first partition map
+	}
 	b.c.mWrites.Inc()
 	we := &WriteEvent{
 		Tenant: env.Write.Tenant,
@@ -481,7 +572,11 @@ func (b *writeIngestBolt) Execute(t *topology.Tuple) {
 		//invalidb:allow coarseclock deliberate stage-boundary stamp: per-write wall time feeds the latency breakdown (DESIGN.md §8)
 		IngestNs: time.Now().UnixNano(),
 	}
-	w := int(document.HashKey(img.Key) % uint64(b.c.opts.WritePartitions))
+	w := int(document.HashKey(img.Key) % uint64(cur.m.WritePartitions))
+	if w >= len(b.cols) {
+		b.out.Ack(t)
+		return // map wider than this node's column capacity; not our write
+	}
 	col := &b.cols[w]
 	col.events = append(col.events, we)
 	col.anchors = append(col.anchors, t)
@@ -504,11 +599,12 @@ func (b *writeIngestBolt) handleMark(t *topology.Tuple, m *BackfillMark) {
 			b.flush(w)
 		}
 	}
+	// Marks go to EVERY local cell, owned or idle: write ingestion cannot
+	// know which rows run backfills, and a cell that just gained a row in a
+	// resize needs the watermark stream from the first mark on.
 	vals := topology.Values{kindBackfillMark, "", m}
-	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
-		for w := 0; w < b.c.opts.WritePartitions; w++ {
-			b.out.EmitDirect(b.c.gridTask(qp, w), t, vals)
-		}
+	for task := 0; task < b.c.layout.tasks(); task++ {
+		b.out.EmitDirect(task, t, vals)
 	}
 	b.out.Ack(t)
 }
@@ -525,14 +621,28 @@ func (b *writeIngestBolt) Idle() {
 
 func (b *writeIngestBolt) flush(w int) {
 	col := &b.cols[w]
+	// Deliver to column w of every row this process currently owns. A map
+	// installed between enqueue and flush may have reassigned rows; the new
+	// owner's migration backfill covers the gap, so flushing under the map
+	// of the moment is safe (and the only option — the old tasks may not
+	// exist here anymore).
+	cur := b.c.maps.current()
+	if cur == nil || len(cur.owned) == 0 {
+		for _, a := range col.anchors {
+			b.out.Ack(a)
+		}
+		col.events = col.events[:0]
+		col.anchors = col.anchors[:0]
+		return
+	}
 	if len(col.events) == 1 {
 		// Single-event fast path: a batch wrapper would cost two extra
 		// allocations per write under light (latency-sensitive) load, where
 		// batches rarely grow past one.
 		t := col.anchors[0]
 		vals := topology.Values{kindWrite, "", col.events[0]}
-		for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
-			b.out.EmitDirect(b.c.gridTask(qp, w), t, vals)
+		for _, rs := range cur.owned {
+			b.out.EmitDirect(b.c.layout.task(rs.slot, w), t, vals)
 		}
 		b.out.Ack(t)
 		col.events = col.events[:0] // nothing escaped but the event itself
@@ -541,8 +651,8 @@ func (b *writeIngestBolt) flush(w int) {
 	}
 	batch := &writeBatch{events: col.events}
 	vals := topology.Values{kindWriteBatch, "", batch}
-	for qp := 0; qp < b.c.opts.QueryPartitions; qp++ {
-		b.out.EmitDirectBatch(b.c.gridTask(qp, w), col.anchors, vals)
+	for _, rs := range cur.owned {
+		b.out.EmitDirectBatch(b.c.layout.task(rs.slot, w), col.anchors, vals)
 	}
 	for _, a := range col.anchors {
 		b.out.Ack(a)

@@ -6,6 +6,7 @@ import (
 
 	"invalidb/internal/document"
 	"invalidb/internal/query"
+	"invalidb/internal/ratelimit"
 	"invalidb/internal/topology"
 )
 
@@ -136,17 +137,23 @@ type matchBolt struct {
 	c      *Cluster
 	out    topology.Collector
 	taskID int
-	qp, wp int
+	// cell is this task's LOCAL grid coordinates (slot row, column),
+	// delivered as placement metadata at Prepare. The global query-partition
+	// row it serves is decided by the installed partition map, never cached
+	// here — caching it was the stale-capture bug a write-partition resize
+	// exposed in the old opts-derived gridCell.
+	cell GridCell
 	// origin stamps outgoing notifications with this node instance's
-	// identity ("m<task>.<incarnation>") so application servers can
-	// deduplicate redeliveries per emitting instance.
+	// identity ("m<task>.<incarnation>", prefixed with the node id in
+	// multi-process grids) so application servers can deduplicate
+	// redeliveries per emitting instance.
 	origin string
 
 	queries   map[uint64]*matchQuery
 	latest    map[string]uint64 // composite key -> newest version seen
 	latestAt  map[string]time.Time
 	retention retentionRing
-	bucket    *tokenBucket
+	bucket    *ratelimit.Bucket
 	qindex    *queryIndex // nil unless Options.EnableQueryIndex
 	// backfills holds the watermark window state of in-flight backfills
 	// (chunks gated on their high mark); see backfill.go.
@@ -167,8 +174,21 @@ func newMatchBolt(c *Cluster) topology.Bolt { return &matchBolt{c: c} }
 func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) error {
 	b.out = out
 	b.taskID = ctx.TaskID
-	b.qp, b.wp = b.c.gridCell(ctx.TaskID)
-	b.origin = fmt.Sprintf("m%d.%d", ctx.TaskID, ctx.Incarnation)
+	if gc, ok := ctx.Meta.(GridCell); ok {
+		b.cell = gc
+	} else {
+		// Bolts prepared outside the cluster topology (unit tests) fall back
+		// to deriving the cell from the task id and the local layout.
+		row, col := b.c.layout.cell(ctx.TaskID)
+		b.cell = GridCell{Row: row, Col: col}
+	}
+	if b.c.opts.NodeID != "" {
+		// Node-qualified origin: task ids repeat across processes in a
+		// multi-process grid, so the per-instance dedup identity must not.
+		b.origin = fmt.Sprintf("%s:m%d.%d", b.c.opts.NodeID, ctx.TaskID, ctx.Incarnation)
+	} else {
+		b.origin = fmt.Sprintf("m%d.%d", ctx.TaskID, ctx.Incarnation)
+	}
 	b.queries = map[uint64]*matchQuery{}
 	b.latest = map[string]uint64{}
 	b.latestAt = map[string]time.Time{}
@@ -177,7 +197,7 @@ func (b *matchBolt) Prepare(ctx *topology.BoltContext, out topology.Collector) e
 	b.now = time.Now()
 	b.interner = newKeyInterner()
 	if cap := b.c.opts.NodeCapacity; cap > 0 {
-		b.bucket = newTokenBucket(float64(cap))
+		b.bucket = ratelimit.New(float64(cap), b.c.opts.NodeBurst)
 	}
 	if b.c.opts.EnableQueryIndex {
 		b.qindex = newQueryIndex()
@@ -281,7 +301,7 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 		cands := b.qindex.candidatesInto(we, ck, b.cands)
 		b.c.mCandProbed.Add(int64(len(cands)))
 		if b.bucket != nil {
-			b.bucket.take(float64(len(cands) + 1))
+			b.bucket.Take(float64(len(cands) + 1))
 		}
 		for _, mq := range cands {
 			b.processImage(t, mq, we, ck)
@@ -294,7 +314,7 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 		if cost == 0 {
 			cost = 1
 		}
-		b.bucket.take(float64(cost))
+		b.bucket.Take(float64(cost))
 	}
 	for _, mq := range b.queries {
 		b.processImage(t, mq, we, ck)
@@ -500,9 +520,9 @@ func (b *matchBolt) handleTick(now time.Time) {
 			if b.qindex != nil {
 				b.qindex.remove(mq)
 			}
-			// Exactly one node per row (wp 0) informs the sorting stage, so
-			// the expiry is delivered once.
-			if mq.ordered && b.wp == 0 {
+			// Exactly one cell per local row (column 0) informs the sorting
+			// stage, so the expiry is delivered once.
+			if mq.ordered && b.cell.Col == 0 {
 				b.out.Emit(nil, topology.Values{kindExpire, QueryIDString(hash), hash})
 			}
 		}
@@ -519,49 +539,3 @@ func (b *matchBolt) handleTick(now time.Time) {
 	}
 }
 
-// tokenBucket throttles a matching node to a fixed budget of
-// match-operations per second — the simulation equivalent of the paper's
-// per-node CPU cap. Exceeding the budget blocks the node, which backs its
-// input queue up and raises notification latency: the saturation signal the
-// experiments measure.
-type tokenBucket struct {
-	rate   float64
-	burst  float64
-	tokens float64
-	last   time.Time
-}
-
-func newTokenBucket(rate float64) *tokenBucket {
-	return &tokenBucket{
-		rate:  rate,
-		burst: rate * 0.05, // 50ms of headroom absorbs scheduler jitter
-		//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
-		last: time.Now(),
-	}
-}
-
-func (tb *tokenBucket) take(n float64) {
-	//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
-	now := time.Now()
-	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
-	tb.last = now
-	if tb.tokens > tb.burst {
-		tb.tokens = tb.burst
-	}
-	tb.tokens -= n
-	if tb.tokens < 0 {
-		wait := time.Duration(-tb.tokens / tb.rate * float64(time.Second))
-		time.Sleep(wait)
-		// Credit the tokens accrued while sleeping instead of zeroing the
-		// balance: sleeps routinely overshoot their deadline, and resetting
-		// to zero discarded that accrual, making throttled nodes deliver
-		// measurably less than their configured budget.
-		//invalidb:allow coarseclock token bucket needs real elapsed time to meter its budget
-		now = time.Now()
-		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
-		tb.last = now
-		if tb.tokens > tb.burst {
-			tb.tokens = tb.burst
-		}
-	}
-}

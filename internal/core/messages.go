@@ -99,6 +99,10 @@ type SubscribeRequest struct {
 	Slack          int           `json:"slack,omitempty"`
 	TTLMillis      int64         `json:"ttlMs"`
 	Result         []ResultEntry `json:"result"`
+	// Epoch stamps the partition-map epoch the sender routed by; zero means
+	// "current". The owning node under the map at that epoch installs the
+	// subscription (DESIGN.md §13).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // CancelRequest deactivates one subscription of a query. It carries the
@@ -108,6 +112,10 @@ type CancelRequest struct {
 	Tenant         string `json:"tenant"`
 	SubscriptionID string `json:"sid"`
 	QueryHash      uint64 `json:"qh"`
+	// Epoch addresses the cancel at the map epoch the subscription was
+	// installed under, so a migration tears down the OLD owner's install
+	// without touching the new one (zero = current epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ExtendRequest pushes a subscription's TTL deadline out (§5: "TTL extension
@@ -117,6 +125,10 @@ type ExtendRequest struct {
 	SubscriptionID string `json:"sid"`
 	QueryHash      uint64 `json:"qh"`
 	TTLMillis      int64  `json:"ttlMs"`
+	// Epoch is the sender's view of the map epoch (zero = current). Extends
+	// are deliberately processed by the owner under the current AND previous
+	// epoch, keeping the old install alive mid-migration.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // WriteEvent carries one after-image from an application server to the
@@ -195,6 +207,9 @@ type BackfillStart struct {
 	Query      query.Spec `json:"query"`
 	Slack      int        `json:"slack,omitempty"`
 	TTLMillis  int64      `json:"ttlMs"`
+	// Epoch routes the backfill at a specific map epoch (zero = current);
+	// migrations stamp the NEW epoch so the new owner bootstraps.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // BackfillChunk carries one chunk of a subscription's initial result, read
@@ -217,6 +232,8 @@ type BackfillChunk struct {
 	// Last marks the final chunk of the backfill.
 	Last    bool          `json:"last,omitempty"`
 	Entries []ResultEntry `json:"entries"`
+	// Epoch routes the chunk at the same map epoch as its BackfillStart.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // BackfillMark travels the writes topic — in stream order with the
@@ -272,6 +289,44 @@ type ResyncRequest struct {
 	TaskID int `json:"task"`
 }
 
+// Resize axes accepted by ResizeRequest.
+const (
+	// ResizeAxisQP asks the coordinator for one more query-partition row.
+	ResizeAxisQP = "qp"
+	// ResizeAxisWP asks the coordinator for one more write-partition column.
+	ResizeAxisWP = "wp"
+)
+
+// NodeHello is a server process's periodic announcement on the coordinator
+// topic: its identity, capacity (local grid slots and column headroom), and
+// the highest-epoch partition map it has installed. The map makes the
+// coordinator crash-recoverable — a replacement coordinator adopts the
+// highest epoch its nodes report instead of restarting from epoch 1.
+type NodeHello struct {
+	Node string `json:"node"`
+	// Slots is the number of local query-partition rows the process runs.
+	Slots int `json:"slots"`
+	// MaxWritePartitions is the process's column capacity — the ceiling on
+	// any map's WritePartitions it can serve.
+	MaxWritePartitions int `json:"maxWp"`
+	// Map is the highest-epoch partition map the node holds, if any.
+	Map *PartitionMap `json:"map,omitempty"`
+}
+
+// ResizeRequest asks the coordinator to grow the grid by one partition
+// along the given axis ("qp" or "wp"). Published on the coordinator topic
+// by operators (cmd/invalidb-coordinator -resize) or tests.
+type ResizeRequest struct {
+	Axis string `json:"axis"`
+}
+
+// EpochAck is a node's confirmation that it installed a partition map
+// epoch; the coordinator uses it to track convergence of a resize.
+type EpochAck struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+}
+
 // Heartbeat is periodically published on every tenant's notification topic;
 // application servers terminate subscriptions when heartbeats stop (§5.1).
 type Heartbeat struct {
@@ -294,6 +349,10 @@ type Envelope struct {
 	BackfillChunk *BackfillChunk    `json:"bfc,omitempty"`
 	BackfillMark  *BackfillMark     `json:"bfm,omitempty"`
 	BackfillCert  *BackfillCert     `json:"bfcert,omitempty"`
+	Map           *PartitionMap     `json:"map,omitempty"`
+	Hello         *NodeHello        `json:"hello,omitempty"`
+	Resize        *ResizeRequest    `json:"resize,omitempty"`
+	EpochAck      *EpochAck         `json:"ack,omitempty"`
 }
 
 // Envelope kinds.
@@ -309,6 +368,10 @@ const (
 	KindBackfillChunk = "backfillChunk"
 	KindBackfillMark  = "backfillMark"
 	KindBackfillCert  = "backfillCert"
+	KindPartitionMap  = "partitionMap"
+	KindNodeHello     = "nodeHello"
+	KindResize        = "resize"
+	KindEpochAck      = "epochAck"
 )
 
 // Encode serializes an envelope for the event layer in the process-wide
@@ -439,6 +502,35 @@ func decodeJSONEnvelope(data []byte) (*Envelope, error) {
 			}
 			clean.BackfillCert = e.BackfillCert
 		}
+	case KindPartitionMap:
+		ok = e.Map != nil
+		if ok {
+			if err := e.Map.validate(); err != nil {
+				return nil, err
+			}
+			clean.Map = e.Map
+		}
+	case KindNodeHello:
+		ok = e.Hello != nil
+		if ok {
+			if e.Hello.Map != nil {
+				if err := e.Hello.Map.validate(); err != nil {
+					return nil, err
+				}
+			}
+			clean.Hello = e.Hello
+		}
+	case KindResize:
+		ok = e.Resize != nil
+		if ok {
+			if a := e.Resize.Axis; a != ResizeAxisQP && a != ResizeAxisWP {
+				return nil, fmt.Errorf("core: resize request with invalid axis %q", a)
+			}
+			clean.Resize = e.Resize
+		}
+	case KindEpochAck:
+		ok = e.EpochAck != nil
+		clean.EpochAck = e.EpochAck
 	default:
 		return nil, fmt.Errorf("core: unknown envelope kind %q", e.Kind)
 	}
@@ -482,6 +574,16 @@ func (t Topics) Writes() string { return t.ns + ".writes" }
 // Notify is the per-tenant topic the cluster publishes notifications and
 // heartbeats on.
 func (t Topics) Notify(tenant string) string { return t.ns + ".notify." + tenant }
+
+// Control is the topic the coordinator publishes partition maps on. The
+// ".control" suffix makes it a retained topic: the event layer redelivers
+// the last map to late subscribers, so a restarting server process learns
+// the current epoch without waiting for the next periodic republish.
+func (t Topics) Control() string { return t.ns + ".control" }
+
+// Coord is the topic server processes and operators publish to the
+// coordinator on: node hellos, epoch acks, and resize requests.
+func (t Topics) Coord() string { return t.ns + ".coord" }
 
 // QueryIDString formats a query hash as the public query identifier.
 func QueryIDString(hash uint64) string { return fmt.Sprintf("q%016x", hash) }

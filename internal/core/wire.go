@@ -49,8 +49,12 @@ const (
 	wireTagBackfillChunk
 	wireTagBackfillMark
 	wireTagBackfillCert
+	wireTagPartitionMap
+	wireTagNodeHello
+	wireTagResize
+	wireTagEpochAck
 
-	wireTagCount = int(wireTagBackfillCert) + 1
+	wireTagCount = int(wireTagEpochAck) + 1
 )
 
 // Document value tags. Every document value is one tag byte followed by
@@ -143,6 +147,10 @@ var wireKindNames = [wireTagCount]string{
 	wireTagBackfillChunk: KindBackfillChunk,
 	wireTagBackfillMark:  KindBackfillMark,
 	wireTagBackfillCert:  KindBackfillCert,
+	wireTagPartitionMap:  KindPartitionMap,
+	wireTagNodeHello:     KindNodeHello,
+	wireTagResize:        KindResize,
+	wireTagEpochAck:      KindEpochAck,
 }
 
 // RegisterWireMetrics exposes the codec's per-kind traffic counters
@@ -202,6 +210,14 @@ func wireKindTag(kind string) byte {
 		return wireTagBackfillMark
 	case KindBackfillCert:
 		return wireTagBackfillCert
+	case KindPartitionMap:
+		return wireTagPartitionMap
+	case KindNodeHello:
+		return wireTagNodeHello
+	case KindResize:
+		return wireTagResize
+	case KindEpochAck:
+		return wireTagEpochAck
 	}
 	return 0
 }
@@ -232,6 +248,7 @@ func AppendEnvelope(buf []byte, e *Envelope) ([]byte, error) {
 		b = appendString(b, e.Cancel.Tenant)
 		b = appendString(b, e.Cancel.SubscriptionID)
 		b = appendFixed64(b, e.Cancel.QueryHash)
+		b = appendUvarint(b, e.Cancel.Epoch)
 	case wireTagExtend:
 		if e.Extend == nil {
 			return nil, errWireNoPayload
@@ -240,6 +257,7 @@ func AppendEnvelope(buf []byte, e *Envelope) ([]byte, error) {
 		b = appendString(b, e.Extend.SubscriptionID)
 		b = appendFixed64(b, e.Extend.QueryHash)
 		b = appendSvarint(b, e.Extend.TTLMillis)
+		b = appendUvarint(b, e.Extend.Epoch)
 	case wireTagWrite:
 		if e.Write == nil || e.Write.Image == nil {
 			return nil, errWireNoPayload
@@ -282,6 +300,27 @@ func AppendEnvelope(buf []byte, e *Envelope) ([]byte, error) {
 			return nil, errWireNoPayload
 		}
 		b, err = appendBackfillCert(b, e.BackfillCert)
+	case wireTagPartitionMap:
+		if e.Map == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendPartitionMap(b, e.Map)
+	case wireTagNodeHello:
+		if e.Hello == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendNodeHello(b, e.Hello)
+	case wireTagResize:
+		if e.Resize == nil {
+			return nil, errWireNoPayload
+		}
+		b, err = appendResize(b, e.Resize)
+	case wireTagEpochAck:
+		if e.EpochAck == nil {
+			return nil, errWireNoPayload
+		}
+		b = appendString(b, e.EpochAck.Node)
+		b = appendUvarint(b, e.EpochAck.Epoch)
 	}
 	if err != nil {
 		return nil, err
@@ -305,17 +344,18 @@ func appendSubscribe(b []byte, s *SubscribeRequest) ([]byte, error) {
 	// preserves that here too.
 	if s.Result == nil {
 		b = appendUvarint(b, 0)
-		return b, nil
-	}
-	b = appendUvarint(b, uint64(len(s.Result))+1)
-	for i := range s.Result {
-		r := &s.Result[i]
-		b = appendString(b, r.Key)
-		b = appendUvarint(b, r.Version)
-		if b, err = appendDocExact(b, r.Doc); err != nil {
-			return nil, err
+	} else {
+		b = appendUvarint(b, uint64(len(s.Result))+1)
+		for i := range s.Result {
+			r := &s.Result[i]
+			b = appendString(b, r.Key)
+			b = appendUvarint(b, r.Version)
+			if b, err = appendDocExact(b, r.Doc); err != nil {
+				return nil, err
+			}
 		}
 	}
+	b = appendUvarint(b, s.Epoch)
 	return b, nil
 }
 
@@ -390,7 +430,12 @@ func appendBackfillStart(b []byte, s *BackfillStart) ([]byte, error) {
 	b = appendString(b, s.BackfillID)
 	b = appendSvarint(b, s.TTLMillis)
 	b = appendSvarint(b, int64(s.Slack))
-	return appendSpec(b, &s.Query)
+	b, err := appendSpec(b, &s.Query)
+	if err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, s.Epoch)
+	return b, nil
 }
 
 //invalidb:hotpath
@@ -407,19 +452,65 @@ func appendBackfillChunk(b []byte, c *BackfillChunk) ([]byte, error) {
 	// JSON, so nil and empty stay distinct (0 = nil, n+1 = n entries).
 	if c.Entries == nil {
 		b = appendUvarint(b, 0)
-		return b, nil
-	}
-	b = appendUvarint(b, uint64(len(c.Entries))+1)
-	var err error
-	for i := range c.Entries {
-		e := &c.Entries[i]
-		b = appendString(b, e.Key)
-		b = appendUvarint(b, e.Version)
-		if b, err = appendDocExact(b, e.Doc); err != nil {
-			return nil, err
+	} else {
+		b = appendUvarint(b, uint64(len(c.Entries))+1)
+		var err error
+		for i := range c.Entries {
+			e := &c.Entries[i]
+			b = appendString(b, e.Key)
+			b = appendUvarint(b, e.Version)
+			if b, err = appendDocExact(b, e.Doc); err != nil {
+				return nil, err
+			}
 		}
 	}
+	b = appendUvarint(b, c.Epoch)
 	return b, nil
+}
+
+//invalidb:hotpath
+func appendPartitionMap(b []byte, m *PartitionMap) ([]byte, error) {
+	if err := m.validate(); err != nil {
+		// JSON parity: the decoders reject malformed maps, so the binary
+		// encoder must refuse to produce them.
+		return nil, errWireBadValue
+	}
+	b = appendUvarint(b, m.Epoch)
+	b = appendSvarint(b, int64(m.QueryPartitions))
+	b = appendSvarint(b, int64(m.WritePartitions))
+	b = appendUvarint(b, uint64(len(m.Rows)))
+	for i := range m.Rows {
+		b = appendString(b, m.Rows[i].Node)
+		b = appendSvarint(b, int64(m.Rows[i].Slot))
+	}
+	return b, nil
+}
+
+//invalidb:hotpath
+func appendNodeHello(b []byte, h *NodeHello) ([]byte, error) {
+	b = appendString(b, h.Node)
+	b = appendSvarint(b, int64(h.Slots))
+	b = appendSvarint(b, int64(h.MaxWritePartitions))
+	// Map is omitempty: one presence byte, then the map.
+	if h.Map == nil {
+		return append(b, 0), nil
+	}
+	return appendPartitionMap(append(b, 1), h.Map)
+}
+
+//invalidb:hotpath
+func appendResize(b []byte, r *ResizeRequest) ([]byte, error) {
+	var axis byte
+	switch r.Axis {
+	case ResizeAxisQP:
+		axis = 0
+	case ResizeAxisWP:
+		axis = 1
+	default:
+		// JSON parity: the JSON decoder rejects unknown axes.
+		return nil, errWireBadValue
+	}
+	return append(b, axis), nil
 }
 
 //invalidb:hotpath
@@ -906,6 +997,18 @@ func decodeBinaryEnvelope(data []byte) (*Envelope, error) {
 	case wireTagBackfillCert:
 		e.Kind = KindBackfillCert
 		e.BackfillCert, err = r.decodeBackfillCert()
+	case wireTagPartitionMap:
+		e.Kind = KindPartitionMap
+		e.Map, err = r.decodePartitionMap()
+	case wireTagNodeHello:
+		e.Kind = KindNodeHello
+		e.Hello, err = r.decodeNodeHello()
+	case wireTagResize:
+		e.Kind = KindResize
+		e.Resize, err = r.decodeResize()
+	case wireTagEpochAck:
+		e.Kind = KindEpochAck
+		e.EpochAck, err = r.decodeEpochAck()
 	default:
 		return nil, errWireBadKind
 	}
@@ -945,26 +1048,28 @@ func (r *wireReader) decodeSubscribe() (*SubscribeRequest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n == 0 {
-		return s, nil // nil bootstrap result
+	if n > 0 { // 0 = nil bootstrap result
+		n--
+		if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
+			return nil, errWireTruncated
+		}
+		//invalidb:allow hotpathalloc decoded bootstrap results are retained by the envelope
+		s.Result = make([]ResultEntry, n)
+		for i := range s.Result {
+			re := &s.Result[i]
+			if re.Key, err = r.str(); err != nil {
+				return nil, err
+			}
+			if re.Version, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			if re.Doc, err = r.docExact(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	n--
-	if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
-		return nil, errWireTruncated
-	}
-	//invalidb:allow hotpathalloc decoded bootstrap results are retained by the envelope
-	s.Result = make([]ResultEntry, n)
-	for i := range s.Result {
-		re := &s.Result[i]
-		if re.Key, err = r.str(); err != nil {
-			return nil, err
-		}
-		if re.Version, err = r.uvarint(); err != nil {
-			return nil, err
-		}
-		if re.Doc, err = r.docExact(); err != nil {
-			return nil, err
-		}
+	if s.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -1052,6 +1157,9 @@ func (r *wireReader) decodeCancel() (*CancelRequest, error) {
 	if c.QueryHash, err = r.fixed64(); err != nil {
 		return nil, err
 	}
+	if c.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -1070,6 +1178,9 @@ func (r *wireReader) decodeExtend() (*ExtendRequest, error) {
 		return nil, err
 	}
 	if x.TTLMillis, err = r.svarint(); err != nil {
+		return nil, err
+	}
+	if x.Epoch, err = r.uvarint(); err != nil {
 		return nil, err
 	}
 	return x, nil
@@ -1221,6 +1332,9 @@ func (r *wireReader) decodeBackfillStart() (*BackfillStart, error) {
 	if err = r.decodeSpec(&s.Query); err != nil {
 		return nil, err
 	}
+	if s.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -1259,28 +1373,138 @@ func (r *wireReader) decodeBackfillChunk() (*BackfillChunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n == 0 {
-		return c, nil // nil entries
+	if n > 0 { // 0 = nil entries
+		n--
+		if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
+			return nil, errWireTruncated
+		}
+		//invalidb:allow hotpathalloc decoded chunk entries are retained by the envelope
+		c.Entries = make([]ResultEntry, n)
+		for i := range c.Entries {
+			e := &c.Entries[i]
+			if e.Key, err = r.str(); err != nil {
+				return nil, err
+			}
+			if e.Version, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			if e.Doc, err = r.docExact(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	n--
-	if n > uint64(len(r.b))/3 { // key len + version + doc tag per entry
-		return nil, errWireTruncated
-	}
-	//invalidb:allow hotpathalloc decoded chunk entries are retained by the envelope
-	c.Entries = make([]ResultEntry, n)
-	for i := range c.Entries {
-		e := &c.Entries[i]
-		if e.Key, err = r.str(); err != nil {
-			return nil, err
-		}
-		if e.Version, err = r.uvarint(); err != nil {
-			return nil, err
-		}
-		if e.Doc, err = r.docExact(); err != nil {
-			return nil, err
-		}
+	if c.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodePartitionMap() (*PartitionMap, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	m := new(PartitionMap)
+	var err error
+	if m.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	qp, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	m.QueryPartitions = int(qp)
+	wp, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	m.WritePartitions = int(wp)
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) { // every row is at least two bytes
+		return nil, errWireTruncated
+	}
+	if n > 0 {
+		//invalidb:allow hotpathalloc decoded row assignments are retained by the envelope
+		m.Rows = make([]RowAssignment, n)
+		for i := range m.Rows {
+			if m.Rows[i].Node, err = r.str(); err != nil {
+				return nil, err
+			}
+			slot, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Rows[i].Slot = int(slot)
+		}
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeNodeHello() (*NodeHello, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	h := new(NodeHello)
+	var err error
+	if h.Node, err = r.str(); err != nil {
+		return nil, err
+	}
+	slots, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	h.Slots = int(slots)
+	maxWP, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	h.MaxWritePartitions = int(maxWP)
+	present, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	if present {
+		if h.Map, err = r.decodePartitionMap(); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeResize() (*ResizeRequest, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	rr := new(ResizeRequest)
+	axis, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch axis {
+	case 0:
+		rr.Axis = ResizeAxisQP
+	case 1:
+		rr.Axis = ResizeAxisWP
+	default:
+		return nil, errWireBadValue
+	}
+	return rr, nil
+}
+
+//invalidb:hotpath
+func (r *wireReader) decodeEpochAck() (*EpochAck, error) {
+	//invalidb:allow hotpathalloc decoded envelope payload escapes to the caller
+	a := new(EpochAck)
+	var err error
+	if a.Node, err = r.str(); err != nil {
+		return nil, err
+	}
+	if a.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 //invalidb:hotpath

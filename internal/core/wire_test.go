@@ -109,6 +109,46 @@ func wireTestEnvelopes() []*Envelope {
 			Tenant: "t1", SubscriptionID: "sub-7", BackfillID: "bf-7.1",
 			QueryID: "q00000000deadbeef", Chunk: -1, Cells: 2, Status: BackfillStatusRestart,
 		}},
+		// Control-plane kinds (DESIGN.md §13) and epoch-stamped variants of
+		// the control messages the coordinator protocol re-routes.
+		{Kind: KindPartitionMap, Map: &PartitionMap{
+			Epoch: 7, QueryPartitions: 3, WritePartitions: 2,
+			Rows: []RowAssignment{{Node: "a", Slot: 0}, {Node: "b", Slot: 0}, {Node: "a", Slot: 1}},
+		}},
+		{Kind: KindPartitionMap, Map: func() *PartitionMap {
+			m := IdentityMap(1, 1)
+			m.Epoch = 1
+			return m
+		}()},
+		{Kind: KindNodeHello, Hello: &NodeHello{Node: "a", Slots: 2, MaxWritePartitions: 3}},
+		{Kind: KindNodeHello, Hello: &NodeHello{
+			Node: "b", Slots: 1, MaxWritePartitions: 2,
+			Map: &PartitionMap{
+				Epoch: 9, QueryPartitions: 2, WritePartitions: 2,
+				Rows: []RowAssignment{{Node: "b", Slot: 0}, {Slot: 1}},
+			},
+		}},
+		{Kind: KindResize, Resize: &ResizeRequest{Axis: ResizeAxisQP}},
+		{Kind: KindResize, Resize: &ResizeRequest{Axis: ResizeAxisWP}},
+		{Kind: KindEpochAck, EpochAck: &EpochAck{Node: "a", Epoch: 7}},
+		{Kind: KindSubscribe, Subscribe: &SubscribeRequest{
+			Tenant: "t1", SubscriptionID: "sub-9", Epoch: 7,
+			Query: query.Spec{Collection: "orders"},
+		}},
+		{Kind: KindCancel, Cancel: &CancelRequest{
+			Tenant: "t1", SubscriptionID: "sub-9", QueryHash: 0xDEADBEEFCAFE1234, Epoch: 6,
+		}},
+		{Kind: KindExtend, Extend: &ExtendRequest{
+			Tenant: "t1", SubscriptionID: "sub-9", QueryHash: 0xDEADBEEFCAFE1234, TTLMillis: 30000, Epoch: 7,
+		}},
+		{Kind: KindBackfillStart, BackfillStart: &BackfillStart{
+			Tenant: "t1", SubscriptionID: "sub-9", BackfillID: "bf-9.1", Epoch: 7,
+			Query: query.Spec{Collection: "orders"},
+		}},
+		{Kind: KindBackfillChunk, BackfillChunk: &BackfillChunk{
+			Tenant: "t1", SubscriptionID: "sub-9", BackfillID: "bf-9.1",
+			QueryHash: 2, Chunk: 1, Low: 5, High: 8, Epoch: 7,
+		}},
 	}
 }
 

@@ -52,6 +52,17 @@ func matchPattern(pattern, topic string) bool {
 	return pattern == topic
 }
 
+// RetainedTopic reports whether a topic is retained: the broker keeps the
+// last payload published on it and delivers that payload to every later
+// subscriber whose patterns match. Retention is reserved for control-plane
+// topics (the ".control" suffix, e.g. the coordinator's partition-map
+// topic): a process that starts after the coordinator published the current
+// map must still converge without waiting for a re-publication. Data topics
+// stay fire-and-forget.
+func RetainedTopic(topic string) bool {
+	return strings.HasSuffix(topic, ".control")
+}
+
 // MemBusOptions tunes the in-process bus.
 type MemBusOptions struct {
 	// BufferSize is the per-subscriber queue capacity. Zero selects 4096.
@@ -67,6 +78,11 @@ type MemBus struct {
 	subs   map[*memSub]struct{}
 	closed bool
 	buf    int
+
+	// retained holds the last payload of every retained topic (see
+	// RetainedTopic), replayed to later subscribers at Subscribe time.
+	retMu    sync.Mutex
+	retained map[string][]byte
 }
 
 // NewMemBus creates an in-process bus.
@@ -74,7 +90,7 @@ func NewMemBus(opts MemBusOptions) *MemBus {
 	if opts.BufferSize <= 0 {
 		opts.BufferSize = 4096
 	}
-	return &MemBus{subs: map[*memSub]struct{}{}, buf: opts.BufferSize}
+	return &MemBus{subs: map[*memSub]struct{}{}, buf: opts.BufferSize, retained: map[string][]byte{}}
 }
 
 // ErrBusClosed is returned by operations on a closed bus.
@@ -86,6 +102,11 @@ func (b *MemBus) Publish(topic string, payload []byte) error {
 	if b.closed {
 		b.mu.RUnlock()
 		return ErrBusClosed
+	}
+	if RetainedTopic(topic) {
+		b.retMu.Lock()
+		b.retained[topic] = append([]byte(nil), payload...)
+		b.retMu.Unlock()
 	}
 	msg := Message{Topic: topic, Payload: payload}
 	for s := range b.subs {
@@ -113,6 +134,15 @@ func (b *MemBus) Subscribe(patterns ...string) (Subscription, error) {
 		ch:       make(chan Message, b.buf),
 	}
 	b.subs[s] = struct{}{}
+	// Replay retained control-plane payloads the new subscriber matches, so
+	// a late joiner sees the coordinator's current state immediately.
+	b.retMu.Lock()
+	for topic, payload := range b.retained {
+		if s.matches(topic) {
+			s.deliver(Message{Topic: topic, Payload: payload})
+		}
+	}
+	b.retMu.Unlock()
 	return s, nil
 }
 

@@ -249,3 +249,58 @@ func TestMatchPattern(t *testing.T) {
 		}
 	}
 }
+
+// Retained control-plane topics: the last payload published on a ".control"
+// topic is delivered to later subscribers at Subscribe time, so a process
+// that joins after the coordinator published the current partition map still
+// converges immediately. Data topics stay fire-and-forget.
+func TestMemBusRetainsControlTopics(t *testing.T) {
+	b := NewMemBus(MemBusOptions{})
+	defer b.Close()
+	if err := b.Publish("invalidb.control", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("invalidb.control", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("invalidb.writes", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe("invalidb.control", "invalidb.writes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub.C():
+		if m.Topic != "invalidb.control" || string(m.Payload) != "v2" {
+			t.Fatalf("retained delivery = %s %q, want last control payload", m.Topic, m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("retained control payload not delivered on subscribe")
+	}
+	select {
+	case m := <-sub.C():
+		t.Fatalf("unexpected second retained delivery: %s %q (data topics must not be retained)", m.Topic, m.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMemBusRetainedMatchesWildcard(t *testing.T) {
+	b := NewMemBus(MemBusOptions{})
+	defer b.Close()
+	if err := b.Publish("ns.control", []byte("map")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe("ns.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub.C():
+		if string(m.Payload) != "map" {
+			t.Fatalf("retained payload = %q", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("retained payload not delivered to wildcard subscriber")
+	}
+}

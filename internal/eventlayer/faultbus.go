@@ -57,9 +57,9 @@ type FaultBus struct {
 	rng         *rand.Rand
 	partitions  []string
 	held        *heldMessage
+	delayed     map[*delayedMessage]struct{}
 	closed      bool
 	stats       FaultStats
-	delays      sync.WaitGroup
 	holdTimeout time.Duration
 }
 
@@ -69,9 +69,19 @@ type heldMessage struct {
 	timer   *time.Timer
 }
 
+// delayedMessage is a publish parked on its own timer. Tracking the set of
+// outstanding delays lets Close flush them immediately instead of waiting
+// out the longest injected delay, and keeps the delivery path free of
+// sleeps: a long delay on one topic cannot serialize anything behind it.
+type delayedMessage struct {
+	topic   string
+	payload []byte
+	timer   *time.Timer
+}
+
 // NewFaultBus wraps inner with fault injection governed by cfg.
 func NewFaultBus(inner Bus, cfg FaultConfig) *FaultBus {
-	fb := &FaultBus{inner: inner}
+	fb := &FaultBus{inner: inner, delayed: make(map[*delayedMessage]struct{})}
 	fb.applyConfigLocked(cfg)
 	return fb
 }
@@ -219,18 +229,10 @@ func (fb *FaultBus) Publish(topic string, payload []byte) error {
 	}
 
 	if delay > 0 {
-		fb.delays.Add(1)
+		d := &delayedMessage{topic: topic, payload: payload}
+		fb.delayed[d] = struct{}{}
+		d.timer = time.AfterFunc(delay, func() { fb.deliverDelayed(d) })
 		fb.mu.Unlock()
-		go func() {
-			defer fb.delays.Done()
-			time.Sleep(delay)
-			fb.mu.Lock()
-			dead := fb.closed
-			fb.mu.Unlock()
-			if !dead {
-				fb.inner.Publish(topic, payload)
-			}
-		}()
 		if flush != nil {
 			fb.inner.Publish(flush.topic, flush.payload)
 		}
@@ -248,6 +250,19 @@ func (fb *FaultBus) Publish(topic string, payload []byte) error {
 		fb.inner.Publish(flush.topic, flush.payload)
 	}
 	return err
+}
+
+// deliverDelayed is the timer path for an injected delay: deliver d unless
+// Close already flushed it (it is gone from the tracking set).
+func (fb *FaultBus) deliverDelayed(d *delayedMessage) {
+	fb.mu.Lock()
+	if _, ok := fb.delayed[d]; !ok {
+		fb.mu.Unlock()
+		return
+	}
+	delete(fb.delayed, d)
+	fb.mu.Unlock()
+	fb.inner.Publish(d.topic, d.payload)
 }
 
 // flushHeld is the safety-timer path: if the held message is still h (no
@@ -277,8 +292,9 @@ func (fb *FaultBus) Subscribe(patterns ...string) (Subscription, error) {
 }
 
 // Close implements Bus. Any message held for reordering is flushed (not
-// lost), in-flight delayed deliveries are waited out, then the wrapped bus
-// is closed.
+// lost), pending delayed deliveries are flushed immediately rather than
+// waited out, then the wrapped bus is closed. Close therefore returns
+// promptly even when MaxDelay is large.
 func (fb *FaultBus) Close() error {
 	fb.mu.Lock()
 	if fb.closed {
@@ -287,10 +303,18 @@ func (fb *FaultBus) Close() error {
 	}
 	fb.closed = true
 	flush := fb.takeHeldLocked()
+	pending := make([]*delayedMessage, 0, len(fb.delayed))
+	for d := range fb.delayed {
+		d.timer.Stop()
+		pending = append(pending, d)
+	}
+	fb.delayed = make(map[*delayedMessage]struct{})
 	fb.mu.Unlock()
 	if flush != nil {
 		fb.inner.Publish(flush.topic, flush.payload)
 	}
-	fb.delays.Wait()
+	for _, d := range pending {
+		fb.inner.Publish(d.topic, d.payload)
+	}
 	return fb.inner.Close()
 }

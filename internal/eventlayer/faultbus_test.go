@@ -101,6 +101,59 @@ func TestFaultBusDelayDelivers(t *testing.T) {
 	}
 }
 
+// TestFaultBusDelayDoesNotSerialize: with delays parked on timers instead
+// of slept in the delivery path, a long injected delay on one topic must
+// not hold up a fault-free publish issued right after it, and the delayed
+// message still arrives with ordering stats intact.
+func TestFaultBusDelayDoesNotSerialize(t *testing.T) {
+	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{
+		Seed: 5, DelayRate: 1, MaxDelay: 300 * time.Millisecond, Topics: []string{"slow"},
+	})
+	defer fb.Close()
+	slow, _ := fb.Subscribe("slow")
+	fast, _ := fb.Subscribe("fast")
+	start := time.Now()
+	fb.Publish("slow", []byte("late"))
+	fb.Publish("fast", []byte("prompt"))
+	got := collectPayloads(t, fast, 1, time.Second)
+	if len(got) != 1 || got[0] != "prompt" {
+		t.Fatalf("fault-free topic delivery failed: got %v", got)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("publish behind an injected delay took %v — delay is serializing unrelated topics", elapsed)
+	}
+	if got := collectPayloads(t, slow, 1, time.Second); len(got) != 1 || got[0] != "late" {
+		t.Fatalf("delayed message lost: got %v", got)
+	}
+	if s := fb.Stats(); s.Delayed != 1 || s.Dropped != 0 || s.Reordered != 0 || s.Duplicated != 0 {
+		t.Fatalf("stats misattributed the fault: %+v", s)
+	}
+}
+
+// TestFaultBusCloseFlushesDelayed: Close must not wait out outstanding
+// injected delays; it flushes them immediately so no message is lost and
+// shutdown stays prompt even with a large MaxDelay.
+func TestFaultBusCloseFlushesDelayed(t *testing.T) {
+	inner := NewMemBus(MemBusOptions{})
+	fb := NewFaultBus(inner, FaultConfig{Seed: 5, DelayRate: 1, MaxDelay: 5 * time.Second})
+	sub, _ := inner.Subscribe("a")
+	fb.Publish("a", []byte("parked"))
+	start := time.Now()
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Close waited %v on an injected delay, want immediate flush", elapsed)
+	}
+	got := collectPayloads(t, sub, 1, time.Second)
+	if len(got) != 1 || got[0] != "parked" {
+		t.Fatalf("Close dropped the delayed message: got %v", got)
+	}
+	if s := fb.Stats(); s.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", s.Delayed)
+	}
+}
+
 func TestFaultBusReorderSwapsThenFlushes(t *testing.T) {
 	fb := NewFaultBus(NewMemBus(MemBusOptions{}), FaultConfig{Seed: 9, ReorderRate: 1, MaxDelay: 50 * time.Millisecond})
 	defer fb.Close()

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"invalidb/internal/eventlayer"
 	"invalidb/internal/metrics"
 )
 
@@ -33,6 +34,14 @@ type Server struct {
 	closed     atomic.Bool
 	wg         sync.WaitGroup
 
+	// retained holds the last payload of every retained control-plane topic
+	// (eventlayer.RetainedTopic: the ".control" suffix). It is replayed to
+	// sessions that subscribe with a matching pattern later, so a process
+	// joining after the coordinator published the current partition map
+	// still converges without waiting for a re-publication.
+	retMu    sync.Mutex
+	retained map[string][]byte
+
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -52,7 +61,7 @@ func Serve(addr string, opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, opts: opts, session: map[*session]struct{}{}}
+	s := &Server{ln: ln, opts: opts, session: map[*session]struct{}{}, retained: map[string][]byte{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -223,6 +232,7 @@ func (sess *session) readLoop() {
 				sess.patterns[p]++
 			}
 			sess.mu.Unlock()
+			sess.srv.replayRetained(sess, f.patterns)
 		case opUnsubscribe:
 			sess.mu.Lock()
 			for _, p := range f.patterns {
@@ -293,6 +303,11 @@ func (sess *session) enqueue(f frame) {
 // route fans a published message out to all matching sessions.
 func (s *Server) route(f frame) {
 	s.published.Add(1)
+	if eventlayer.RetainedTopic(f.topic) {
+		s.retMu.Lock()
+		s.retained[f.topic] = append([]byte(nil), f.payload...)
+		s.retMu.Unlock()
+	}
 	msg := frame{op: opMessage, topic: f.topic, payload: f.payload}
 	s.mu.RLock()
 	for sess := range s.session {
@@ -302,6 +317,22 @@ func (s *Server) route(f frame) {
 		}
 	}
 	s.mu.RUnlock()
+}
+
+// replayRetained delivers the retained payload of every control-plane topic
+// matching the freshly subscribed patterns to that session only.
+func (s *Server) replayRetained(sess *session, patterns []string) {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	for topic, payload := range s.retained {
+		for _, p := range patterns {
+			if matchPattern(p, topic) {
+				sess.enqueue(frame{op: opMessage, topic: topic, payload: payload})
+				s.delivered.Add(1)
+				break
+			}
+		}
+	}
 }
 
 // matchPattern mirrors eventlayer.matchPattern: literal match or '*' suffix

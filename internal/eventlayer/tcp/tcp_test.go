@@ -391,3 +391,42 @@ func TestSlowConsumerPerSessionDrops(t *testing.T) {
 		t.Fatalf("sessions gauge = %v", snap.Gauges["eventlayer.sessions"])
 	}
 }
+
+// TestBrokerRetainsControlTopics: the broker keeps the last payload of a
+// ".control" topic and replays it to sessions that subscribe afterwards —
+// the late-joiner path a multi-process grid relies on for partition-map
+// convergence.
+func TestBrokerRetainsControlTopics(t *testing.T) {
+	srv := newBroker(t)
+	pub := newClient(t, srv)
+	if err := pub.Publish("grid.control", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("grid.control", []byte("current")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("grid.writes", []byte("w1")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the broker time to process the publishes before the late join.
+	time.Sleep(50 * time.Millisecond)
+	late := newClient(t, srv)
+	sub, err := late.Subscribe("grid.control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, sub)
+	if m.Topic != "grid.control" || string(m.Payload) != "current" {
+		t.Fatalf("late subscriber got %s %q, want retained control payload", m.Topic, m.Payload)
+	}
+	// Data topics are not retained: a late subscription to them stays empty.
+	dataSub, err := late.Subscribe("grid.writes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-dataSub.C():
+		t.Fatalf("data topic replayed %q — only .control topics are retained", m.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,84 @@
+// Package ratelimit provides the token-bucket limiter shared by the
+// matching nodes (the per-node match-operation budget simulating the
+// paper's per-node CPU cap) and the application server (the Quaestor write
+// ceiling). The two components used to carry private copies of this code
+// that drifted apart — different locking, different burst policy — so the
+// same configured rate metered differently depending on which side held
+// it. One implementation now serves both.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultBurstFraction sizes the burst when the caller does not: 5% of the
+// rate, i.e. 50ms of headroom, absorbs scheduler jitter without letting a
+// bursty caller overdraw its long-run budget.
+const DefaultBurstFraction = 0.05
+
+// Bucket is a blocking, concurrency-safe token bucket. Tokens accrue at a
+// fixed rate up to the burst ceiling; Take removes tokens and sleeps off
+// any deficit. The balance is allowed to go negative and carries across
+// calls, so long-run admission is exactly the configured rate regardless
+// of call granularity — the property the drift regression test pins down.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// New creates a bucket admitting rate tokens per second. A non-positive
+// burst selects rate*DefaultBurstFraction.
+func New(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = rate * DefaultBurstFraction
+	}
+	// Start full: the burst is headroom the caller is entitled to from the
+	// first Take, not an allowance that must first accrue.
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Rate returns the configured admission rate in tokens per second.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// Burst returns the effective burst ceiling in tokens.
+func (b *Bucket) Burst() float64 { return b.burst }
+
+// Take removes n tokens, blocking until the balance owed has accrued. The
+// wait is computed under the lock but slept outside it, so concurrent
+// callers serialize only on the balance update, not on each other's
+// sleeps; the deficit one caller sleeps off is visible to the next caller
+// through the shared balance.
+func (b *Bucket) Take(n float64) {
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.tokens -= n
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+		// Credit the actual time slept, not the requested wait: Go sleeps
+		// always overshoot, and discarding the overshoot (resetting the
+		// balance to zero) is exactly the drift that let the old private
+		// copies fall below their configured rate.
+		b.mu.Lock()
+		now = time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.mu.Unlock()
+	}
+}

@@ -1,0 +1,140 @@
+package ratelimit
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// admitted runs Take(cost) in a loop for the window and returns how many
+// tokens were admitted.
+func admitted(b *Bucket, cost float64, window time.Duration) float64 {
+	deadline := time.Now().Add(window)
+	total := 0.0
+	for time.Now().Before(deadline) {
+		b.Take(cost)
+		total += cost
+	}
+	return total
+}
+
+// TestMetersConfiguredRate: long-run admission tracks the configured rate
+// regardless of burst headroom.
+func TestMetersConfiguredRate(t *testing.T) {
+	const rate = 4000.0
+	window := 500 * time.Millisecond
+	b := New(rate, 0)
+	got := admitted(b, 1, window)
+	want := rate * window.Seconds()
+	// Allow the burst plus 20% scheduling slop.
+	if got < want*0.7 || got > want*1.2+b.Burst() {
+		t.Fatalf("admitted %.0f tokens in %v at rate %.0f, want ~%.0f", got, window, rate, want)
+	}
+}
+
+// TestDriftAcrossCallGranularity is the regression test for the historical
+// two-copy drift: the matching nodes take large batched costs while the
+// application server takes cost 1 per write, and the two private bucket
+// implementations metered those patterns differently under the same
+// configured rate. With the shared implementation, admission must agree
+// across call granularities to within the burst allowance.
+func TestDriftAcrossCallGranularity(t *testing.T) {
+	const rate = 5000.0
+	window := 400 * time.Millisecond
+	fine := admitted(New(rate, 0), 1, window)
+	coarse := admitted(New(rate, 0), 50, window)
+	diff := math.Abs(fine - coarse)
+	// Each run can overshoot by at most one burst plus one cost quantum;
+	// double that bounds the divergence between the two patterns.
+	tol := 2*(rate*DefaultBurstFraction+50) + 0.2*rate*window.Seconds()
+	if diff > tol {
+		t.Fatalf("call-granularity drift: fine=%.0f coarse=%.0f (diff %.0f > tol %.0f)", fine, coarse, diff, tol)
+	}
+}
+
+// TestConfigurableBurst: an explicit burst is honored — that many tokens
+// are admitted instantly — and the default derives from the rate.
+func TestConfigurableBurst(t *testing.T) {
+	b := New(1000, 300)
+	if got := b.Burst(); got != 300 {
+		t.Fatalf("explicit burst = %v, want 300", got)
+	}
+	if def := New(1000, 0).Burst(); def != 1000*DefaultBurstFraction {
+		t.Fatalf("default burst = %v, want %v", def, 1000*DefaultBurstFraction)
+	}
+	// The full burst must be admitted without measurable blocking.
+	start := time.Now()
+	b.Take(300)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("taking the burst blocked for %v", elapsed)
+	}
+	// The next take must owe the deficit: at 1000/s, 300 tokens is 300ms.
+	start = time.Now()
+	b.Take(300)
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("post-burst take slept only %v, want a rate-paced wait", elapsed)
+	}
+}
+
+// TestCreditsSleepOvershoot pins the drift fix in Take: a sleep that
+// overshoots its deadline (Go sleeps never return early, and in practice
+// always overshoot by microseconds or more) must credit the tokens accrued
+// while sleeping rather than resetting the balance to zero.
+func TestCreditsSleepOvershoot(t *testing.T) {
+	b := New(1e6, 0) // 1 token per microsecond
+	b.mu.Lock()
+	b.tokens = 0
+	b.last = time.Now()
+	b.mu.Unlock()
+	start := time.Now()
+	b.Take(5000) // 5ms deficit forces a sleep
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("bucket did not throttle: took %v for a 5ms deficit", elapsed)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens <= 0 {
+		t.Fatalf("sleep overshoot discarded: tokens = %v, want > 0", b.tokens)
+	}
+	if b.tokens > b.burst {
+		t.Fatalf("credit exceeds burst: tokens = %v, burst = %v", b.tokens, b.burst)
+	}
+}
+
+// TestSustainedRate bounds the delivered rate from both sides with generous
+// tolerances: the bucket must block (budget enforced) yet not fall far
+// below its configured rate (the drift bug's symptom).
+func TestSustainedRate(t *testing.T) {
+	const rate = 20000.0
+	b := New(rate, 0)
+	b.mu.Lock()
+	b.tokens = 0 // no free initial burst
+	b.last = time.Now()
+	b.mu.Unlock()
+	start := time.Now()
+	for taken := 0.0; taken < 4000; taken += 100 {
+		b.Take(100) // 4000 tokens at 20k/s: ideal 200ms
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("bucket delivered 4000 tokens in %v, budget not enforced", elapsed)
+	}
+	if elapsed > 600*time.Millisecond {
+		t.Fatalf("bucket needed %v for a 200ms budget: drifting below rate", elapsed)
+	}
+}
+
+// TestNegativeBalanceCarries: a huge take is paid off by subsequent calls
+// rather than forgotten, so bursts borrow from future capacity instead of
+// exceeding the budget.
+func TestNegativeBalanceCarries(t *testing.T) {
+	const rate = 2000.0
+	b := New(rate, 1)
+	start := time.Now()
+	b.Take(200) // owes ~100ms
+	b.Take(200) // owes another ~100ms
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("two overdrawing takes finished in %v, want >=150ms of metering", elapsed)
+	}
+}

@@ -192,7 +192,7 @@ func (t *Topology) Start() error {
 			continue
 		}
 		for _, tk := range comp.tasks {
-			if err := tk.bolt.Prepare(&BoltContext{TaskID: tk.id}, &taskCollector{task: tk}); err != nil {
+			if err := tk.bolt.Prepare(&BoltContext{TaskID: tk.id, Meta: taskMetaFor(comp.def, tk.id)}, &taskCollector{task: tk}); err != nil {
 				return fmt.Errorf("topology: prepare %s[%d]: %w", id, tk.id, err)
 			}
 			t.wg.Add(1)
@@ -548,7 +548,7 @@ func (tk *task) boltLoop(wg *sync.WaitGroup) {
 		tk.incarnation++
 		safeCleanupBolt(tk.bolt)
 		fresh := tk.comp.def.bolt()
-		err := fresh.Prepare(&BoltContext{TaskID: tk.id, Incarnation: tk.incarnation}, &taskCollector{task: tk})
+		err := fresh.Prepare(&BoltContext{TaskID: tk.id, Incarnation: tk.incarnation, Meta: taskMetaFor(tk.comp.def, tk.id)}, &taskCollector{task: tk})
 		if err != nil {
 			tk.dead.Store(true)
 			tk.drainDead()
@@ -557,6 +557,17 @@ func (tk *task) boltLoop(wg *sync.WaitGroup) {
 		tk.bolt = fresh
 		tk.notifyRestart()
 	}
+}
+
+// taskMetaFor resolves a component's per-task placement metadata (nil when
+// the component declared no TaskMeta hook). Called at every bolt Prepare —
+// initial start and supervisor restarts alike — so replacements see the
+// same metadata as the instance they replace.
+func taskMetaFor(def *componentDef, taskID int) any {
+	if def.taskMeta == nil {
+		return nil
+	}
+	return def.taskMeta(taskID)
 }
 
 // runBolt is one supervised run of the bolt consume loop. Bolts

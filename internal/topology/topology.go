@@ -93,6 +93,12 @@ type BoltContext struct {
 	// downstream consumers can tell a restarted instance's fresh state
 	// (e.g. reset sequence counters) from stale duplicates.
 	Incarnation int
+	// Meta carries the component's per-task placement metadata, produced
+	// by the TaskMeta declaration hook (nil when none was declared). It is
+	// stable across supervisor restarts: a replacement instance receives
+	// the same Meta as the original, so state derived from it (e.g. a
+	// matching bolt's grid-cell coordinates) survives recovery.
+	Meta any
 }
 
 // Collector lets a bolt emit and acknowledge tuples.
@@ -168,6 +174,7 @@ type componentDef struct {
 	outputs     map[string][]string // stream -> declared fields
 	spout       func() Spout
 	bolt        func() Bolt
+	taskMeta    func(taskID int) any
 	subs        []subscription
 }
 
@@ -228,6 +235,17 @@ func (b *Builder) SetBolt(id string, factory func() Bolt, parallelism int, outpu
 	}
 	b.add(def)
 	return &BoltDecl{b: b, def: def}
+}
+
+// TaskMeta declares a placement-metadata hook for the bolt: fn is invoked
+// once per task at prepare time (and again for each supervisor restart,
+// with the same task id) and its result is delivered via BoltContext.Meta.
+// It lets the topology owner hand each task its position in an external
+// scheme — e.g. a matching bolt's grid-cell coordinates — without the bolt
+// reverse-engineering them from TaskID.
+func (d *BoltDecl) TaskMeta(fn func(taskID int) any) *BoltDecl {
+	d.def.taskMeta = fn
+	return d
 }
 
 // DeclareStream declares an additional named output stream with its fields,
