@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke resize-smoke check
 
-all: check
+all: check lint
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,10 @@ staticcheck:
 	fi
 
 # InvaliDB's own analyzer suite (internal/analysis): hot-path allocation,
-# lock-discipline, metric-key, pooled-lifecycle, coarse-clock and directive
-# checks over the whole module. See DESIGN.md §9.
+# lock-discipline, metric-key, pooled-lifecycle, coarse-clock, wire-kind,
+# epoch-capture, goroutine-leak and directive checks over the whole module,
+# interprocedurally (DESIGN.md §9). Its own CI job (and deliberately not
+# part of `check`, so the two run in parallel there); `make all` runs both.
 lint:
 	$(GO) run ./cmd/invalidb-vet ./...
 
@@ -74,8 +76,10 @@ obs-smoke:
 # Resize smoke: boot the real multi-process deployment (broker + two grid
 # server processes + coordinator), perform a live QP resize under write load
 # via the one-shot CLI, and assert zero dropped or duplicated notifications
-# (DESIGN.md §13). Gated behind RESIZE_SMOKE so `go test ./...` stays fast.
+# (DESIGN.md §13). Runs under the race detector: the resize path crosses
+# every concurrency boundary in the system. Gated behind RESIZE_SMOKE so
+# `go test ./...` stays fast.
 resize-smoke:
-	RESIZE_SMOKE=1 $(GO) test ./internal/smoke -run TestResizeSmoke -count=1 -v
+	RESIZE_SMOKE=1 $(GO) test -race ./internal/smoke -run TestResizeSmoke -count=1 -v
 
-check: vet staticcheck lint build race bench-smoke
+check: vet staticcheck build race bench-smoke

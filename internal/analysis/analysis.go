@@ -34,8 +34,24 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run performs the check over a single package.
-	Run func(*Pass) error
+	// Requires lists analyzers whose results this one consumes. The
+	// driver runs them first (same package) and exposes their results
+	// through Pass.ResultOf, mirroring x/tools' Requires mechanism.
+	Requires []*Analyzer
+	// Run performs the check over a single package. Its return value (the
+	// second result) becomes the entry in dependents' Pass.ResultOf.
+	Run func(*Pass) (any, error)
+}
+
+// Fact is a piece of analysis knowledge attached to a package-level
+// object and shared across packages, mirroring x/tools' analysis.Fact.
+// Facts exported while analyzing a package are visible to later passes
+// over packages that import it (the driver analyzes packages in
+// dependency order), keyed by the object's package path and a stable
+// in-package object path — not object identity, because each
+// type-checked target holds its own view of its imports.
+type Fact interface {
+	AFact()
 }
 
 // Pass is the interface between the driver and one analyzer run over one
@@ -46,9 +62,39 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	PkgPath   string
+	Dir       string
 	TypesInfo *types.Info
 
+	// ResultOf holds the results of the analyzers named in
+	// Analyzer.Requires for this package.
+	ResultOf map[*Analyzer]any
+
 	diagnostics *[]Diagnostic
+	allowed     map[allowKey]bool
+	facts       *factStore
+}
+
+// Allowed reports whether an //invalidb:allow directive for the named
+// analyzer covers the source line at pos. Analyzers that summarize code
+// for other packages (function summaries) consult this so a documented
+// exception does not propagate to call sites.
+func (p *Pass) Allowed(analyzer string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.allowed[allowKey{position.Filename, position.Line, analyzer}]
+}
+
+// ExportObjectFact associates fact with obj, a package-level object of
+// the package under analysis, making it visible to passes over importing
+// packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.export(obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type previously
+// exported for obj (possibly by a pass over another package) into fact,
+// reporting whether one existed. fact must be a pointer.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.lookup(obj, fact)
 }
 
 // Diagnostic is one reported finding.

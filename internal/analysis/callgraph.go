@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the package-local static call graph the interprocedural
+// analyzers walk. Nodes are the functions and methods declared in the
+// package under analysis; edges are syntactically static call sites — a
+// direct call of a package-level function or a method call whose receiver
+// type is concrete. Dynamic dispatch (interface method calls, calls of
+// function values) produces no edge: those flows are covered by the
+// cross-package function summaries where the target resolves statically,
+// and are otherwise out of scope for this suite, exactly as in x/tools'
+// static call graph.
+
+// CallSite is one static call inside a declared function.
+type CallSite struct {
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Callee is the statically resolved target. It may be declared in
+	// this package (then CallGraph.Decls has its body) or in an imported
+	// one (then cross-package facts may describe it).
+	Callee *types.Func
+	// InLiteral marks sites that do not run in the declaring function's
+	// execution context: calls lexically inside a nested function literal,
+	// and the spawned call of a go statement. The lock-discipline
+	// propagation skips them — a goroutine or callback blocking does not
+	// stall the caller's locks — while the allocation propagation keeps
+	// them (the closure, its captures, or the new goroutine are allocated
+	// either way).
+	InLiteral bool
+}
+
+// CallGraph is the per-package call graph: every declared function with
+// its body and its statically resolved call sites.
+type CallGraph struct {
+	// Decls maps each function object declared in this package to its
+	// declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls lists the static call sites inside each declared function
+	// (including sites inside nested function literals, marked InLiteral).
+	Calls map[*types.Func][]CallSite
+}
+
+// CallGraphAnalyzer builds the package call graph. It reports nothing
+// itself; the interprocedural analyzers consume its result through
+// Pass.ResultOf.
+var CallGraphAnalyzer = &Analyzer{
+	Name: "callgraph",
+	Doc:  "build the package-local static call graph (internal requirement)",
+	Run:  buildCallGraph,
+}
+
+func buildCallGraph(pass *Pass) (any, error) {
+	cg := &CallGraph{
+		Decls: map[*types.Func]*ast.FuncDecl{},
+		Calls: map[*types.Func][]CallSite{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Decls[obj] = fn
+			// The spawned call of a go statement executes on the new
+			// goroutine, not in fn's context.
+			goCalls := map[*ast.CallExpr]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					goCalls[g.Call] = true
+				}
+				return true
+			})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					// Everything under a literal is its execution context:
+					// collect those sites with InLiteral set and prune the
+					// outer walk so nothing is recorded twice.
+					ast.Inspect(x.Body, func(m ast.Node) bool {
+						if call, ok := m.(*ast.CallExpr); ok {
+							if callee := StaticCallee(pass.TypesInfo, call); callee != nil {
+								cg.Calls[obj] = append(cg.Calls[obj], CallSite{Call: call, Callee: callee, InLiteral: true})
+							}
+						}
+						return true
+					})
+					return false
+				case *ast.CallExpr:
+					if callee := StaticCallee(pass.TypesInfo, x); callee != nil {
+						cg.Calls[obj] = append(cg.Calls[obj], CallSite{Call: x, Callee: callee, InLiteral: goCalls[x]})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return cg, nil
+}
+
+// StaticCallee resolves a call expression to its target function when the
+// target is syntactically fixed: a package-level function (possibly
+// imported) or a method on a concrete receiver type. Interface method
+// calls, calls of function-typed values, conversions and builtin calls
+// resolve to nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Interface); ok {
+			return nil // dynamic dispatch
+		}
+	}
+	return fn
+}

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 )
 
 // coarseClockPackages are the packages where the coarse tick clock exists
@@ -16,14 +18,34 @@ var coarseClockPackages = map[string]bool{
 }
 
 // CoarseClock forbids time.Now in coarse-clock packages and in any
-// //invalidb:hotpath function anywhere in the tree.
+// //invalidb:hotpath function anywhere in the tree. The check is
+// interprocedural: a call into a helper that reaches time.Now — through
+// any chain of statically resolved calls (FuncSummaries) — is reported at
+// the call site, unless the read was excused with //invalidb:allow at its
+// source.
 var CoarseClock = &Analyzer{
-	Name: "coarseclock",
-	Doc:  "forbid time.Now in coarse-tick-clock packages and hot-path functions",
-	Run:  runCoarseClock,
+	Name:     "coarseclock",
+	Doc:      "forbid time.Now in coarse-tick-clock packages and hot-path functions, transitively through calls",
+	Requires: []*Analyzer{CallGraphAnalyzer, FuncSummaries},
+	Run:      runCoarseClock,
 }
 
-func runCoarseClock(pass *Pass) error {
+// collectClockOps emits every direct wall-clock read in the body.
+func collectClockOps(info *types.Info, body ast.Node, emit func(pos token.Pos, what string)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(info, call, "time", "Now") {
+			emit(call.Pos(), "time.Now")
+		}
+		return true
+	})
+}
+
+func runCoarseClock(pass *Pass) (any, error) {
+	cg := pass.ResultOf[CallGraphAnalyzer].(*CallGraph)
+	sums := pass.ResultOf[FuncSummaries].(Summaries)
 	info := pass.TypesInfo
 	if coarseClockPackages[pass.PkgPath] {
 		inspectFiles(pass.Files, func(n ast.Node) bool {
@@ -32,18 +54,45 @@ func runCoarseClock(pass *Pass) error {
 			}
 			return true
 		})
-		return nil
+		// Calls out of the package that reach a wall-clock read. Local
+		// callees are skipped: their own time.Now sites were reported above.
+		for obj := range cg.Decls {
+			reported := map[*types.Func]bool{}
+			for _, site := range cg.Calls[obj] {
+				if site.Callee.Pkg() == pass.Pkg || reported[site.Callee] {
+					continue
+				}
+				if s := summaryFor(pass, sums, site.Callee); s != nil && len(s.Clocks) > 0 {
+					reported[site.Callee] = true
+					pass.Reportf(site.Call.Pos(), "call to %s reads the wall clock in a coarse-clock package: %s", site.Callee.Name(), s.Clocks[0].chain())
+				}
+			}
+		}
+		return nil, nil
 	}
 	for _, fn := range pass.HotpathFuncs() {
 		if fn.Body == nil {
 			continue
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(info, call, "time", "Now") {
-				pass.Reportf(call.Pos(), "time.Now in hot-path function %s: take the timestamp outside the hot path or use the coarse clock", fn.Name.Name)
-			}
-			return true
+		collectClockOps(info, fn.Body, func(pos token.Pos, _ string) {
+			pass.Reportf(pos, "time.Now in hot-path function %s: take the timestamp outside the hot path or use the coarse clock", fn.Name.Name)
 		})
+		obj, ok := info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		reported := map[*types.Func]bool{}
+		for _, site := range cg.Calls[obj] {
+			if reported[site.Callee] {
+				continue
+			}
+			s := summaryFor(pass, sums, site.Callee)
+			if s == nil || s.Hotpath || len(s.Clocks) == 0 {
+				continue
+			}
+			reported[site.Callee] = true
+			pass.Reportf(site.Call.Pos(), "call to %s reads the wall clock in hot-path function %s: %s", site.Callee.Name(), fn.Name.Name, s.Clocks[0].chain())
+		}
 	}
-	return nil
+	return nil, nil
 }

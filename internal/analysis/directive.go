@@ -28,9 +28,12 @@ var knownAnalyzerNames = map[string]bool{
 	"pooledlifecycle": true,
 	"coarseclock":     true,
 	"directive":       true,
+	"wirekind":        true,
+	"epochcapture":    true,
+	"goroleak":        true,
 }
 
-func runDirective(pass *Pass) error {
+func runDirective(pass *Pass) (any, error) {
 	for _, f := range pass.Files {
 		// Comments attached as function docs are valid hotpath positions.
 		hotpathDocs := map[*ast.Comment]bool{}
@@ -76,7 +79,7 @@ func runDirective(pass *Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func sortedNames() []string {

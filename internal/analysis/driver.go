@@ -8,7 +8,10 @@ import (
 )
 
 // Run loads the packages matching patterns and applies every analyzer,
-// returning the surviving diagnostics sorted by position. Diagnostics on
+// returning the surviving diagnostics sorted by position. Packages are
+// analyzed in dependency order so facts exported by a dependency's pass
+// (function summaries, below) are visible to its dependents; within one
+// package, analyzers run after the analyzers they Require. Diagnostics on
 // lines carrying (or directly below) an //invalidb:allow directive for the
 // reporting analyzer are suppressed.
 func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
@@ -16,9 +19,10 @@ func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	facts := newFactStore()
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg, analyzers)
+		diags, err := runPackage(pkg, analyzers, facts)
 		if err != nil {
 			return nil, err
 		}
@@ -37,25 +41,70 @@ func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return all, nil
 }
 
-// RunPackage applies the analyzers to one loaded package and filters the
-// diagnostics through the package's //invalidb:allow directives.
+// RunPackage applies the analyzers to one loaded package in isolation (no
+// cross-package facts) and filters the diagnostics through the package's
+// //invalidb:allow directives. The fixture tests use it.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	return runPackage(pkg, analyzers, newFactStore())
+}
+
+// expandRequires returns the analyzers plus their transitive requirements
+// in a valid execution order (requirements first).
+func expandRequires(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := map[*Analyzer]bool{}
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		out = append(out, a)
+	}
 	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *factStore) ([]Diagnostic, error) {
+	allowed := collectAllows(pkg)
+	requested := map[*Analyzer]bool{}
+	for _, a := range analyzers {
+		requested[a] = true
+	}
+	results := map[*Analyzer]any{}
+	var diags []Diagnostic
+	for _, a := range expandRequires(analyzers) {
+		// Requirement-only analyzers (call graph, summaries) report into a
+		// discard list: they exist to produce results and facts, and any
+		// diagnostics they might emit were not asked for.
+		sink := &diags
+		if !requested[a] {
+			sink = &[]Diagnostic{}
+		}
 		pass := &Pass{
 			Analyzer:    a,
 			Fset:        pkg.Fset,
 			Files:       pkg.Files,
 			Pkg:         pkg.Types,
 			PkgPath:     pkg.PkgPath,
+			Dir:         pkg.Dir,
 			TypesInfo:   pkg.Info,
-			diagnostics: &diags,
+			ResultOf:    results,
+			diagnostics: sink,
+			allowed:     allowed,
+			facts:       facts,
 		}
-		if err := a.Run(pass); err != nil {
+		res, err := a.Run(pass)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
 		}
+		results[a] = res
 	}
-	allowed := collectAllows(pkg)
 	kept := diags[:0]
 	for _, d := range diags {
 		if !allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {

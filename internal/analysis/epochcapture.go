@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochCapture forbids squirreling away partition-map-derived state in
+// places that outlive the map's epoch. A PartitionMap is immutable and
+// epoch-stamped: on resize the coordinator installs a successor and every
+// derived value — partition counts, row slices, grid layouts — must be
+// re-derived from the new map. Copying m.QueryPartitions into a long-lived
+// struct field or closure freezes the old epoch's shape; routing decisions
+// made from it dereference a grid that no longer exists. PR 8's resize work
+// hit exactly this class (a cached gridLayout built from a superseded map),
+// and this analyzer pins it.
+//
+// Flagged: reads of a PartitionMap's QueryPartitions / WritePartitions /
+// Rows fields that are (a) assigned into a struct field, (b) placed in a
+// composite literal of a non-epoch-scoped struct type, or (c) captured by a
+// function literal from its enclosing scope.
+//
+// Exempt:
+//   - the epoch-scoped container types that are themselves rebuilt on every
+//     map install (PartitionMap, routing, mapState, rowSlot, gridLayout,
+//     GridCell, RowAssignment) — storing derived values inside them is the
+//     sanctioned pattern, their lifetime ends with the epoch;
+//   - composite literals used directly as a map index or delete() key
+//     (the rowID lookup idiom: the key is consumed, not retained);
+//   - storing the Epoch field itself — that is how staleness is detected,
+//     not how it is caused;
+//   - sites documented with //invalidb:allow epochcapture <reason>.
+var EpochCapture = &Analyzer{
+	Name: "epochcapture",
+	Doc:  "forbid storing partition-map-derived counts/slices/layouts in fields or closures that outlive the epoch",
+	Run:  runEpochCapture,
+}
+
+// epochScopedTypes are struct types whose instances live and die with one
+// partition-map epoch; derived values stored inside them cannot go stale.
+var epochScopedTypes = map[string]bool{
+	"PartitionMap":  true,
+	"routing":       true,
+	"mapState":      true,
+	"rowSlot":       true,
+	"gridLayout":    true,
+	"GridCell":      true,
+	"RowAssignment": true,
+}
+
+// epochDerivedFields are the PartitionMap fields whose values describe the
+// epoch's shape.
+var epochDerivedFields = map[string]bool{
+	"QueryPartitions": true,
+	"WritePartitions": true,
+	"Rows":            true,
+}
+
+func runEpochCapture(pass *Pass) (any, error) {
+	info := pass.TypesInfo
+	reported := map[ast.Node]bool{}
+	report := func(n ast.Node, format string, args ...any) {
+		if !reported[n] {
+			reported[n] = true
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+	for _, f := range pass.Files {
+		keyOnly := consumedCompositeKeys(f)
+		// (a) struct-field stores and (b) composite-literal captures.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(x.Rhs) && len(x.Rhs) != 1 {
+						continue
+					}
+					s, ok := info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal || epochScopedOwner(s.Recv()) {
+						continue
+					}
+					rhs := x.Rhs[0]
+					if len(x.Rhs) == len(x.Lhs) {
+						rhs = x.Rhs[i]
+					}
+					eachEpochRead(info, rhs, func(read *ast.SelectorExpr) {
+						report(read, "storing %s into field %s outlives the partition-map epoch: store the epoch and re-derive, or document with //invalidb:allow epochcapture <reason>",
+							types.ExprString(read), types.ExprString(sel))
+					})
+				}
+			case *ast.CompositeLit:
+				t := info.Types[x].Type
+				if t == nil || keyOnly[x] || epochScopedOwner(t) {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Struct); !ok {
+					return true
+				}
+				for _, elt := range x.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if read, ok := epochDerivedRead(info, v); ok {
+						report(read, "composite literal captures %s: the %s value outlives the partition-map epoch; store the epoch and re-derive, or document with //invalidb:allow epochcapture <reason>",
+							types.ExprString(read), typeName(t))
+					}
+				}
+			}
+			return true
+		})
+		// (c) closures capturing epoch-derived reads from the enclosing
+		// scope. Immediately invoked literals run within the epoch and are
+		// exempt.
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || immediatelyInvoked(f, lit) {
+				return true
+			}
+			eachEpochRead(info, lit.Body, func(read *ast.SelectorExpr) {
+				root := rootIdent(read)
+				if root == nil {
+					return
+				}
+				obj := info.Uses[root]
+				if obj == nil || !declaredOutside(obj, lit) {
+					return
+				}
+				report(read, "closure captures %s from the enclosing scope: the value outlives the partition-map epoch; pass the epoch and re-derive, or document with //invalidb:allow epochcapture <reason>",
+					types.ExprString(read))
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// epochDerivedRead reports whether e directly reads an epoch-shape field
+// from a PartitionMap-typed expression.
+func epochDerivedRead(info *types.Info, e ast.Expr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || !epochDerivedFields[sel.Sel.Name] {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	if typeName(tv.Type) != "PartitionMap" {
+		return nil, false
+	}
+	return sel, true
+}
+
+// eachEpochRead walks e (skipping nested function literals and composite
+// literals, which are reported at their own sites) and visits every
+// epoch-derived read.
+func eachEpochRead(info *types.Info, e ast.Node, visit func(*ast.SelectorExpr)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.CompositeLit:
+			_ = x
+			return false
+		case *ast.SelectorExpr:
+			if read, ok := epochDerivedRead(info, x); ok {
+				visit(read)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// epochScopedOwner reports whether t (through pointers) names one of the
+// epoch-scoped container types.
+func epochScopedOwner(t types.Type) bool {
+	return epochScopedTypes[typeName(t)]
+}
+
+// typeName returns the bare name of a named type, through pointers
+// ("" for unnamed types).
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// consumedCompositeKeys collects composite literals used directly as a map
+// index or as the key argument of delete(): lookup keys are consumed by the
+// operation, not retained past it.
+func consumedCompositeKeys(f *ast.File) map[*ast.CompositeLit]bool {
+	out := map[*ast.CompositeLit]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			if lit, ok := ast.Unparen(x.Index).(*ast.CompositeLit); ok {
+				out[lit] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+				if lit, ok := ast.Unparen(x.Args[1]).(*ast.CompositeLit); ok {
+					out[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// immediatelyInvoked reports whether lit is the function operand of a call
+// expression (an IIFE: runs now, within the current epoch).
+func immediatelyInvoked(f *ast.File, lit *ast.FuncLit) bool {
+	invoked := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
+			invoked = true
+		}
+		return !invoked
+	})
+	return invoked
+}
+
+// rootIdent returns the leftmost identifier of a selector chain
+// (rt.m.QueryPartitions → rt), following through calls (ms.current().Rows
+// → ms).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside lit's
+// source range — i.e. the closure captures it from an enclosing scope.
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// factStore is the cross-package fact table for one driver session. It is
+// keyed by (package path, object path, fact type) rather than object
+// identity: every explicitly loaded target is type-checked in its own
+// universe, so the *types.Func an importer sees for core.AppendEnvelope is
+// not the same pointer as the one core's own pass defined — but both render
+// to the same stable path.
+type factStore struct {
+	objects map[factKey]Fact
+}
+
+type factKey struct {
+	pkg  string
+	obj  string
+	typ  reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{objects: map[factKey]Fact{}}
+}
+
+// objectPath renders a package-level object as a stable in-package path:
+// "Name" for package-level functions, vars and types, "Type.Method" for
+// methods (through pointer receivers). Objects with no such path (locals,
+// imported-package names) return "".
+func objectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "" // method on an unnamed receiver (interface literal)
+			}
+			return fmt.Sprintf("%s.%s", named.Obj().Name(), fn.Name())
+		}
+		return fn.Name()
+	}
+	// Package-scope non-function objects only.
+	if obj.Parent() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name()
+	}
+	return ""
+}
+
+func (s *factStore) export(obj types.Object, fact Fact) {
+	path := objectPath(obj)
+	if path == "" {
+		return
+	}
+	s.objects[factKey{obj.Pkg().Path(), path, reflect.TypeOf(fact)}] = fact
+}
+
+// lookup copies a stored fact of *fact's concrete type into fact. fact
+// must be a non-nil pointer, like x/tools' ImportObjectFact contract.
+func (s *factStore) lookup(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := objectPath(obj)
+	if path == "" {
+		return false
+	}
+	got, ok := s.objects[factKey{obj.Pkg().Path(), path, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}

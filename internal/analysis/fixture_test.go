@@ -153,6 +153,36 @@ func TestCoarseClockHotpathFixture(t *testing.T) {
 	runFixture(t, CoarseClock, "testdata/src/coarseclock_hotpath", "fixture/coarseclock")
 }
 
+func TestWireKindFixture(t *testing.T) {
+	runFixture(t, WireKind, "testdata/src/wirekind", "fixture/wirekind")
+}
+
+func TestEpochCaptureFixture(t *testing.T) {
+	runFixture(t, EpochCapture, "testdata/src/epochcapture", "fixture/epochcapture")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, GoroLeak, "testdata/src/goroleak", "fixture/goroleak")
+}
+
+// TestGoroLeakMainExempt pins the package-main exemption: the fixture's
+// unguarded goroutine must produce no diagnostics.
+func TestGoroLeakMainExempt(t *testing.T) {
+	runFixture(t, GoroLeak, "testdata/src/goroleak_main", "fixture/goroleakmain")
+}
+
+// The interprocedural fixtures pin summary propagation: the violating
+// operation sits two statically-resolved calls below the checked function,
+// the diagnostic lands on the call site with the via-chain, and an
+// //invalidb:allow at the operation's source keeps it out of callers.
+func TestHotpathAllocInterprocFixture(t *testing.T) {
+	runFixture(t, HotpathAlloc, "testdata/src/hotpathalloc_interproc", "fixture/hotpathallocinterproc")
+}
+
+func TestLockBlockInterprocFixture(t *testing.T) {
+	runFixture(t, LockBlock, "testdata/src/lockblock_interproc", "fixture/lockblockinterproc")
+}
+
 // TestDirectiveFixture uses explicit expectations rather than want comments:
 // the diagnostics land on directive comment lines, which cannot carry a
 // second trailing comment.
@@ -198,18 +228,30 @@ func TestDirectiveFixture(t *testing.T) {
 // directive and the suite fails.
 func TestAllowDirectiveSuppression(t *testing.T) {
 	pkg := loadFixture(t, "testdata/src/hotpathalloc", "fixture/hotpathalloc")
+	// Run the analyzer and its requirements with no allow directives in
+	// effect, collecting the unfiltered diagnostics.
 	var raw []Diagnostic
-	pass := &Pass{
-		Analyzer:    HotpathAlloc,
-		Fset:        pkg.Fset,
-		Files:       pkg.Files,
-		Pkg:         pkg.Types,
-		PkgPath:     pkg.PkgPath,
-		TypesInfo:   pkg.Info,
-		diagnostics: &raw,
-	}
-	if err := HotpathAlloc.Run(pass); err != nil {
-		t.Fatal(err)
+	results := map[*Analyzer]any{}
+	facts := newFactStore()
+	for _, a := range expandRequires([]*Analyzer{HotpathAlloc}) {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			PkgPath:     pkg.PkgPath,
+			Dir:         pkg.Dir,
+			TypesInfo:   pkg.Info,
+			ResultOf:    results,
+			diagnostics: &raw,
+			allowed:     map[allowKey]bool{},
+			facts:       facts,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[a] = res
 	}
 	filtered, err := RunPackage(pkg, []*Analyzer{HotpathAlloc})
 	if err != nil {

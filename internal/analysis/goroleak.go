@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every goroutine spawned in a library package to be tied
+// to some termination signal. The system's long-lived components (brokers,
+// bolts, coordinators, app servers) all follow the supervisor discipline
+// from PR 2: a goroutine loops on a stop channel, a context, or signals a
+// WaitGroup that Close/Stop waits on. A bare `go` whose body reaches none
+// of those runs until process exit — it holds its captures live, keeps
+// connections open after Close, and turns every test that starts the
+// component into a leak.
+//
+// A spawn is considered tied (guarded) when the spawned body — or any
+// same-package function it statically calls, transitively — performs a
+// channel operation (send, receive, select, range, close), consults a
+// context (Done, Err, Deadline), or touches a WaitGroup (Done, Wait).
+//
+// Out of scope: package main (process lifetime is the intended scope for
+// cmd entry points) and dynamic spawns (`go cb()` on a function value) —
+// the callee is unknown, so the analyzer stays silent rather than guessing.
+// Deliberate fire-and-forget goroutines carry //invalidb:allow goroleak
+// with a reason.
+var GoroLeak = &Analyzer{
+	Name:     "goroleak",
+	Doc:      "require goroutines in library packages to be tied to a stop channel, context, or WaitGroup",
+	Requires: []*Analyzer{CallGraphAnalyzer},
+	Run:      runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	cg := pass.ResultOf[CallGraphAnalyzer].(*CallGraph)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !goroGuarded(pass, cg, fun.Body, map[*types.Func]bool{}) {
+					pass.Reportf(g.Pos(), "goroutine is not tied to a stop channel, context, or WaitGroup: it cannot be shut down (use the supervisor pattern, or document with //invalidb:allow goroleak <reason>)")
+				}
+			default:
+				callee := StaticCallee(pass.TypesInfo, g.Call)
+				if callee == nil {
+					return true // dynamic spawn: unknown body
+				}
+				decl, ok := cg.Decls[callee]
+				if !ok || decl.Body == nil {
+					return true // cross-package body: out of scope
+				}
+				if !goroGuarded(pass, cg, decl.Body, map[*types.Func]bool{callee: true}) {
+					pass.Reportf(g.Pos(), "goroutine %s is not tied to a stop channel, context, or WaitGroup: it cannot be shut down (use the supervisor pattern, or document with //invalidb:allow goroleak <reason>)", callee.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goroGuarded reports whether the body reaches a termination signal,
+// looking through statically resolved calls into functions declared in the
+// same package.
+func goroGuarded(pass *Pass, cg *CallGraph, body ast.Node, visited map[*types.Func]bool) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if guardCall(info, x) {
+				found = true
+				return false
+			}
+			callee := StaticCallee(info, x)
+			if callee == nil || visited[callee] {
+				return true
+			}
+			if decl, ok := cg.Decls[callee]; ok && decl.Body != nil {
+				visited[callee] = true
+				if goroGuarded(pass, cg, decl.Body, visited) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardCall recognizes calls that constitute a termination signal: the
+// close builtin, context.Context consultation, and WaitGroup bookkeeping.
+func guardCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Done", "Err", "Deadline":
+			if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && namedTypeIs(tv.Type, "context", "Context") {
+				return true
+			}
+		}
+	}
+	if name, ok := methodOn(info, call, "sync", "WaitGroup"); ok {
+		if name == "Done" || name == "Wait" {
+			return true
+		}
+	}
+	return false
+}

@@ -24,12 +24,21 @@ import (
 //     where an interface is expected;
 //   - method values (x.M used as a value captures a closure).
 //
+// The check is interprocedural: a call from a hot-path function into any
+// function whose summary (FuncSummaries) reaches an allocating construct —
+// through any chain of statically resolved calls, across package
+// boundaries — is reported at the call site, naming the underlying
+// operation. Callees annotated //invalidb:hotpath are exempt at call
+// sites: their own bodies are checked directly. Operations excused with
+// //invalidb:allow do not propagate.
+//
 // append() is deliberately not flagged: hot-path code appends into
 // preallocated scratch slices whose amortized growth is part of the design.
 var HotpathAlloc = &Analyzer{
-	Name: "hotpathalloc",
-	Doc:  "forbid allocating constructs in //invalidb:hotpath functions",
-	Run:  runHotpathAlloc,
+	Name:     "hotpathalloc",
+	Doc:      "forbid allocating constructs in //invalidb:hotpath functions, transitively through calls",
+	Requires: []*Analyzer{CallGraphAnalyzer, FuncSummaries},
+	Run:      runHotpathAlloc,
 }
 
 // allocFmtFuncs are package-level functions that always allocate.
@@ -44,18 +53,64 @@ var allocFmtFuncs = map[string]map[string]bool{
 	"strconv": {"Quote": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "Itoa": true},
 }
 
-func runHotpathAlloc(pass *Pass) error {
+func runHotpathAlloc(pass *Pass) (any, error) {
+	cg := pass.ResultOf[CallGraphAnalyzer].(*CallGraph)
+	sums := pass.ResultOf[FuncSummaries].(Summaries)
 	for _, fn := range pass.HotpathFuncs() {
 		if fn.Body == nil {
 			continue
 		}
-		checkHotpathBody(pass, fn)
+		collectAllocOps(pass.TypesInfo, fn, func(pos token.Pos, _ string, full string) {
+			pass.Reportf(pos, "%s", full)
+		})
+		obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		reported := map[*types.Func]bool{}
+		for _, site := range cg.Calls[obj] {
+			if reported[site.Callee] || isDirectAllocCall(pass.TypesInfo, site.Call) {
+				continue // the direct-op walk already reported this site
+			}
+			s := summaryFor(pass, sums, site.Callee)
+			if s == nil || s.Hotpath || len(s.Allocs) == 0 {
+				continue
+			}
+			reported[site.Callee] = true
+			pass.Reportf(site.Call.Pos(), "call to %s allocates in hot path: %s", site.Callee.Name(), s.Allocs[0].chain())
+		}
 	}
-	return nil
+	return nil, nil
 }
 
-func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
-	info := pass.TypesInfo
+// isDirectAllocCall reports whether the call is itself one of the known
+// allocating stdlib helpers (already reported by the direct-op walk).
+func isDirectAllocCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	names, ok := allocFmtFuncs[obj.Pkg().Path()]
+	return ok && names[obj.Name()] && obj.Type().(*types.Signature).Recv() == nil
+}
+
+// allocEmit receives one allocating construct: its position, a compact
+// label for summaries ("make", "string concatenation") and the full
+// diagnostic message for direct reporting.
+type allocEmit func(pos token.Pos, what, full string)
+
+// collectAllocOps walks one function body and emits every allocating
+// construct. It is shared between the hot-path reporting pass (which runs
+// it over //invalidb:hotpath functions only) and the function summarizer
+// (which runs it over every function so callers can see callee effects).
+func collectAllocOps(info *types.Info, fn *ast.FuncDecl, emit allocEmit) {
+	if fn.Body == nil {
+		return
+	}
 	exemptConv := mapIndexConversions(info, fn.Body)
 	// parents tracks the path so conversions can see their context
 	// (map-index string(b) is allocation-free).
@@ -70,34 +125,35 @@ func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
 		}
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			checkHotpathCall(pass, info, x, exemptConv)
+			collectAllocCall(info, x, exemptConv, emit)
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && isStringType(info, x) && !isConstExpr(info, x) {
-				pass.Reportf(x.OpPos, "string concatenation allocates in hot path")
+				emit(x.OpPos, "string concatenation", "string concatenation allocates in hot path")
 			}
 		case *ast.UnaryExpr:
 			if x.Op == token.AND {
 				if _, ok := x.X.(*ast.CompositeLit); ok {
-					pass.Reportf(x.Pos(), "&composite literal escapes to the heap in hot path")
+					emit(x.Pos(), "&composite literal", "&composite literal escapes to the heap in hot path")
 				}
 			}
 		case *ast.CompositeLit:
 			if t := info.Types[x].Type; t != nil {
 				switch t.Underlying().(type) {
 				case *types.Map:
-					pass.Reportf(x.Pos(), "map literal allocates in hot path")
+					emit(x.Pos(), "map literal", "map literal allocates in hot path")
 				case *types.Slice:
-					pass.Reportf(x.Pos(), "slice literal allocates in hot path")
+					emit(x.Pos(), "slice literal", "slice literal allocates in hot path")
 				}
 			}
 		case *ast.FuncLit:
-			pass.Reportf(x.Pos(), "function literal allocates a closure in hot path")
+			emit(x.Pos(), "function literal", "function literal allocates a closure in hot path")
 			parents = append(parents, n)
 			return true
 		case *ast.SelectorExpr:
 			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
 				if !isCallFun(parents, x) {
-					pass.Reportf(x.Pos(), "method value %s allocates a closure in hot path", x.Sel.Name)
+					emit(x.Pos(), "method value "+x.Sel.Name,
+						"method value "+x.Sel.Name+" allocates a closure in hot path")
 				}
 			}
 		}
@@ -105,7 +161,7 @@ func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
 		return true
 	}
 	ast.Inspect(fn.Body, visit)
-	checkHotpathBoxing(pass, fn)
+	collectBoxingOps(info, fn, emit)
 }
 
 // isCallFun reports whether sel is the function operand of its parent call
@@ -145,13 +201,14 @@ func mapIndexConversions(info *types.Info, body ast.Node) map[*ast.CallExpr]bool
 	return out
 }
 
-func checkHotpathCall(pass *Pass, info *types.Info, call *ast.CallExpr, exemptConv map[*ast.CallExpr]bool) {
+func collectAllocCall(info *types.Info, call *ast.CallExpr, exemptConv map[*ast.CallExpr]bool, emit allocEmit) {
 	// Known allocating stdlib helpers.
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
 			if names, ok := allocFmtFuncs[obj.Pkg().Path()]; ok && names[obj.Name()] &&
 				obj.Type().(*types.Signature).Recv() == nil {
-				pass.Reportf(call.Pos(), "%s.%s allocates in hot path", obj.Pkg().Name(), obj.Name())
+				what := obj.Pkg().Name() + "." + obj.Name()
+				emit(call.Pos(), what, what+" allocates in hot path")
 				return
 			}
 		}
@@ -162,21 +219,21 @@ func checkHotpathCall(pass *Pass, info *types.Info, call *ast.CallExpr, exemptCo
 		switch fun.Name {
 		case "make":
 			if isBuiltin(info, fun) {
-				pass.Reportf(call.Pos(), "make allocates in hot path")
+				emit(call.Pos(), "make", "make allocates in hot path")
 			}
 		case "new":
 			if isBuiltin(info, fun) {
-				pass.Reportf(call.Pos(), "new allocates in hot path")
+				emit(call.Pos(), "new", "new allocates in hot path")
 			}
 		}
 	}
-	checkStringConversion(pass, info, call, exemptConv)
+	collectStringConversion(info, call, exemptConv, emit)
 }
 
-// checkStringConversion flags string<->[]byte conversions. The map-index
+// collectStringConversion flags string<->[]byte conversions. The map-index
 // form m[string(b)] is recognized by the compiler and does not allocate,
 // so it is exempt.
-func checkStringConversion(pass *Pass, info *types.Info, call *ast.CallExpr, exemptConv map[*ast.CallExpr]bool) {
+func collectStringConversion(info *types.Info, call *ast.CallExpr, exemptConv map[*ast.CallExpr]bool, emit allocEmit) {
 	if len(call.Args) != 1 || exemptConv[call] {
 		return
 	}
@@ -191,7 +248,8 @@ func checkStringConversion(pass *Pass, info *types.Info, call *ast.CallExpr, exe
 	}
 	src := argT.Underlying()
 	if isStringByteConv(dst, src) {
-		pass.Reportf(call.Pos(), "string/[]byte conversion allocates in hot path (map-index lookups m[string(b)] are exempt)")
+		emit(call.Pos(), "string/[]byte conversion",
+			"string/[]byte conversion allocates in hot path (map-index lookups m[string(b)] are exempt)")
 	}
 }
 
@@ -228,11 +286,10 @@ func isBuiltin(info *types.Info, id *ast.Ident) bool {
 	return ok
 }
 
-// checkHotpathBoxing flags implicit conversions of non-pointer concrete
+// collectBoxingOps flags implicit conversions of non-pointer concrete
 // values to interface types in call arguments and assignments — the
 // boxing allocates an escaping copy of the value.
-func checkHotpathBoxing(pass *Pass, fn *ast.FuncDecl) {
-	info := pass.TypesInfo
+func collectBoxingOps(info *types.Info, fn *ast.FuncDecl, emit allocEmit) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -263,8 +320,9 @@ func checkHotpathBoxing(pass *Pass, fn *ast.FuncDecl) {
 				continue
 			}
 			if boxes(info, arg, paramT) {
-				pass.Reportf(arg.Pos(), "argument boxes %s into interface %s (allocates) in hot path",
-					info.Types[arg].Type, paramT)
+				argT := info.Types[arg].Type
+				emit(arg.Pos(), "interface boxing",
+					"argument boxes "+argT.String()+" into interface "+paramT.String()+" (allocates) in hot path")
 			}
 		}
 		return true

@@ -22,6 +22,7 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	Imports []string
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -30,6 +31,7 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
@@ -97,9 +99,40 @@ func Load(patterns []string) ([]*Package, error) {
 			Files:   files,
 			Types:   pkg,
 			Info:    info,
+			Imports: lp.Imports,
 		})
 	}
-	return out, nil
+	return sortByDependency(out), nil
+}
+
+// sortByDependency orders packages so every package follows the loaded
+// packages it imports (directly or transitively). Facts exported while
+// analyzing a dependency are then visible to its dependents — the flow
+// direction of the x/tools fact model.
+func sortByDependency(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	seen := map[string]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.PkgPath] {
+			return
+		}
+		seen[p.PkgPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // TypeCheck type-checks one package's parsed files with full type

@@ -15,28 +15,41 @@ import (
 // on a peer while holding a lock stalls every other goroutine contending
 // for that lock — the failure mode PR 2's supervisor exists to prevent.
 //
-// The analysis is intra-procedural and tracks lock state linearly through
-// each function body: x.Lock() adds x to the held set, x.Unlock() removes
-// it, defer x.Unlock() holds it for the rest of the function. Branch
-// bodies are analyzed with a copy of the held set, so an early
-// unlock-and-return path does not leak state into the fallthrough path.
-// Non-blocking channel operations (inside a select with a default case)
-// are permitted — that is the sanctioned try-send/try-receive idiom.
-// sync.Cond.Wait is also permitted: it releases the mutex while waiting.
+// Lock state is tracked linearly through each function body: x.Lock() adds
+// x to the held set, x.Unlock() removes it, defer x.Unlock() holds it for
+// the rest of the function. Branch bodies are analyzed with a copy of the
+// held set, so an early unlock-and-return path does not leak state into
+// the fallthrough path. Non-blocking channel operations (inside a select
+// with a default case) are permitted — that is the sanctioned
+// try-send/try-receive idiom. sync.Cond.Wait is also permitted: it
+// releases the mutex while waiting.
+//
+// The check is interprocedural: a call made while a mutex is held into any
+// function whose summary (FuncSummaries) reaches a blocking operation —
+// through any chain of statically resolved calls, across package
+// boundaries — is reported at the call site, naming the underlying
+// operation. Blocking ops inside function literals do not propagate (the
+// literal runs in its own context), and ops excused with //invalidb:allow
+// at their source do not resurface at callers.
 var LockBlock = &Analyzer{
-	Name: "lockblock",
-	Doc:  "forbid blocking operations (channel ops, sleeps, network IO) while holding a mutex",
-	Run:  runLockBlock,
+	Name:     "lockblock",
+	Doc:      "forbid blocking operations (channel ops, sleeps, network IO) while holding a mutex, transitively through calls",
+	Requires: []*Analyzer{CallGraphAnalyzer, FuncSummaries},
+	Run:      runLockBlock,
 }
 
-func runLockBlock(pass *Pass) error {
+func runLockBlock(pass *Pass) (any, error) {
+	c := &lockChecker{
+		pass: pass,
+		sums: pass.ResultOf[FuncSummaries].(Summaries),
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkLockBlockBody(pass, fn.Body)
+			c.walk(fn.Body, heldSet{})
 		}
 		// Every function literal is its own execution context (goroutine
 		// bodies, callbacks): analyze each body independently. The
@@ -44,12 +57,19 @@ func runLockBlock(pass *Pass) error {
 		// is reported twice.
 		ast.Inspect(f, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok {
-				checkLockBlockBody(pass, lit.Body)
+				c.walk(lit.Body, heldSet{})
 			}
 			return true
 		})
 	}
-	return nil
+	return nil, nil
+}
+
+// lockChecker carries the pass and the function summaries used to resolve
+// whether a callee can block.
+type lockChecker struct {
+	pass *Pass
+	sums Summaries
 }
 
 // heldSet maps a mutex expression (rendered as source text) to the
@@ -64,17 +84,14 @@ func (h heldSet) clone() heldSet {
 	return out
 }
 
-func checkLockBlockBody(pass *Pass, body *ast.BlockStmt) {
-	walkLockBlock(pass, body, heldSet{})
-}
-
-// walkLockBlock processes stmts in order, threading the held set through
-// straight-line code and forking it into branches.
-func walkLockBlock(pass *Pass, stmt ast.Stmt, held heldSet) {
+// walk processes stmt, threading the held set through straight-line code
+// and forking it into branches.
+func (c *lockChecker) walk(stmt ast.Stmt, held heldSet) {
+	pass := c.pass
 	switch s := stmt.(type) {
 	case *ast.BlockStmt:
 		for _, st := range s.List {
-			walkLockBlock(pass, st, held)
+			c.walk(st, held)
 		}
 	case *ast.ExprStmt:
 		if name, mu, ok := mutexOp(pass.TypesInfo, s.X); ok {
@@ -90,7 +107,7 @@ func walkLockBlock(pass *Pass, stmt ast.Stmt, held heldSet) {
 			}
 			return
 		}
-		checkBlockingExpr(pass, s.X, held)
+		c.checkExpr(s.X, held)
 	case *ast.DeferStmt:
 		if name, _, ok := mutexOp(pass.TypesInfo, s.Call); ok {
 			if name == "Unlock" || name == "RUnlock" {
@@ -102,82 +119,82 @@ func walkLockBlock(pass *Pass, stmt ast.Stmt, held heldSet) {
 		// tracking that precisely needs path info, so only argument
 		// evaluation is checked here.
 		for _, arg := range s.Call.Args {
-			checkBlockingExpr(pass, arg, held)
+			c.checkExpr(arg, held)
 		}
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
-			checkBlockingExpr(pass, rhs, held)
+			c.checkExpr(rhs, held)
 		}
 		for _, lhs := range s.Lhs {
-			checkBlockingExpr(pass, lhs, held)
+			c.checkExpr(lhs, held)
 		}
 	case *ast.SendStmt:
 		if len(held) > 0 {
-			reportBlocking(pass, s.Pos(), "channel send", held)
+			c.report(s.Pos(), "channel send", held)
 		}
 	case *ast.SelectStmt:
 		hasDefault := false
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
 				hasDefault = true
 			}
 		}
 		if !hasDefault && len(held) > 0 {
-			reportBlocking(pass, s.Pos(), "blocking select", held)
+			c.report(s.Pos(), "blocking select", held)
 		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
 				branch := held.clone()
 				for _, st := range cc.Body {
-					walkLockBlock(pass, st, branch)
+					c.walk(st, branch)
 				}
 			}
 		}
 	case *ast.IfStmt:
 		if s.Init != nil {
-			walkLockBlock(pass, s.Init, held)
+			c.walk(s.Init, held)
 		}
-		checkBlockingExpr(pass, s.Cond, held)
-		walkLockBlock(pass, s.Body, held.clone())
+		c.checkExpr(s.Cond, held)
+		c.walk(s.Body, held.clone())
 		if s.Else != nil {
-			walkLockBlock(pass, s.Else, held.clone())
+			c.walk(s.Else, held.clone())
 		}
 	case *ast.ForStmt:
 		if s.Init != nil {
-			walkLockBlock(pass, s.Init, held)
+			c.walk(s.Init, held)
 		}
 		if s.Cond != nil {
-			checkBlockingExpr(pass, s.Cond, held)
+			c.checkExpr(s.Cond, held)
 		}
-		walkLockBlock(pass, s.Body, held.clone())
+		c.walk(s.Body, held.clone())
 	case *ast.RangeStmt:
 		if t := pass.TypesInfo.Types[s.X].Type; t != nil {
 			if _, ok := t.Underlying().(*types.Chan); ok && len(held) > 0 {
-				reportBlocking(pass, s.Pos(), "range over channel", held)
+				c.report(s.Pos(), "range over channel", held)
 			}
 		}
-		walkLockBlock(pass, s.Body, held.clone())
+		c.walk(s.Body, held.clone())
 	case *ast.SwitchStmt:
 		if s.Init != nil {
-			walkLockBlock(pass, s.Init, held)
+			c.walk(s.Init, held)
 		}
 		if s.Tag != nil {
-			checkBlockingExpr(pass, s.Tag, held)
+			c.checkExpr(s.Tag, held)
 		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
 				branch := held.clone()
 				for _, st := range cc.Body {
-					walkLockBlock(pass, st, branch)
+					c.walk(st, branch)
 				}
 			}
 		}
 	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
 				branch := held.clone()
 				for _, st := range cc.Body {
-					walkLockBlock(pass, st, branch)
+					c.walk(st, branch)
 				}
 			}
 		}
@@ -185,37 +202,39 @@ func walkLockBlock(pass *Pass, stmt ast.Stmt, held heldSet) {
 		// The goroutine body runs without the caller's locks; argument
 		// evaluation happens now.
 		for _, arg := range s.Call.Args {
-			checkBlockingExpr(pass, arg, held)
+			c.checkExpr(arg, held)
 		}
 	case *ast.ReturnStmt:
 		for _, r := range s.Results {
-			checkBlockingExpr(pass, r, held)
+			c.checkExpr(r, held)
 		}
 	case *ast.LabeledStmt:
-		walkLockBlock(pass, s.Stmt, held)
+		c.walk(s.Stmt, held)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, v := range vs.Values {
-						checkBlockingExpr(pass, v, held)
+						c.checkExpr(v, held)
 					}
 				}
 			}
 		}
 	case *ast.IncDecStmt:
-		checkBlockingExpr(pass, s.X, held)
+		c.checkExpr(s.X, held)
 	}
 }
 
-// checkBlockingExpr flags blocking operations appearing inside an
-// expression evaluated while locks are held: channel receives and calls
-// into known-blocking functions. Function literals are skipped — they run
+// checkExpr flags blocking operations appearing inside an expression
+// evaluated while locks are held: channel receives, calls into
+// known-blocking functions, and calls into any function whose summary
+// reaches a blocking operation. Function literals are skipped — they run
 // later, in their own context.
-func checkBlockingExpr(pass *Pass, e ast.Expr, held heldSet) {
+func (c *lockChecker) checkExpr(e ast.Expr, held heldSet) {
 	if e == nil || len(held) == 0 {
 		return
 	}
+	pass := c.pass
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
@@ -224,15 +243,84 @@ func checkBlockingExpr(pass *Pass, e ast.Expr, held heldSet) {
 			return false
 		case *ast.UnaryExpr:
 			if x.Op == token.ARROW {
-				reportBlocking(pass, x.Pos(), "channel receive", held)
+				c.report(x.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
 			if kind, ok := blockingCall(pass.TypesInfo, x); ok {
-				reportBlocking(pass, x.Pos(), kind, held)
+				c.report(x.Pos(), kind, held)
+				return true
+			}
+			callee := StaticCallee(pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			if s := summaryFor(pass, c.sums, callee); s != nil && len(s.Blocks) > 0 {
+				c.report(x.Pos(), "call to "+callee.Name()+" ("+s.Blocks[0].chain()+")", held)
 			}
 		}
 		return true
 	})
+}
+
+// collectBlockingOps emits every blocking operation the body performs
+// unconditionally in the caller's context: channel sends/receives, selects
+// without a default, ranging over a channel, and known-blocking calls.
+// Function literals and go statements are skipped — their bodies run in a
+// different execution context — and select-with-default communication is
+// the sanctioned non-blocking idiom. The summarizer uses this to decide
+// whether calling a function can stall the caller.
+func collectBlockingOps(info *types.Info, body ast.Node, emit func(pos token.Pos, what string)) {
+	if body == nil {
+		return
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				emit(x.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					emit(x.Pos(), "channel receive")
+				}
+			case *ast.RangeStmt:
+				if t := info.Types[x.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						emit(x.Pos(), "range over channel")
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range x.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					emit(x.Pos(), "blocking select")
+				}
+				// Walk the clause bodies only: the communication
+				// expressions are the select's own (possibly non-blocking)
+				// operations, already accounted for above.
+				for _, cl := range x.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if kind, ok := blockingCall(info, x); ok {
+					emit(x.Pos(), kind)
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
 }
 
 // blockingCall recognizes calls that block for unbounded time: time.Sleep,
@@ -314,13 +402,13 @@ func mutexOp(info *types.Info, e ast.Expr) (method, mutex string, ok bool) {
 	return "", "", false
 }
 
-// reportBlocking emits one diagnostic naming the blocking operation and
-// every mutex held at that point.
-func reportBlocking(pass *Pass, pos token.Pos, op string, held heldSet) {
+// report emits one diagnostic naming the blocking operation and every
+// mutex held at that point.
+func (c *lockChecker) report(pos token.Pos, op string, held heldSet) {
 	names := make([]string, 0, len(held))
 	for mu := range held {
 		names = append(names, mu)
 	}
 	sort.Strings(names)
-	pass.Reportf(pos, "%s while holding %s", op, strings.Join(names, ", "))
+	c.pass.Reportf(pos, "%s while holding %s", op, strings.Join(names, ", "))
 }

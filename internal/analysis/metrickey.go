@@ -38,7 +38,7 @@ var MetricKey = &Analyzer{
 	Run:  runMetricKey,
 }
 
-func runMetricKey(pass *Pass) error {
+func runMetricKey(pass *Pass) (any, error) {
 	info := pass.TypesInfo
 	inspectFiles(pass.Files, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -61,5 +61,5 @@ func runMetricKey(pass *Pass) error {
 		}
 		return true
 	})
-	return nil
+	return nil, nil
 }

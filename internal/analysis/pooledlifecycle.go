@@ -33,7 +33,7 @@ var recycleHelpers = map[string]bool{
 	"recycleTuple": true,
 }
 
-func runPooledLifecycle(pass *Pass) error {
+func runPooledLifecycle(pass *Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -43,7 +43,7 @@ func runPooledLifecycle(pass *Pass) error {
 			checkPooledLifecycle(pass, fn)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // poolMethod recognizes calls of the form p.Get() / p.Put(x) on sync.Pool.

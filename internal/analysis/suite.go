@@ -10,4 +10,7 @@ var Suite = []*Analyzer{
 	MetricKey,
 	PooledLifecycle,
 	CoarseClock,
+	WireKind,
+	EpochCapture,
+	GoroLeak,
 }

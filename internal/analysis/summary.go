@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes per-function effect summaries — the facts that make
+// hotpathalloc, coarseclock and lockblock interprocedural. For every
+// function declared in a package the summarizer records which allocating
+// constructs, wall-clock reads and unbounded blocking operations its body
+// can reach, including transitively through calls into other functions of
+// the same package and — via exported facts — functions of already-analyzed
+// dependency packages. Operations suppressed by an //invalidb:allow
+// directive at their source do not enter the summary: a documented
+// exception stays local instead of re-surfacing at every caller.
+
+// OpRef is one reachable operation inside a function's summary: what it
+// is, where it lives, and the call chain from the summarized function down
+// to it (empty for the function's own body).
+type OpRef struct {
+	What string
+	Pos  token.Position
+	Via  string
+}
+
+// chain renders the op's provenance for a diagnostic: "make at file:17"
+// or "make at file:17 (via flush → encode)".
+func (o OpRef) chain() string {
+	s := o.What + " at " + o.Pos.String()
+	if o.Via != "" {
+		s += " (via " + o.Via + ")"
+	}
+	return s
+}
+
+// maxSummaryOps bounds each effect list. One representative per root cause
+// is all a caller-side diagnostic needs; the cap keeps fact payloads and
+// the fixpoint bounded on pathological packages.
+const maxSummaryOps = 8
+
+// FuncSummary aggregates a function's reachable effects.
+type FuncSummary struct {
+	// Allocs are allocating constructs (the hotpathalloc op set).
+	Allocs []OpRef
+	// Clocks are wall-clock reads (time.Now).
+	Clocks []OpRef
+	// Blocks are unbounded blocking operations (the lockblock op set).
+	Blocks []OpRef
+	// Hotpath marks functions annotated //invalidb:hotpath: their bodies
+	// are checked directly in their own package, so callers do not
+	// re-report their effects.
+	Hotpath bool
+}
+
+func (s *FuncSummary) empty() bool {
+	return !s.Hotpath && len(s.Allocs) == 0 && len(s.Clocks) == 0 && len(s.Blocks) == 0
+}
+
+// funcSummaryFact carries a FuncSummary across package boundaries.
+type funcSummaryFact struct {
+	Summary FuncSummary
+}
+
+func (*funcSummaryFact) AFact() {}
+
+// Summaries is the FuncSummaries result: the summary of every function
+// declared in the package.
+type Summaries map[*types.Func]*FuncSummary
+
+// FuncSummaries computes allocation/clock/blocking summaries for every
+// declared function and exports them as facts for importing packages. It
+// reports nothing itself.
+var FuncSummaries = &Analyzer{
+	Name:     "funcsummary",
+	Doc:      "summarize each function's reachable allocations, clock reads and blocking ops (internal requirement)",
+	Requires: []*Analyzer{CallGraphAnalyzer},
+	Run:      runFuncSummaries,
+}
+
+func runFuncSummaries(pass *Pass) (any, error) {
+	cg := pass.ResultOf[CallGraphAnalyzer].(*CallGraph)
+	sums := Summaries{}
+
+	// Phase 1: direct effects of each body, minus allow-suppressed ops,
+	// plus effects imported from dependency-package callees (their facts
+	// are complete — the driver analyzes packages in dependency order).
+	for obj, decl := range cg.Decls {
+		s := &FuncSummary{Hotpath: hasHotpathDirective(decl)}
+		record := func(list *[]OpRef, analyzer string) func(pos token.Pos, what string) {
+			return func(pos token.Pos, what string) {
+				if pass.Allowed(analyzer, pos) || len(*list) >= maxSummaryOps {
+					return
+				}
+				*list = append(*list, OpRef{What: what, Pos: pass.Fset.Position(pos)})
+			}
+		}
+		// Analyzer names are spelled out: referencing the Analyzer vars here
+		// would create an initialization cycle (they Require this one).
+		recAlloc := record(&s.Allocs, "hotpathalloc")
+		collectAllocOps(pass.TypesInfo, decl, func(pos token.Pos, what, _ string) {
+			recAlloc(pos, what)
+		})
+		collectClockOps(pass.TypesInfo, decl.Body, record(&s.Clocks, "coarseclock"))
+		collectBlockingOps(pass.TypesInfo, decl.Body, record(&s.Blocks, "lockblock"))
+		for _, site := range cg.Calls[obj] {
+			if site.Callee.Pkg() == nil || site.Callee.Pkg() == pass.Pkg {
+				continue
+			}
+			var fact funcSummaryFact
+			if !pass.ImportObjectFact(site.Callee, &fact) {
+				continue
+			}
+			mergeSummary(s, &fact.Summary, site)
+		}
+		sums[obj] = s
+	}
+
+	// Phase 2: propagate package-local call edges to a fixpoint. Ops are
+	// deduplicated by source position, so recursion terminates once every
+	// reachable root cause has flowed to every caller.
+	for changed := true; changed; {
+		changed = false
+		for obj := range cg.Decls {
+			s := sums[obj]
+			for _, site := range cg.Calls[obj] {
+				callee, ok := sums[site.Callee]
+				if !ok {
+					continue
+				}
+				if mergeSummary(s, callee, site) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for obj, s := range sums {
+		if !s.empty() {
+			pass.ExportObjectFact(obj, &funcSummaryFact{Summary: *s})
+		}
+	}
+	return sums, nil
+}
+
+// mergeSummary folds a callee's effects into the caller's summary through
+// one call site, reporting whether anything new was added. Hotpath-annotated
+// callees contribute no allocation or clock effects: their bodies are
+// checked (and must be clean) where they are declared. Blocking effects
+// propagate regardless — blocking is only wrong under a held lock, which is
+// the caller's context, not the callee's — but not through call sites
+// inside function literals, which run in their own context rather than
+// under the caller's locks.
+func mergeSummary(caller *FuncSummary, callee *FuncSummary, site CallSite) bool {
+	changed := false
+	via := site.Callee.Name()
+	lift := func(dst *[]OpRef, src []OpRef) {
+		for _, op := range src {
+			if len(*dst) >= maxSummaryOps {
+				return
+			}
+			seen := false
+			for _, have := range *dst {
+				if have.Pos == op.Pos && have.What == op.What {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			lifted := op
+			if lifted.Via == "" {
+				lifted.Via = via
+			} else if !strings.HasPrefix(lifted.Via, via) {
+				lifted.Via = via + " → " + lifted.Via
+			}
+			*dst = append(*dst, lifted)
+			changed = true
+		}
+	}
+	if !callee.Hotpath {
+		lift(&caller.Allocs, callee.Allocs)
+		lift(&caller.Clocks, callee.Clocks)
+	}
+	if !site.InLiteral {
+		lift(&caller.Blocks, callee.Blocks)
+	}
+	return changed
+}
+
+// summaryFor resolves a callee's summary: from this package's result when
+// it is declared here, from imported facts otherwise.
+func summaryFor(pass *Pass, sums Summaries, callee *types.Func) *FuncSummary {
+	if s, ok := sums[callee]; ok {
+		return s
+	}
+	var fact funcSummaryFact
+	if pass.ImportObjectFact(callee, &fact) {
+		return &fact.Summary
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package fixture
+
+// Reproduces the PR 8 stale-capture class: partition-map-derived shape
+// values squirreled into state that outlives the map's epoch. The type
+// names mirror the real core package — the analyzer matches PartitionMap
+// and the epoch-scoped container set by name.
+
+type RowAssignment struct {
+	Node string
+	Slot int
+}
+
+type PartitionMap struct {
+	Epoch           uint64
+	QueryPartitions int
+	WritePartitions int
+	Rows            []RowAssignment
+}
+
+// gridLayout is epoch-scoped: rebuilt on every map install, so derived
+// values stored inside it cannot go stale.
+type gridLayout struct {
+	qp, wp int
+}
+
+func newLayout(m *PartitionMap) *gridLayout {
+	return &gridLayout{qp: m.QueryPartitions, wp: m.WritePartitions} // epoch-scoped container: exempt
+}
+
+// router is long-lived: it survives map installs.
+type router struct {
+	epoch  uint64
+	qp     int
+	rows   []RowAssignment
+	layout *gridLayout
+}
+
+func (r *router) install(m *PartitionMap) {
+	r.epoch = m.Epoch // storing the epoch itself is how staleness is detected: exempt
+	r.layout = newLayout(m)
+	r.qp = m.QueryPartitions // want `storing m\.QueryPartitions into field r\.qp outlives the partition-map epoch`
+	r.rows = m.Rows          // want `storing m\.Rows into field r\.rows outlives the partition-map epoch`
+}
+
+// report is a plain long-lived struct; freezing the shape into it is the
+// composite-literal variant of the same bug.
+type report struct {
+	qp, wp int
+}
+
+func snapshot(m *PartitionMap) report {
+	return report{
+		qp: m.QueryPartitions, // want `composite literal captures m\.QueryPartitions: the report value outlives the partition-map epoch`
+		wp: m.WritePartitions, // want `composite literal captures m\.WritePartitions: the report value outlives the partition-map epoch`
+	}
+}
+
+// Composite literals consumed as lookup keys are exempt: the key dies with
+// the operation.
+type cellKey struct{ qp int }
+
+var cells = map[cellKey]int{}
+
+func lookup(m *PartitionMap) int {
+	return cells[cellKey{qp: m.QueryPartitions}]
+}
+
+// A closure capturing the shape from its enclosing scope outlives the
+// epoch — the PR 8 gridLayout capture, reduced.
+func partitioner(m *PartitionMap) func(row int) int {
+	return func(row int) int {
+		return row % m.QueryPartitions // want `closure captures m\.QueryPartitions from the enclosing scope`
+	}
+}
+
+// Immediately invoked literals run now, within the epoch: exempt.
+func immediate(m *PartitionMap) int {
+	return func() int { return m.QueryPartitions }()
+}
+
+// Documented exceptions stay local.
+type shapeRecord struct{ qp int }
+
+func recordShape(m *PartitionMap) shapeRecord {
+	//invalidb:allow epochcapture the record stores the shape as data and never routes by it
+	return shapeRecord{qp: m.QueryPartitions}
+}

@@ -1,0 +1,91 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+type comp struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Guarded literal: loops on the stop channel.
+func (c *comp) startGuarded() {
+	go func() {
+		for {
+			select {
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Bare literal reaching no termination signal.
+func (c *comp) startLeaky() {
+	go func() { // want `goroutine is not tied to a stop channel, context, or WaitGroup`
+		for {
+			work()
+		}
+	}()
+}
+
+func (c *comp) loop() {
+	for {
+		work()
+	}
+}
+
+// Named spawn of an unguarded body.
+func (c *comp) startLeakyNamed() {
+	go c.loop() // want `goroutine loop is not tied to a stop channel, context, or WaitGroup`
+}
+
+func (c *comp) ctxLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+// Named spawn of a context-guarded body.
+func (c *comp) startCtx(ctx context.Context) {
+	go c.ctxLoop(ctx)
+}
+
+func (c *comp) waitStop() {
+	<-c.stop
+}
+
+// Guarded transitively: the literal reaches the stop channel through a
+// same-package callee.
+func (c *comp) startTransitive() {
+	go func() {
+		work()
+		c.waitStop()
+	}()
+}
+
+// WaitGroup-tied goroutine.
+func (c *comp) startWG() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		work()
+	}()
+}
+
+// Dynamic spawn: the callee is unknown, so the analyzer stays silent.
+func spawn(cb func()) {
+	go cb()
+}
+
+// Deliberate fire-and-forget, documented.
+func fireAndForget() {
+	//invalidb:allow goroleak fixture exercises the documented fire-and-forget escape hatch
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,12 @@
+// Package main is exempt from goroleak: process lifetime is the intended
+// scope for cmd entry-point goroutines.
+package main
+
+func forever() {
+	for {
+	}
+}
+
+func main() {
+	go forever()
+}

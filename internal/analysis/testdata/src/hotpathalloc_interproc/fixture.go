@@ -1,0 +1,47 @@
+package fixture
+
+// Interprocedural hotpathalloc: the allocation sits two calls below the
+// hot-path function, and the diagnostic at the call site names the root
+// cause with its via-chain.
+
+func encode(b []byte) string {
+	return string(b) // the two-hop root cause
+}
+
+func flush(b []byte) string {
+	return encode(b)
+}
+
+//invalidb:hotpath
+func hotFlush(b []byte) string {
+	return flush(b) // want `call to flush allocates in hot path: string/\[\]byte conversion at .*fixture\.go:\d+.* \(via encode\)`
+}
+
+// An //invalidb:allow at the operation's source keeps it out of every
+// caller's summary: the documented exception stays local.
+func allowedEncode(b []byte) string {
+	//invalidb:allow hotpathalloc fixture: the conversion is amortized by design
+	return string(b)
+}
+
+func allowedFlush(b []byte) string {
+	return allowedEncode(b)
+}
+
+//invalidb:hotpath
+func hotAllowedFlush(b []byte) string {
+	return allowedFlush(b) // clean: the allow suppressed the op at its source
+}
+
+// Hotpath-annotated callees are exempt at call sites — their own bodies
+// are checked where they are declared.
+//
+//invalidb:hotpath
+func hotLeaf(b []byte) int {
+	return len(b)
+}
+
+//invalidb:hotpath
+func hotCallsHot(b []byte) int {
+	return hotLeaf(b)
+}

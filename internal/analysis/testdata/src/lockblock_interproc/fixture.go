@@ -1,0 +1,72 @@
+package fixture
+
+// Interprocedural lockblock: the blocking operation sits two calls below
+// the lock region, and the diagnostic at the call site names the root
+// cause with its via-chain.
+
+import (
+	"sync"
+	"time"
+)
+
+type svc struct {
+	mu sync.Mutex
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // the two-hop root cause
+}
+
+func relay() {
+	nap()
+}
+
+func (s *svc) tick() {
+	s.mu.Lock()
+	relay() // want `call to relay \(time\.Sleep at .*fixture\.go:\d+.* \(via nap\)\) while holding s\.mu`
+	s.mu.Unlock()
+	relay() // no lock held: fine
+}
+
+// An //invalidb:allow at the operation's source keeps it out of every
+// caller's summary.
+func allowedNap() {
+	//invalidb:allow lockblock fixture: the sleep is bounded by design
+	time.Sleep(time.Millisecond)
+}
+
+func allowedRelay() {
+	allowedNap()
+}
+
+func (s *svc) tickAllowed() {
+	s.mu.Lock()
+	allowedRelay() // clean: the allow suppressed the op at its source
+	s.mu.Unlock()
+}
+
+// A go-spawned callee blocks on its own goroutine, not in the spawner's
+// context: the spawner's summary stays empty.
+func spawnNap() {
+	go nap()
+}
+
+func (s *svc) tickSpawn() {
+	s.mu.Lock()
+	spawnNap() // clean: blocking does not propagate through the spawn
+	s.mu.Unlock()
+}
+
+// Blocking inside a function literal runs in the literal's own context and
+// does not propagate either.
+func deferredNap() func() {
+	return func() {
+		nap()
+	}
+}
+
+func (s *svc) tickLiteral() {
+	s.mu.Lock()
+	_ = deferredNap() // clean: the literal has not run yet
+	s.mu.Unlock()
+}

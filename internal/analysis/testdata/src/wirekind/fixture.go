@@ -1,0 +1,71 @@
+package fixture
+
+// A miniature wire protocol exercising every wirekind check. Kind "write"
+// is fully registered (all switch cases, per-kind metric families, and a
+// seed file under this fixture's testdata); each other kind is missing
+// exactly one registration site.
+
+const (
+	tagWrite  = 1
+	tagQuery  = 2
+	tagCancel = 3
+	tagResize = 4
+	tagHello  = 5
+	tagAck    = 6
+)
+
+var wireKindNames = [...]string{
+	tagWrite:  "write",
+	tagQuery:  "query",  // want `wire kind "query" \(tag 2\) has no encode case in AppendEnvelope`
+	tagCancel: "cancel", // want `wire kind "cancel" \(tag 3\) has no decode case in decodeBinaryEnvelope`
+	tagResize: "resize", // want `wire kind "resize" has no mapping case in wireKindTag`
+	tagHello:  "hello",  // want `wire kind "hello" has no wire\.encode\.hello metric family` `wire kind "hello" has no wire\.decode\.hello metric family`
+	tagAck:    "ack",    // want `wire kind "ack" has no fuzz seed \(want testdata/fuzz/FuzzEnvelopeWire/seed-ack-\*\)`
+}
+
+func AppendEnvelope(dst []byte, tag int) []byte {
+	switch tag {
+	case tagWrite, tagCancel, tagResize, tagHello, tagAck:
+		dst = append(dst, byte(tag))
+	}
+	return dst
+}
+
+func decodeBinaryEnvelope(data []byte) int {
+	switch int(data[0]) {
+	case tagWrite, tagQuery, tagResize, tagHello, tagAck:
+		return int(data[0])
+	}
+	return 0
+}
+
+func wireKindTag(kind string) int {
+	switch kind {
+	case "write":
+		return tagWrite
+	case "query":
+		return tagQuery
+	case "cancel":
+		return tagCancel
+	case "hello":
+		return tagHello
+	case "ack":
+		return tagAck
+	}
+	return 0
+}
+
+// registerMetrics registers per-kind families (no blanket loop), so the
+// analyzer must find each kind's constant names individually.
+func registerMetrics(emit func(name string)) {
+	emit("wire.encode.write.messages")
+	emit("wire.decode.write.messages")
+	emit("wire.encode.query.messages")
+	emit("wire.decode.query.messages")
+	emit("wire.encode.cancel.messages")
+	emit("wire.decode.cancel.messages")
+	emit("wire.encode.resize.messages")
+	emit("wire.decode.resize.messages")
+	emit("wire.encode.ack.messages")
+	emit("wire.decode.ack.messages")
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WireKind enforces the four-site registration protocol for envelope wire
+// kinds. Adding a kind to the protocol means touching four places that the
+// compiler does not connect: the encode switch, the decode switch, the fuzz
+// seed corpus, and the per-kind metric families. PR 7 shipped with the
+// resize kinds present in the codec but missing from the fuzz corpus — the
+// exact class of silent gap this analyzer closes.
+//
+// In any package declaring a wireKindNames table, every named kind must
+// have:
+//
+//   - a case in AppendEnvelope (the binary encoder);
+//   - a case in decodeBinaryEnvelope (the binary decoder);
+//   - a case in wireKindTag (the kind-string → tag mapping);
+//   - at least one fuzz seed file testdata/fuzz/FuzzEnvelopeWire/seed-<kind>-*;
+//   - wire.encode.<kind> and wire.decode.<kind> metric families — satisfied
+//     by the blanket loop that indexes wireKindNames while concatenating
+//     onto a "wire.encode." / "wire.decode." prefix, or by per-kind
+//     constant metric names.
+//
+// Diagnostics anchor on the kind's entry in wireKindNames: that is the
+// registration the other four sites must match.
+var WireKind = &Analyzer{
+	Name: "wirekind",
+	Doc:  "require every wire kind to have encode/decode cases, a fuzz seed and metric families",
+	Run:  runWireKind,
+}
+
+// wireKindEntry is one named kind in a wireKindNames table.
+type wireKindEntry struct {
+	tag  int64
+	name string
+	pos  token.Pos
+}
+
+func runWireKind(pass *Pass) (any, error) {
+	kinds := wireKindTable(pass)
+	if len(kinds) == 0 {
+		return nil, nil // package does not declare a wire protocol
+	}
+	funcs := topLevelFuncs(pass.Files)
+	encTags := caseConstInts(pass, funcs["AppendEnvelope"])
+	decTags := caseConstInts(pass, funcs["decodeBinaryEnvelope"])
+	tagKinds := caseConstStrings(pass, funcs["wireKindTag"])
+	encAll, decAll, perKind := wireMetricSites(pass)
+
+	for _, k := range kinds {
+		if funcs["AppendEnvelope"] != nil && !encTags[k.tag] {
+			pass.Reportf(k.pos, "wire kind %q (tag %d) has no encode case in AppendEnvelope", k.name, k.tag)
+		}
+		if funcs["decodeBinaryEnvelope"] != nil && !decTags[k.tag] {
+			pass.Reportf(k.pos, "wire kind %q (tag %d) has no decode case in decodeBinaryEnvelope", k.name, k.tag)
+		}
+		if funcs["wireKindTag"] != nil && !tagKinds[k.name] {
+			pass.Reportf(k.pos, "wire kind %q has no mapping case in wireKindTag", k.name)
+		}
+		if !encAll && !perKind["wire.encode."+k.name] {
+			pass.Reportf(k.pos, "wire kind %q has no wire.encode.%s metric family", k.name, k.name)
+		}
+		if !decAll && !perKind["wire.decode."+k.name] {
+			pass.Reportf(k.pos, "wire kind %q has no wire.decode.%s metric family", k.name, k.name)
+		}
+		if pass.Dir != "" && !hasFuzzSeed(pass.Dir, k.name) {
+			pass.Reportf(k.pos, "wire kind %q has no fuzz seed (want testdata/fuzz/FuzzEnvelopeWire/seed-%s-*)", k.name, strings.ToLower(k.name))
+		}
+	}
+	return nil, nil
+}
+
+// wireKindTable extracts the (tag, kind, position) entries from the
+// package's wireKindNames composite literal, resolving keys and values
+// through constant folding so wireTag* and Kind* names work.
+func wireKindTable(pass *Pass) []wireKindEntry {
+	var out []wireKindEntry
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "wireKindNames" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						tagV := pass.TypesInfo.Types[kv.Key].Value
+						nameV := pass.TypesInfo.Types[kv.Value].Value
+						if tagV == nil || nameV == nil || nameV.Kind() != constant.String {
+							continue
+						}
+						tag, ok := constant.Int64Val(constant.ToInt(tagV))
+						if !ok {
+							continue
+						}
+						if s := constant.StringVal(nameV); s != "" {
+							out = append(out, wireKindEntry{tag: tag, name: s, pos: kv.Pos()})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func topLevelFuncs(files []*ast.File) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil {
+				out[fn.Name.Name] = fn
+			}
+		}
+	}
+	return out
+}
+
+// caseConstInts collects the constant integer values of every switch case
+// expression in fn.
+func caseConstInts(pass *Pass, fn *ast.FuncDecl) map[int64]bool {
+	out := map[int64]bool{}
+	eachCaseExpr(fn, func(e ast.Expr) {
+		if v := pass.TypesInfo.Types[e].Value; v != nil {
+			if n, ok := constant.Int64Val(constant.ToInt(v)); ok {
+				out[n] = true
+			}
+		}
+	})
+	return out
+}
+
+// caseConstStrings collects the constant string values of every switch
+// case expression in fn.
+func caseConstStrings(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	eachCaseExpr(fn, func(e ast.Expr) {
+		if v := pass.TypesInfo.Types[e].Value; v != nil && v.Kind() == constant.String {
+			out[constant.StringVal(v)] = true
+		}
+	})
+	return out
+}
+
+func eachCaseExpr(fn *ast.FuncDecl, visit func(ast.Expr)) {
+	if fn == nil || fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				visit(e)
+			}
+		}
+		return true
+	})
+}
+
+// wireMetricSites scans the package for metric-name construction. It
+// reports whether a blanket family exists per direction — a function that
+// both indexes wireKindNames and concatenates onto the direction's prefix
+// covers every kind at once — and collects per-kind constant names
+// ("wire.encode.write...") for protocols registering families one by one.
+func wireMetricSites(pass *Pass) (encAll, decAll bool, perKind map[string]bool) {
+	perKind = map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			indexed := false
+			encPrefix, decPrefix := false, false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.IndexExpr:
+					if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Name == "wireKindNames" {
+						indexed = true
+					}
+				case *ast.BasicLit:
+					if x.Kind != token.STRING {
+						return true
+					}
+					v := pass.TypesInfo.Types[x].Value
+					if v == nil {
+						return true
+					}
+					s := constant.StringVal(v)
+					switch {
+					case s == "wire.encode.":
+						encPrefix = true
+					case s == "wire.decode.":
+						decPrefix = true
+					case strings.HasPrefix(s, "wire.encode.") || strings.HasPrefix(s, "wire.decode."):
+						// Trim a trailing ".messages"/".bytes" suffix: the
+						// family is identified by its first three segments.
+						seg := strings.SplitN(s, ".", 4)
+						if len(seg) >= 3 {
+							perKind[seg[0]+"."+seg[1]+"."+seg[2]] = true
+						}
+					}
+				}
+				return true
+			})
+			if indexed && encPrefix {
+				encAll = true
+			}
+			if indexed && decPrefix {
+				decAll = true
+			}
+		}
+	}
+	return encAll, decAll, perKind
+}
+
+// hasFuzzSeed reports whether at least one seed file for the kind exists in
+// the package's FuzzEnvelopeWire corpus. Seed files are named with the
+// lowercased kind ("partitionMap" → seed-partitionmap-*).
+func hasFuzzSeed(dir, kind string) bool {
+	pattern := filepath.Join(dir, "testdata", "fuzz", "FuzzEnvelopeWire", "seed-"+strings.ToLower(kind)+"-*")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return true // unreadable corpus: do not guess
+	}
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && !fi.IsDir() {
+			return true
+		}
+	}
+	return false
+}

@@ -36,6 +36,7 @@ type placement struct {
 // placeFor computes the placement of a query hash under a map.
 func placeFor(m *core.PartitionMap, hash uint64) placement {
 	ra := m.Rows[m.Row(hash)]
+	//invalidb:allow epochcapture placement deliberately records install-time wp so moved() can detect reshapes against it
 	return placement{epoch: m.Epoch, node: ra.Node, slot: ra.Slot, wp: m.WritePartitions, known: true}
 }
 

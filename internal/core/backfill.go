@@ -146,6 +146,7 @@ func (b *matchBolt) reconcileChunk(t *topology.Tuple, p *backfillChunkPayload) {
 		}
 		mq.tracked[e.Key] = e.Version
 		if b.qindex != nil {
+			//invalidb:allow hotpathalloc first-track lazily allocates the per-record tracker set, amortized across a query's matches
 			b.qindex.track(b.interner.key(mq.tenant, mq.q.Collection, e.Key), mq)
 		}
 	}
@@ -174,6 +175,7 @@ func (b *matchBolt) reconcileChunk(t *topology.Tuple, p *backfillChunkPayload) {
 		Tenant:         p.tenant,
 		SubscriptionID: p.sid,
 		BackfillID:     p.bfid,
+		//invalidb:allow hotpathalloc one ID string per certificate, amortized over the chunk's entries
 		QueryID:        QueryIDString(p.hash),
 		Chunk:          p.chunk,
 		Cell:           b.cell.Col,

@@ -229,6 +229,7 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 			//invalidb:allow coarseclock fallback for tick tuples without a timestamp
 			now = time.Now()
 		}
+		//invalidb:allow hotpathalloc tick handling runs once per tick interval, not per write
 		b.handleTick(now)
 		return
 	}
@@ -238,6 +239,7 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 	switch kind {
 	case kindSubscribe:
 		if p, ok := payloadV.(*subscribePayload); ok {
+			//invalidb:allow hotpathalloc subscription registration is control-plane; its state must be allocated
 			b.handleSubscribe(t, p)
 		}
 	case kindCancel:
@@ -260,10 +262,12 @@ func (b *matchBolt) Execute(t *topology.Tuple) {
 		}
 	case kindBackfillChunk:
 		if p, ok := payloadV.(*backfillChunkPayload); ok {
+			//invalidb:allow hotpathalloc backfill state is allocated once per backfill, amortized over its chunks
 			b.handleBackfillChunk(t, p)
 		}
 	case kindBackfillMark:
 		if p, ok := payloadV.(*BackfillMark); ok {
+			//invalidb:allow hotpathalloc backfill state is allocated once per backfill, amortized over its chunks
 			b.handleBackfillMark(t, p)
 		}
 	}
@@ -290,6 +294,7 @@ func (b *matchBolt) handleWrite(t *topology.Tuple, we *WriteEvent) {
 	}
 	b.latest[ck] = img.Version
 	b.latestAt[ck] = b.now
+	//invalidb:allow hotpathalloc ring growth doubles capacity, amortized O(1) per retained image
 	b.retention.push(retainedImage{we: we, at: b.now})
 
 	// The node's matching budget: evaluating one after-image against every
@@ -346,8 +351,10 @@ func (b *matchBolt) processImage(t *topology.Tuple, mq *matchQuery, we *WriteEve
 	case isMatch && !wasTracked:
 		mq.tracked[img.Key] = img.Version
 		if b.qindex != nil {
+			//invalidb:allow hotpathalloc first-track lazily allocates the per-record tracker set, amortized across a query's matches
 			b.qindex.track(ck, mq)
 		}
+		//invalidb:allow hotpathalloc deltas for ordered queries must escape to the sorting stage; matches are rare relative to writes
 		b.emit(t, mq, we, MatchAdd, img.Key, img.Version, img.Doc)
 	case isMatch && wasTracked:
 		mq.tracked[img.Key] = img.Version

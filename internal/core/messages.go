@@ -413,6 +413,7 @@ func DecodeWire(data []byte) (*Envelope, error) {
 	if len(data) > 0 && data[0] == wireMagic {
 		return decodeBinaryEnvelope(data)
 	}
+	//invalidb:allow hotpathalloc the JSON fallback format allocates wholesale by design; binary is the hot format
 	return decodeJSONEnvelope(data)
 }
 

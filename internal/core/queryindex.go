@@ -832,6 +832,7 @@ func rangeOverlaps(iv query.Interval, mn, mx float64) bool {
 //invalidb:hotpath
 func (t *intervalTree) stabRange(mn, mx float64, out map[uint64]*matchQuery) {
 	if t.dirty {
+		//invalidb:allow hotpathalloc lazy rebuild after interval mutations, amortized across stabs
 		t.rebuild()
 	}
 	stabRangeNode(t.root, mn, mx, clamp(mn), clamp(mx), out)

@@ -470,6 +470,7 @@ func appendBackfillChunk(b []byte, c *BackfillChunk) ([]byte, error) {
 
 //invalidb:hotpath
 func appendPartitionMap(b []byte, m *PartitionMap) ([]byte, error) {
+	//invalidb:allow hotpathalloc map validation errors allocate only on the reject path
 	if err := m.validate(); err != nil {
 		// JSON parity: the decoders reject malformed maps, so the binary
 		// encoder must refuse to produce them.
@@ -1217,6 +1218,7 @@ func (r *wireReader) decodeWrite() (*WriteEvent, error) {
 	if img.Doc, err = r.docField(); err != nil {
 		return nil, err
 	}
+	//invalidb:allow hotpathalloc after-image validation errors allocate only on the reject path
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -1438,6 +1440,7 @@ func (r *wireReader) decodePartitionMap() (*PartitionMap, error) {
 			m.Rows[i].Slot = int(slot)
 		}
 	}
+	//invalidb:allow hotpathalloc map validation errors allocate only on the reject path
 	if err := m.validate(); err != nil {
 		return nil, err
 	}

@@ -269,6 +269,7 @@ func RunResizePoint(cfg Config, writeRate int) (ResizePoint, error) {
 		WriteRate: writeRate, Writes: total,
 		Before: recBefore.Snapshot(), During: recDuring.Snapshot(), After: recAfter.Snapshot(),
 		ResizeTook: took,
+		//invalidb:allow epochcapture the experiment report records the epoch's shape as data, it never routes by it
 		Epoch:      m.Epoch, QP: m.QueryPartitions, WP: m.WritePartitions,
 		Dropped: dropped, Duplicated: duplicated, Errors: errs,
 		FinalMatch: finalMatch,

@@ -144,20 +144,14 @@ func onSegment(p, a, b Point) bool {
 func ParsePoint(v any) (Point, bool) {
 	switch t := v.(type) {
 	case []any:
-		if len(t) != 2 {
-			return Point{}, false
-		}
-		lng, ok1 := asFloat(t[0])
-		lat, ok2 := asFloat(t[1])
-		p := Point{Lng: lng, Lat: lat}
-		return p, ok1 && ok2 && p.Valid()
+		return parsePointPair(t)
 	case map[string]any:
 		if typ, ok := t["type"].(string); ok && typ == "Point" {
 			coords, ok := t["coordinates"].([]any)
 			if !ok {
 				return Point{}, false
 			}
-			return ParsePoint(coords)
+			return parsePointPair(coords)
 		}
 		if lng, ok := asFloat(t["lng"]); ok {
 			if lat, ok2 := asFloat(t["lat"]); ok2 {
@@ -175,6 +169,19 @@ func ParsePoint(v any) (Point, bool) {
 	default:
 		return Point{}, false
 	}
+}
+
+// parsePointPair parses the legacy [lng, lat] pair form. It takes the
+// slice directly — on the matching hot path the caller already holds the
+// concrete slice, and re-boxing it into an interface would allocate.
+func parsePointPair(t []any) (Point, bool) {
+	if len(t) != 2 {
+		return Point{}, false
+	}
+	lng, ok1 := asFloat(t[0])
+	lat, ok2 := asFloat(t[1])
+	p := Point{Lng: lng, Lat: lat}
+	return p, ok1 && ok2 && p.Valid()
 }
 
 func asFloat(v any) (float64, bool) {

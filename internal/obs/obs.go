@@ -49,6 +49,7 @@ type Options struct {
 type Server struct {
 	ln   net.Listener
 	http *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // Serve starts the observability endpoint on addr ("" or ":0" pick an
@@ -110,8 +111,10 @@ func Serve(addr string, opts Options) (*Server, error) {
 			Handler:           mux,
 			ReadHeaderTimeout: 10 * time.Second,
 		},
+		done: make(chan struct{}),
 	}
 	go func() {
+		defer close(srv.done)
 		if err := srv.http.Serve(ln); err != nil && err != http.ErrServerClosed {
 			opts.Logf("obs: serve: %v", err)
 		}
@@ -122,5 +125,10 @@ func Serve(addr string, opts Options) (*Server, error) {
 // Addr returns the bound listen address, e.g. "127.0.0.1:46781".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint and releases the listener.
-func (s *Server) Close() error { return s.http.Close() }
+// Close stops the endpoint, releases the listener, and waits for the serve
+// goroutine to exit, so a closed Server leaves nothing running behind it.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}

@@ -88,28 +88,37 @@ func (c *Cache) Query(spec query.Spec) ([]document.Document, bool, error) {
 		return nil, false, err
 	}
 
+	// Subscribe before taking the lock: registration bootstraps the result
+	// set with a collection scan, and holding c.mu across that would stall
+	// every concurrent cache read behind one slow bootstrap.
+	sub, subErr := c.server.Subscribe(spec)
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if e, ok = c.entries[hash]; ok {
-		// Revalidate the existing entry (its invalidation subscription is
-		// still live).
+		// Another miss installed this query while we subscribed. Revalidate
+		// the winner's entry (its invalidation subscription is live) and
+		// release the redundant subscription outside the lock.
 		e.result = result
 		e.valid = true
 		c.touchLocked(hash)
+		c.mu.Unlock()
+		if subErr == nil {
+			_ = sub.Close()
+		}
 		return result, false, nil
 	}
-	e = &entry{spec: spec, result: result, valid: true, done: make(chan struct{})}
-	sub, err := c.server.Subscribe(spec)
-	if err != nil {
+	if subErr != nil {
+		c.mu.Unlock()
 		// Degraded mode: serve uncached rather than fail the read — the
 		// pull-based path must survive a real-time outage (§5).
 		return result, false, nil
 	}
-	e.sub = sub
+	e = &entry{spec: spec, result: result, valid: true, done: make(chan struct{}), sub: sub}
 	c.entries[hash] = e
 	c.lru = append(c.lru, hash)
 	go c.watch(hash, e)
 	c.evictLocked()
+	c.mu.Unlock()
 	return result, false, nil
 }
 

@@ -38,6 +38,7 @@ func New(rate, burst float64) *Bucket {
 	}
 	// Start full: the burst is headroom the caller is entitled to from the
 	// first Take, not an allowance that must first accrue.
+	//invalidb:allow coarseclock the token bucket is wall-clock-driven by design; construction is control-plane
 	return &Bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
 }
 
@@ -54,6 +55,7 @@ func (b *Bucket) Burst() float64 { return b.burst }
 // through the shared balance.
 func (b *Bucket) Take(n float64) {
 	b.mu.Lock()
+	//invalidb:allow coarseclock token accrual is defined against wall time; admission control cannot run on the tick clock
 	now := time.Now()
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	b.last = now
@@ -73,6 +75,7 @@ func (b *Bucket) Take(n float64) {
 		// balance to zero) is exactly the drift that let the old private
 		// copies fall below their configured rate.
 		b.mu.Lock()
+		//invalidb:allow coarseclock crediting actual sleep overshoot requires re-reading the wall clock
 		now = time.Now()
 		b.tokens += now.Sub(b.last).Seconds() * b.rate
 		b.last = now
