@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke resize-smoke check
+.PHONY: all build vet staticcheck lint test race bench-smoke fuzz-smoke chaos obs-smoke resize-smoke fanout-smoke check
 
 all: check lint
 
@@ -50,6 +50,7 @@ bench-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkFanOutRouting' -benchmem -benchtime=100000x
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkEnvelopeWire' -benchmem -benchtime=1x
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkCandidateProbe' -benchmem -benchtime=1000x
+	$(GO) test ./internal/gateway -run TestGatewayFanOutPerDeliveryAllocs -bench 'BenchmarkGatewayFanOut' -benchmem -benchtime=1000x -count=1
 
 # Fuzz smoke: run each native fuzz target briefly past its seed corpus.
 fuzz-smoke:
@@ -81,5 +82,12 @@ obs-smoke:
 # `go test ./...` stays fast.
 resize-smoke:
 	RESIZE_SMOKE=1 $(GO) test -race ./internal/smoke -run TestResizeSmoke -count=1 -v
+
+# Fan-out smoke: a scaled-down run of the `-exp fanout` swarm under the race
+# detector — asserts the dedup ratio (one upstream subscription per distinct
+# query), zero lost terminal events, and a bounded noisy tenant
+# (DESIGN.md §14). Gated behind FANOUT_SMOKE so `go test ./...` stays fast.
+fanout-smoke:
+	FANOUT_SMOKE=1 $(GO) test -race ./internal/smoke -run TestFanoutSmoke -count=1 -v
 
 check: vet staticcheck build race bench-smoke

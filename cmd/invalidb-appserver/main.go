@@ -37,6 +37,12 @@ func main() {
 		obsAddr = flag.String("obs-addr", "", "observability HTTP address for /metrics, /healthz, /debug/pprof (empty disables; unauthenticated — \":port\" binds loopback, use an explicit host like 0.0.0.0:9090 to expose)")
 		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 		wire    = flag.String("wire", core.WireBinary, "wire format for envelopes: binary|json (decode auto-detects either)")
+
+		outBudget = flag.Int("client-out-budget", 64<<10, "per-client outbound queue budget in bytes before events are shed")
+		maxConns  = flag.Int("max-conns-per-tenant", 0, "cap on concurrent connections per tenant (0 = unlimited)")
+		maxSubs   = flag.Int("max-subs-per-tenant", 0, "cap on concurrent subscriptions per tenant (0 = unlimited)")
+		connRate  = flag.Float64("conn-rate-per-tenant", 0, "new connections per second per tenant (0 = unlimited)")
+		subRate   = flag.Float64("sub-rate-per-tenant", 0, "new subscriptions per second per tenant (0 = unlimited)")
 	)
 	flag.Parse()
 	if err := core.SetWireFormat(*wire); err != nil {
@@ -68,7 +74,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	gw, err := gateway.Serve(srv, *listen)
+	gwOpts := gateway.Options{
+		// Folding the gateway into the appserver's registry puts its
+		// fan-out counters on the same -obs-addr endpoint.
+		Metrics:   srv.Metrics(),
+		OutBudget: *outBudget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *maxConns > 0 || *maxSubs > 0 || *connRate > 0 || *subRate > 0 {
+		q := gateway.Quota{MaxConns: *maxConns, MaxSubs: *maxSubs, ConnRate: *connRate, SubRate: *subRate}
+		gwOpts.Quota = func(string) gateway.Quota { return q }
+	}
+	gw, err := gateway.ServeOptions(srv, *listen, gwOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,7 +124,8 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			fmt.Printf("invalidb-appserver: clients=%d renewals=%d\n", gw.Clients(), srv.Renewals())
+			fmt.Printf("invalidb-appserver: clients=%d subs=%d queries=%d renewals=%d\n",
+				gw.Clients(), gw.Subscriptions(), gw.DistinctQueries(), srv.Renewals())
 		case <-stop:
 			_ = gw.Close()
 			_ = srv.Close()

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|backfill|resize|all")
+		exp        = flag.String("exp", "all", "experiment: fig4|fig5|table3a|table3b|fig6a|fig6b|fig6c|fig6d|baselines|breakdown|table2|spatiotext|backfill|resize|fanout|all")
 		capacity   = flag.Int("capacity", 50_000, "matching-node budget in match-ops/s (paper testbed: ~1.6M)")
 		measure    = flag.Duration("measure", time.Second, "measurement phase per point (paper: 1m)")
 		warmup     = flag.Duration("warmup", 300*time.Millisecond, "warmup phase per point")
@@ -38,6 +38,10 @@ func main() {
 		partitions = flag.String("partitions", "1,2,4,8", "cluster sizes to sweep")
 		verbose    = flag.Bool("v", false, "print per-point progress")
 		wire       = flag.String("wire", core.WireBinary, "wire format for envelopes: binary|json (decode auto-detects either)")
+		fanClients = flag.Int("fanout-clients", experiments.FanoutClients, "fanout: concurrent mock clients")
+		fanQueries = flag.Int("fanout-queries", experiments.FanoutQueries, "fanout: distinct queries the clients share")
+		fanRate    = flag.Int("fanout-rate", experiments.FanoutEventRate, "fanout: sustained writes per second")
+		fanNoisy   = flag.Bool("fanout-noisy", true, "fanout: add a quota-capped noisy tenant mid-run")
 	)
 	flag.Parse()
 	if err := core.SetWireFormat(*wire); err != nil {
@@ -165,6 +169,20 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(experiments.RenderResize(p))
+		case "fanout":
+			// Shared-subscription edge fan-out: a mock-client swarm over an
+			// in-process listener proves delivery cost scales with distinct
+			// queries, not clients (not a paper figure; see DESIGN.md §14).
+			p, err := experiments.RunFanoutPoint(cfg, experiments.FanoutConfig{
+				Clients:   *fanClients,
+				Queries:   *fanQueries,
+				EventRate: *fanRate,
+				Noisy:     *fanNoisy,
+			}, progress)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderFanout(p))
 		case "baselines":
 			results, err := experiments.Baselines(cfg, progress)
 			if err != nil {

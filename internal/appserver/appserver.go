@@ -360,6 +360,18 @@ func (s *Server) Query(spec query.Spec) ([]document.Document, error) {
 
 // --- Subscriptions ----------------------------------------------------------
 
+// QueryHash compiles spec and returns its tenant-scoped fixed64 hash — the
+// key subscriptions are registered under with the cluster, and therefore
+// the key under which the gateway dedupes client subscriptions onto one
+// upstream Subscription per distinct query.
+func (s *Server) QueryHash(spec query.Spec) (uint64, error) {
+	q, err := query.Compile(spec)
+	if err != nil {
+		return 0, err
+	}
+	return core.TenantQueryHash(s.opts.Tenant, q), nil
+}
+
 func (s *Server) newSubscriptionID() string {
 	s.rngMu.Lock()
 	defer s.rngMu.Unlock()

@@ -128,6 +128,12 @@ type originState struct {
 // ID returns the client-visible subscription identifier.
 func (sub *Subscription) ID() string { return sub.id }
 
+// Hash returns the tenant-scoped fixed64 query hash the subscription is
+// registered under with the cluster. Two subscriptions to semantically
+// identical queries share the hash, which is what makes it the dedup key
+// for the gateway's shared fan-out engine.
+func (sub *Subscription) Hash() uint64 { return sub.hash }
+
 // epoch is the partition-map epoch the subscription is installed under,
 // stamped on its control envelopes (zero = "current", static clusters).
 func (sub *Subscription) epoch() uint64 {

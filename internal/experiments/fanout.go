@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/appserver"
+	"invalidb/internal/core"
+	"invalidb/internal/document"
+	"invalidb/internal/eventlayer"
+	"invalidb/internal/gateway"
+	"invalidb/internal/loadgen"
+	"invalidb/internal/metrics"
+	"invalidb/internal/storage"
+)
+
+// Defaults for the `-exp fanout` scenario: the shared-subscription edge
+// fan-out under a 100k-client mock swarm (DESIGN.md §14). The swarm dials
+// through an in-process MemListener, so no file descriptors or TCP ports
+// bound the scale — only memory and CPU, which is exactly what the
+// experiment measures.
+const (
+	// FanoutClients is the mock-client swarm size.
+	FanoutClients = 100_000
+	// FanoutQueries is the number of distinct queries the swarm spreads
+	// across: Clients/Queries clients share each query, which is the dedup
+	// ratio the gateway must achieve (1000 with the defaults).
+	FanoutQueries = 100
+	// FanoutEventRate is the sustained write rate (ops/s). Each write
+	// matches exactly one query and fans to Clients/Queries clients, so
+	// delivered events/s = rate x Clients/Queries (25k/s with defaults).
+	FanoutEventRate = 25
+	// FanoutNoisyClients is the size of the second, quota-capped tenant's
+	// swarm when -fanout-noisy is on.
+	FanoutNoisyClients = 2000
+	// FanoutNoisyMaxConns / FanoutNoisyMaxSubs cap the noisy tenant.
+	FanoutNoisyMaxConns = 256
+	FanoutNoisyMaxSubs  = 256
+)
+
+// FanoutConfig parameterizes one fan-out run.
+type FanoutConfig struct {
+	Clients   int
+	Queries   int
+	EventRate int
+	// Noisy adds a second tenant under a connection/subscription quota and
+	// verifies its rejection doesn't disturb the main swarm.
+	Noisy         bool
+	NoisyClients  int
+	NoisyMaxConns int
+	NoisyMaxSubs  int
+}
+
+// Defaults fills zero fields.
+func (f FanoutConfig) Defaults() FanoutConfig {
+	if f.Clients <= 0 {
+		f.Clients = FanoutClients
+	}
+	if f.Queries <= 0 {
+		f.Queries = FanoutQueries
+	}
+	if f.EventRate <= 0 {
+		f.EventRate = FanoutEventRate
+	}
+	if f.NoisyClients <= 0 {
+		f.NoisyClients = FanoutNoisyClients
+	}
+	if f.NoisyMaxConns <= 0 {
+		f.NoisyMaxConns = FanoutNoisyMaxConns
+	}
+	if f.NoisyMaxSubs <= 0 {
+		f.NoisyMaxSubs = FanoutNoisyMaxSubs
+	}
+	return f
+}
+
+// FanoutPoint is one measured fan-out run.
+type FanoutPoint struct {
+	Clients, Queries int
+	// Subscribed is acked client subscriptions (must equal Clients).
+	Subscribed int64
+	// Upstream is live appserver subscriptions — the dedup target is
+	// Upstream == Queries regardless of Clients.
+	Upstream   int
+	DedupRatio float64
+	// ConnectTook is dial-to-all-acked for the whole swarm.
+	ConnectTook time.Duration
+	// Writes during the measure phase; Received is event frames the swarm
+	// tallied (measure-phase events plus initial results and terminals).
+	Writes   int
+	Received uint64
+	// Encoded vs Fanned pins encode-once: bodies serialized vs events
+	// delivered. BytesSaved is body bytes never re-serialized.
+	Encoded, Fanned, BytesSaved int64
+	// Slow-consumer ledger.
+	Drops, Resyncs int64
+	// Terminal ledger: every subscribed client must see a terminal event.
+	TerminalWant, TerminalSeen int64
+	// Latency is sampled write-to-delivery latency against the scheduled
+	// send stamp.
+	Latency metrics.Summary
+	// PerClientKB is resident-set growth per client across the connect
+	// phase; GrowthKB is per-client RSS drift across the measure phase
+	// (flat memory means ~0).
+	PerClientKB, GrowthKB float64
+	// Noisy-tenant ledger (zero when Noisy is off).
+	NoisyClients, NoisyAdmitted, NoisyRejected, QuotaRejected int64
+}
+
+// RunFanoutPoint boots a single-process stack (bus, one matching cluster,
+// appserver, gateway on a MemListener), connects a mock-client swarm spread
+// across fc.Queries distinct queries, sustains fc.EventRate writes/s for
+// cfg.Measure, then sweeps a terminal event through every query and audits
+// that every subscribed client saw it.
+func RunFanoutPoint(cfg Config, fc FanoutConfig, progress func(string)) (FanoutPoint, error) {
+	cfg = cfg.Defaults()
+	fc = fc.Defaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	bus := eventlayer.NewMemBus(eventlayer.MemBusOptions{BufferSize: 1 << 16})
+	defer bus.Close()
+	opts := clusterOptions(cfg, 1, 1)
+	opts.EnableQueryIndex = true // O(candidates) matching across the query population
+	opts.TickInterval = 20 * time.Millisecond
+	cluster, err := core.NewCluster(bus, opts)
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	if err := cluster.Start(); err != nil {
+		return FanoutPoint{}, err
+	}
+	defer cluster.Stop()
+
+	db := storage.Open(storage.Options{Shards: 16, OplogCapacity: 4096})
+	srv, err := appserver.New(db, bus, appserver.Options{
+		Tenant:      tenant,
+		TTL:         10 * time.Minute,
+		EventBuffer: 1 << 14,
+	})
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	var quota func(string) gateway.Quota
+	if fc.Noisy {
+		quota = func(t string) gateway.Quota {
+			if t == "noisy" {
+				return gateway.Quota{MaxConns: fc.NoisyMaxConns, MaxSubs: fc.NoisyMaxSubs}
+			}
+			return gateway.Quota{}
+		}
+	}
+	ln := gateway.NewMemListener()
+	gw, err := gateway.ServeListener(srv, ln, gateway.Options{
+		Metrics:    reg,
+		OutBudget:  32 << 10,
+		ReadBuffer: 2 << 10,
+		Quota:      quota,
+	})
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	defer gw.Close()
+
+	w := loadgen.New(1, fc.Queries)
+	swarm := loadgen.NewSwarm(ln.Dial, w, loadgen.SwarmOptions{
+		Clients: fc.Clients,
+		Queries: fc.Queries,
+	})
+	defer swarm.Close()
+
+	runtime.GC()
+	rssStart := rssBytes()
+	progress(fmt.Sprintf("fanout: connecting %d clients across %d queries", fc.Clients, fc.Queries))
+	connectStart := time.Now()
+	if err := swarm.Connect(); err != nil {
+		return FanoutPoint{}, err
+	}
+	subscribed := swarm.WaitSubscribed(fc.Clients, 5*time.Minute)
+	connectTook := time.Since(connectStart)
+	if subscribed < int64(fc.Clients) {
+		return FanoutPoint{}, fmt.Errorf("experiments: only %d/%d clients subscribed (%d rejected, %d dial errors)",
+			subscribed, fc.Clients, swarm.Rejected(), swarm.DialErrors())
+	}
+	runtime.GC()
+	rssConnected := rssBytes()
+	perClientKB := (rssConnected - rssStart) / float64(fc.Clients) / 1024
+	progress(fmt.Sprintf("fanout: %d subscribed in %v (%.1f KiB/client), upstream subscriptions: %d",
+		subscribed, connectTook.Round(time.Millisecond), perClientKB, gw.DistinctQueries()))
+
+	// The noisy tenant storms in while the main swarm is live: its quota
+	// must bound it without disturbing the measured tenant.
+	var noisy *loadgen.Swarm
+	if fc.Noisy {
+		noisy = loadgen.NewSwarm(ln.Dial, w, loadgen.SwarmOptions{
+			Clients: fc.NoisyClients,
+			Queries: fc.Queries,
+			Tenant:  "noisy",
+		})
+		defer noisy.Close()
+		if err := noisy.Connect(); err != nil {
+			return FanoutPoint{}, err
+		}
+		noisy.WaitSubscribed(fc.NoisyClients, 30*time.Second)
+		progress(fmt.Sprintf("fanout: noisy tenant %d clients -> %d admitted, %d rejected",
+			fc.NoisyClients, noisy.Subscribed(), noisy.Rejected()))
+	}
+
+	// Sustained open-loop writer: sentNs carries the scheduled send time,
+	// so client-side queueing counts against the system, not for it. Each
+	// write lands in exactly one query's reserved value.
+	stopWrites := make(chan struct{})
+	var writerWG sync.WaitGroup
+	var writes atomic.Int64
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		start := time.Now()
+		sent := 0
+		for {
+			select {
+			case <-stopWrites:
+				return
+			default:
+			}
+			due := int(time.Since(start).Seconds() * float64(fc.EventRate))
+			for sent < due {
+				opDue := start.Add(time.Duration(float64(sent) / float64(fc.EventRate) * float64(time.Second)))
+				d := document.Document{
+					"_id":    fmt.Sprintf("f%07d", sent),
+					"random": int64(w.MatchingValues[sent%fc.Queries]),
+					"sentNs": opDue.UnixNano(),
+				}
+				if err := srv.Insert(loadgen.Collection, d); err == nil {
+					writes.Add(1)
+				}
+				sent++
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	progress(fmt.Sprintf("fanout: measuring %v at %d writes/s", cfg.Measure, fc.EventRate))
+	time.Sleep(cfg.Measure)
+	close(stopWrites)
+	writerWG.Wait()
+	runtime.GC()
+	rssMeasured := rssBytes()
+	growthKB := (rssMeasured - rssConnected) / float64(fc.Clients) / 1024
+
+	// Terminal sweep: one marked document per query; every subscribed
+	// client must report it. Slow clients may have shed the first copy, so
+	// the sweep re-sends with fresh keys until the ledger closes.
+	progress("fanout: terminal sweep")
+	deadline := time.Now().Add(120 * time.Second)
+	for round := 0; swarm.TerminalSeen() < subscribed; round++ {
+		if time.Now().After(deadline) {
+			break
+		}
+		for q := 0; q < fc.Queries; q++ {
+			d := document.Document{
+				"_id":      fmt.Sprintf("t%03d-%d", q, round),
+				"random":   int64(w.MatchingValues[q]),
+				"terminal": true,
+			}
+			if err := srv.Insert(loadgen.Collection, d); err != nil {
+				return FanoutPoint{}, err
+			}
+		}
+		settle := time.Now().Add(2 * time.Second)
+		for swarm.TerminalSeen() < subscribed && time.Now().Before(settle) {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	p := FanoutPoint{
+		Clients: fc.Clients, Queries: fc.Queries,
+		Subscribed:  subscribed,
+		Upstream:    gw.DistinctQueries(),
+		DedupRatio:  gw.DedupRatio(),
+		ConnectTook: connectTook,
+		Writes:      int(writes.Load()),
+		Received:    swarm.Events(),
+		Encoded:     reg.Counter("gateway.events.encoded").Value(),
+		Fanned:      reg.Counter("gateway.events.fanout").Value(),
+		BytesSaved:  reg.Counter("gateway.encode.bytes_saved").Value(),
+		Drops:       reg.Counter("gateway.client.drops").Value(),
+		Resyncs:     reg.Counter("gateway.client.resyncs").Value(),
+		TerminalWant: subscribed, TerminalSeen: swarm.TerminalSeen(),
+		Latency:     swarm.Latency(),
+		PerClientKB: perClientKB,
+		GrowthKB:    growthKB,
+	}
+	if noisy != nil {
+		p.NoisyClients = int64(fc.NoisyClients)
+		p.NoisyAdmitted = noisy.Subscribed()
+		p.NoisyRejected = noisy.Rejected()
+		p.QuotaRejected = reg.Counter("gateway.quota.rejected").Value()
+	}
+	return p, nil
+}
+
+// RenderFanout prints the dedup, memory, latency, and continuity report.
+func RenderFanout(p FanoutPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shared-subscription edge fan-out — %d clients over %d distinct queries, %d writes sustained (DESIGN.md §14)\n",
+		p.Clients, p.Queries, p.Writes)
+	fmt.Fprintf(&b, "%-28s %12d (connected in %v)\n", "clients subscribed", p.Subscribed, p.ConnectTook.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-28s %12d (one per distinct query)\n", "upstream subscriptions", p.Upstream)
+	fmt.Fprintf(&b, "%-28s %12.0f client subs per upstream\n", "dedup ratio", p.DedupRatio)
+	fmt.Fprintf(&b, "%-28s %12d bodies for %d delivered events (%.1f MB re-encoding avoided)\n",
+		"bodies encoded", p.Encoded, p.Fanned, float64(p.BytesSaved)/1e6)
+	fmt.Fprintf(&b, "%-28s %12.1f KiB connect; %+.2f KiB drift during measure\n", "per-client RSS", p.PerClientKB, p.GrowthKB)
+	fmt.Fprintf(&b, "%-28s %7.1f / %7.1f / %7.1f ms (%d samples)\n", "delivery p50/p99/max",
+		p.Latency.P50MS, p.Latency.P99MS, p.Latency.MaxMS, p.Latency.Count)
+	fmt.Fprintf(&b, "%-28s %12d received; %d shed on slow clients, %d resync markers\n", "events", p.Received, p.Drops, p.Resyncs)
+	fmt.Fprintf(&b, "terminal ledger: %d/%d clients saw the terminal event\n", p.TerminalSeen, p.TerminalWant)
+	if p.NoisyClients > 0 {
+		fmt.Fprintf(&b, "noisy tenant: %d clients -> %d admitted, %d rejected (%d quota rejections total); main swarm undisturbed\n",
+			p.NoisyClients, p.NoisyAdmitted, p.NoisyRejected, p.QuotaRejected)
+	}
+	return b.String()
+}
+
+// rssBytes reads the process's resident set from /proc/self/statm,
+// falling back to Go runtime stats where /proc is unavailable.
+func rssBytes() float64 {
+	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
+		f := strings.Fields(string(b))
+		if len(f) >= 2 {
+			if pages, err := strconv.ParseFloat(f[1], 64); err == nil {
+				return pages * float64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapInuse + ms.StackInuse)
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFanoutPointSmall runs a scaled-down fan-out point and checks the
+// invariants the full 100k run is graded on: dedup to one upstream per
+// query, a closed terminal ledger, and a bounded noisy tenant.
+func TestFanoutPointSmall(t *testing.T) {
+	cfg := Config{Measure: 300 * time.Millisecond}
+	fc := FanoutConfig{
+		Clients:       200,
+		Queries:       10,
+		EventRate:     200,
+		Noisy:         true,
+		NoisyClients:  40,
+		NoisyMaxConns: 8,
+		NoisyMaxSubs:  8,
+	}
+	p, err := RunFanoutPoint(cfg, fc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Subscribed != int64(fc.Clients) {
+		t.Fatalf("subscribed %d of %d clients", p.Subscribed, fc.Clients)
+	}
+	if p.Upstream != fc.Queries {
+		t.Fatalf("%d upstream subscriptions for %d distinct queries; dedup broken", p.Upstream, fc.Queries)
+	}
+	if p.TerminalSeen != p.TerminalWant {
+		t.Fatalf("terminal ledger open: %d/%d clients saw the terminal event", p.TerminalSeen, p.TerminalWant)
+	}
+	if p.DedupRatio < float64(fc.Clients)/float64(fc.Queries) {
+		t.Fatalf("dedup ratio %.1f below the %d clients / %d queries floor", p.DedupRatio, fc.Clients, fc.Queries)
+	}
+	if p.Encoded <= 0 || p.Fanned < p.Encoded {
+		t.Fatalf("encode-once counters implausible: %d encoded, %d fanned", p.Encoded, p.Fanned)
+	}
+	if p.NoisyAdmitted > int64(fc.NoisyMaxConns) {
+		t.Fatalf("noisy tenant got %d conns past a %d cap", p.NoisyAdmitted, fc.NoisyMaxConns)
+	}
+	if p.NoisyRejected == 0 {
+		t.Fatal("noisy tenant saw no quota rejections despite overflowing its cap")
+	}
+}

@@ -29,27 +29,66 @@ type Client struct {
 
 	// Timeout bounds synchronous calls. Default 5s.
 	Timeout time.Duration
+
+	resyncs atomic.Uint64
+}
+
+// ClientOptions tunes DialClientOptions.
+type ClientOptions struct {
+	// Tenant is announced with a synchronous "hello" before any other
+	// frame; the gateway runs its per-tenant quota admission against it.
+	// Empty runs under the appserver's tenant.
+	Tenant string
+	// Timeout bounds synchronous calls (and the hello). Default 5s.
+	Timeout time.Duration
 }
 
 // DialClient connects to a gateway.
 func DialClient(addr string) (*Client, error) {
+	return DialClientOptions(addr, ClientOptions{})
+}
+
+// DialClientOptions is DialClient with an explicit tenant identity. The
+// returned error carries the gateway's quota rejection, if any.
+func DialClientOptions(addr string, opts ClientOptions) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: dial: %w", err)
 	}
+	return NewClient(nc, opts)
+}
+
+// NewClient wraps an established connection (e.g. from MemListener.Dial)
+// in a gateway client, performing the tenant hello when one is set.
+func NewClient(nc net.Conn, opts ClientOptions) (*Client, error) {
 	w := bufio.NewWriterSize(nc, 1<<14)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	c := &Client{
 		nc:      nc,
 		w:       w,
 		enc:     json.NewEncoder(w),
 		subs:    map[string]*ClientSub{},
 		pending: map[string]chan Response{},
-		Timeout: 5 * time.Second,
+		Timeout: timeout,
 	}
 	c.wg.Add(1)
 	go c.readLoop()
+	if opts.Tenant != "" {
+		if _, err := c.call(Request{Op: "hello", ID: c.newID("req"), Tenant: opts.Tenant}); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
+
+// Resyncs reports resync markers received: each one means the gateway shed
+// events because this client fell behind, and the client should repair
+// affected subscriptions with a pull query (paper §8.1).
+func (c *Client) Resyncs() uint64 { return c.resyncs.Load() }
 
 // Close disconnects from the gateway; server-side subscriptions are torn
 // down by the gateway.
@@ -234,6 +273,21 @@ func (c *Client) readLoop() {
 			r.Docs[i] = document.Normalize(r.Docs[i])
 		}
 		switch r.Op {
+		case "resync":
+			// The gateway shed events for this connection; surface the
+			// marker to every subscription so each can repair via pull.
+			c.resyncs.Add(1)
+			c.mu.Lock()
+			for _, sub := range c.subs {
+				if sub.closed {
+					continue
+				}
+				select {
+				case sub.events <- r:
+				default:
+				}
+			}
+			c.mu.Unlock()
 		case "event":
 			c.mu.Lock()
 			sub := c.subs[r.ID]

@@ -6,25 +6,40 @@
 // are fanned out per client with the client-generated subscription id
 // tagging every change notification (paper §5, footnote 2).
 //
+// Real-time query results are shared: thousands of devices subscribe to the
+// same query, so delivery cost must scale with distinct queries, not
+// clients. The gateway therefore runs a shared fan-out engine (DESIGN.md
+// §14): client subscriptions with the same query dedupe onto one upstream
+// appserver.Subscription per distinct query, keyed by the tenant-scoped
+// fixed64 query hash and refcounted so the last unsubscribe tears the
+// upstream down. Each event is encoded exactly once per query — the shared
+// JSON body is serialized a single time and broadcast by splicing only the
+// per-client subscription id into a reusable frame header — and delivery is
+// parallelized across sharded fan-out workers. Per-client outbound queues
+// are byte-budgeted: a slow consumer sheds data events (newest first) and
+// receives a resync marker so it can repair with a pull query, mirroring
+// the broker's session-drop discipline.
+//
 // The wire protocol is newline-delimited JSON over TCP (a WebSocket
-// stand-in): requests carry an op ("subscribe", "unsubscribe", "insert",
-// "update", "delete", "query") and responses carry events or results tagged
-// with the request's id.
+// stand-in): requests carry an op ("hello", "subscribe", "unsubscribe",
+// "insert", "update", "delete", "query") and responses carry events or
+// results tagged with the request's id, plus "resync" markers after shed
+// events.
 package gateway
 
 import (
-	"bufio"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
+	"math"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"invalidb/internal/appserver"
 	"invalidb/internal/document"
+	"invalidb/internal/metrics"
 	"invalidb/internal/query"
+	"invalidb/internal/ratelimit"
 )
 
 // Request is one client frame.
@@ -32,6 +47,9 @@ type Request struct {
 	Op string `json:"op"`
 	// ID tags subscriptions and correlates responses.
 	ID string `json:"id,omitempty"`
+	// Tenant identifies the application on a "hello" frame; connections
+	// that skip hello run under the appserver's tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Query for "subscribe" and "query".
 	Query *query.Spec `json:"query,omitempty"`
 	// Collection/Key/Doc/Update for write operations.
@@ -43,7 +61,7 @@ type Request struct {
 
 // Response is one server frame.
 type Response struct {
-	Op string `json:"op"` // "event", "result", "ok", "error"
+	Op string `json:"op"` // "event", "result", "ok", "error", "resync"
 	ID string `json:"id,omitempty"`
 	// Event payload.
 	Type  string              `json:"type,omitempty"`
@@ -53,39 +71,219 @@ type Response struct {
 	Index int                 `json:"index,omitempty"`
 	// Error payload.
 	Message string `json:"message,omitempty"`
+	// Dropped is the connection's cumulative shed-event count, carried on
+	// "resync" frames: the client saw a gap and should repair with a pull
+	// query (paper §8.1, weak devices).
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
-// Server is the gateway listener.
+// Quota bounds one tenant's footprint on the gateway. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxConns caps concurrently admitted connections.
+	MaxConns int
+	// MaxSubs caps concurrently active subscriptions across the tenant's
+	// connections.
+	MaxSubs int
+	// ConnRate admits at most this many new connections per second
+	// (ConnBurst tokens of headroom, minimum 1).
+	ConnRate  float64
+	ConnBurst float64
+	// SubRate admits at most this many new subscriptions per second
+	// (SubBurst tokens of headroom, minimum 1).
+	SubRate  float64
+	SubBurst float64
+}
+
+// Options tunes the gateway.
+type Options struct {
+	// Metrics receives the gateway's counters and gauges. Nil creates a
+	// private registry (read back via Server.Metrics). Passing the
+	// appserver's registry folds the gateway into the same -obs-addr
+	// endpoint.
+	Metrics *metrics.Registry
+	// OutBudget is the per-connection outbound queue budget in bytes.
+	// Once pending bytes exceed it, data events are shed (newest first)
+	// and a resync marker is delivered. Default 64 KiB.
+	OutBudget int
+	// ReadBuffer is the per-connection read buffer size. Default 4 KiB —
+	// small, because at 100k connections every KiB here is 100 MB.
+	ReadBuffer int
+	// FanOutShards is the number of delivery workers event broadcast is
+	// sharded across. Default min(GOMAXPROCS, 8); 1 delivers inline on
+	// the pump goroutine.
+	FanOutShards int
+	// Quota maps a tenant name to its admission quota. Nil means no
+	// limits. The function is consulted once per tenant, at first sight.
+	Quota func(tenant string) Quota
+	// Logf receives operational log lines (first-drop notices, quota
+	// rejections). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.OutBudget <= 0 {
+		o.OutBudget = 64 << 10
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 4 << 10
+	}
+	if o.FanOutShards <= 0 {
+		o.FanOutShards = runtime.GOMAXPROCS(0)
+		if o.FanOutShards > 8 {
+			o.FanOutShards = 8
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// tenantState tracks one tenant's live footprint and rate limiters.
+// Counters are guarded by Server.mu; the buckets lock themselves.
+type tenantState struct {
+	q          Quota
+	conns      int
+	subs       int
+	rejected   int64
+	connBucket *ratelimit.Bucket
+	subBucket  *ratelimit.Bucket
+}
+
+// Server is the gateway listener plus the shared fan-out engine.
 type Server struct {
-	srv *appserver.Server
-	ln  net.Listener
+	srv  *appserver.Server
+	ln   net.Listener
+	opts Options
 
-	mu     sync.Mutex
-	conns  map[*conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	queries map[uint64]*sharedQuery // query hash -> shared upstream
+	tenants map[string]*tenantState
+	closed  bool
 
-	clients atomic.Int64
+	wg     sync.WaitGroup // accept loop, per-conn loops, fan-out workers
+	pumpWG sync.WaitGroup // per-sharedQuery pump goroutines
+	done   chan struct{}  // closed after all pumps exit; stops workers
+
+	fanJobs []chan fanJob // workers for shards 1..FanOutShards-1
+
+	clients   atomic.Int64
+	subsTotal atomic.Int64
+	connSeq   atomic.Uint64
+
+	reg         *metrics.Registry
+	mFanned     *metrics.Int // events delivered (or shed) across all clients
+	mEncoded    *metrics.Int // event bodies serialized (once per query per event)
+	mBytesSaved *metrics.Int // body bytes NOT re-serialized thanks to sharing
+	mDrops      *metrics.Int // data events shed on slow connections
+	mResyncs    *metrics.Int // resync markers delivered
+	mRejected   *metrics.Int // quota-rejected connections and subscriptions
 }
 
 // Serve starts a gateway for the application server on addr
 // ("127.0.0.1:0" picks a port).
 func Serve(srv *appserver.Server, addr string) (*Server, error) {
+	return ServeOptions(srv, addr, Options{})
+}
+
+// ServeOptions is Serve with explicit options.
+func ServeOptions(srv *appserver.Server, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
-	g := &Server{srv: srv, ln: ln, conns: map[*conn]struct{}{}}
+	return ServeListener(srv, ln, opts)
+}
+
+// ServeListener runs the gateway on an existing listener — e.g. a
+// MemListener, which is how the fan-out experiment packs 100k+ mock
+// clients onto one box without consuming file descriptors.
+func ServeListener(srv *appserver.Server, ln net.Listener, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	g := &Server{
+		srv:     srv,
+		ln:      ln,
+		opts:    opts,
+		conns:   map[*conn]struct{}{},
+		queries: map[uint64]*sharedQuery{},
+		tenants: map[string]*tenantState{},
+		done:    make(chan struct{}),
+	}
+	g.registerMetrics()
+	for i := 1; i < opts.FanOutShards; i++ {
+		ch := make(chan fanJob, 1)
+		g.fanJobs = append(g.fanJobs, ch)
+		g.wg.Add(1)
+		go g.fanWorker(ch)
+	}
 	g.wg.Add(1)
 	go g.acceptLoop()
 	return g, nil
 }
 
+func (g *Server) registerMetrics() {
+	reg := g.opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	g.reg = reg
+	g.mFanned = reg.Counter("gateway.events.fanout")
+	g.mEncoded = reg.Counter("gateway.events.encoded")
+	g.mBytesSaved = reg.Counter("gateway.encode.bytes_saved")
+	g.mDrops = reg.Counter("gateway.client.drops")
+	g.mResyncs = reg.Counter("gateway.client.resyncs")
+	g.mRejected = reg.Counter("gateway.quota.rejected")
+	reg.Gauge("gateway.clients", func() float64 { return float64(g.clients.Load()) })
+	reg.Gauge("gateway.subscriptions", func() float64 { return float64(g.subsTotal.Load()) })
+	reg.Gauge("gateway.queries", func() float64 { return float64(g.DistinctQueries()) })
+	reg.Gauge("gateway.dedup_ratio", func() float64 { return g.DedupRatio() })
+	reg.Collect(func(emit func(name string, v float64)) {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		for name, ts := range g.tenants {
+			emit("gateway.tenant."+name+".conns", float64(ts.conns))
+			emit("gateway.tenant."+name+".subs", float64(ts.subs))
+			emit("gateway.tenant."+name+".rejected", float64(ts.rejected))
+		}
+	})
+}
+
 // Addr returns the gateway's listen address.
 func (g *Server) Addr() string { return g.ln.Addr().String() }
 
+// Metrics returns the registry the gateway reports into.
+func (g *Server) Metrics() *metrics.Registry { return g.reg }
+
 // Clients reports currently connected end-user clients.
 func (g *Server) Clients() int64 { return g.clients.Load() }
+
+// Subscriptions reports currently active client subscriptions.
+func (g *Server) Subscriptions() int64 { return g.subsTotal.Load() }
+
+// DistinctQueries reports live upstream subscriptions — one per distinct
+// query, regardless of how many clients share each.
+func (g *Server) DistinctQueries() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queries)
+}
+
+// DedupRatio is client subscriptions per upstream subscription — the
+// fan-out sharing factor (1000 clients on 1 query reads as 1000).
+func (g *Server) DedupRatio() float64 {
+	subs := g.subsTotal.Load()
+	q := g.DistinctQueries()
+	if q == 0 {
+		return 0
+	}
+	r := float64(subs) / float64(q)
+	if math.IsNaN(r) {
+		return 0
+	}
+	return r
+}
 
 // Close stops the listener and disconnects all clients. The application
 // server is left running.
@@ -105,6 +303,11 @@ func (g *Server) Close() error {
 	for _, c := range conns {
 		c.close()
 	}
+	// Closing every conn released every shared query, which closed every
+	// upstream; wait for the pumps (they may still be mid-broadcast and
+	// waiting on fan-out workers), then stop the workers.
+	g.pumpWG.Wait()
+	close(g.done)
 	g.wg.Wait()
 	return err
 }
@@ -116,7 +319,14 @@ func (g *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := &conn{g: g, nc: nc, subs: map[string]*appserver.Subscription{}, out: make(chan Response, 1024)}
+		nShards := g.opts.FanOutShards
+		c := &conn{
+			g:     g,
+			nc:    nc,
+			shard: int(g.connSeq.Add(1)) % nShards,
+			subs:  map[string]*sharedQuery{},
+		}
+		c.outCond.L = &c.outMu
 		g.mu.Lock()
 		if g.closed {
 			g.mu.Unlock()
@@ -132,184 +342,113 @@ func (g *Server) acceptLoop() {
 	}
 }
 
-// conn is one end-user client connection.
-type conn struct {
-	g  *Server
-	nc net.Conn
-
-	mu     sync.Mutex
-	subs   map[string]*appserver.Subscription // client subscription id -> sub
-	closed bool
-	out    chan Response
-	done   sync.Once
+// tenantFor returns the tenant's state, creating it (and its buckets,
+// sized from Options.Quota) on first sight. Callers hold g.mu.
+func (g *Server) tenantFor(name string) *tenantState {
+	ts := g.tenants[name]
+	if ts != nil {
+		return ts
+	}
+	ts = &tenantState{}
+	if g.opts.Quota != nil {
+		ts.q = g.opts.Quota(name)
+		if ts.q.ConnRate > 0 {
+			ts.connBucket = ratelimit.New(ts.q.ConnRate, admissionBurst(ts.q.ConnRate, ts.q.ConnBurst))
+		}
+		if ts.q.SubRate > 0 {
+			ts.subBucket = ratelimit.New(ts.q.SubRate, admissionBurst(ts.q.SubRate, ts.q.SubBurst))
+		}
+	}
+	g.tenants[name] = ts
+	return ts
 }
 
-func (c *conn) close() {
-	c.done.Do(func() {
-		c.mu.Lock()
-		c.closed = true
-		subs := make([]*appserver.Subscription, 0, len(c.subs))
-		for _, s := range c.subs {
-			subs = append(subs, s)
-		}
-		c.subs = map[string]*appserver.Subscription{}
-		close(c.out)
-		c.mu.Unlock()
-		for _, s := range subs {
-			_ = s.Close()
-		}
-		_ = c.nc.Close()
-		c.g.mu.Lock()
-		delete(c.g.conns, c)
-		c.g.mu.Unlock()
-		c.g.clients.Add(-1)
-	})
+// admissionBurst floors the burst at one token: TryTake never overdraws,
+// so a sub-token burst (ratelimit's 5% default at low rates) would reject
+// everything forever.
+func admissionBurst(rate, burst float64) float64 {
+	if burst <= 0 {
+		burst = rate * ratelimit.DefaultBurstFraction
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return burst
 }
 
-// send enqueues a response; a slow client loses the oldest frame rather than
-// stalling the gateway (clients detect gaps and re-sync with a pull query,
-// exactly like the paper's weak devices discussion in §8.1).
-func (c *conn) send(r Response) {
+// admitConn runs the tenant quota check for a connection's first frame.
+// A rejected connection gets one error frame (echoing the frame's request
+// id so synchronous clients fail fast) and is closed once it drains.
+func (g *Server) admitConn(c *conn, tenant, reqID string) bool {
+	if tenant == "" {
+		tenant = g.srv.Tenant()
+	}
+	g.mu.Lock()
+	ts := g.tenantFor(tenant)
+	ok := ts.q.MaxConns <= 0 || ts.conns < ts.q.MaxConns
+	if ok && ts.connBucket != nil && !ts.connBucket.TryTake(1) {
+		ok = false
+	}
+	if ok {
+		ts.conns++
+	} else {
+		ts.rejected++
+	}
+	g.mu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return
-	}
-	select {
-	case c.out <- r:
-		return
-	default:
-	}
-	select {
-	case <-c.out:
-	default:
-	}
-	select {
-	case c.out <- r:
-	default:
-	}
-}
-
-func (c *conn) writeLoop() {
-	defer c.g.wg.Done()
-	w := bufio.NewWriterSize(c.nc, 1<<16)
-	enc := json.NewEncoder(w)
-	for r := range c.out {
-		if err := enc.Encode(&r); err != nil {
-			c.close()
-			return
-		}
-		if len(c.out) == 0 {
-			if err := w.Flush(); err != nil {
-				c.close()
-				return
-			}
-		}
-	}
-	_ = w.Flush()
-}
-
-func (c *conn) readLoop() {
-	defer c.g.wg.Done()
-	defer c.close()
-	dec := json.NewDecoder(bufio.NewReaderSize(c.nc, 1<<16))
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				c.send(Response{Op: "error", Message: "malformed frame: " + err.Error()})
-			}
-			return
-		}
-		c.handle(&req)
-	}
-}
-
-func (c *conn) handle(req *Request) {
-	switch req.Op {
-	case "subscribe":
-		c.handleSubscribe(req)
-	case "unsubscribe":
-		c.mu.Lock()
-		sub := c.subs[req.ID]
-		delete(c.subs, req.ID)
-		c.mu.Unlock()
-		if sub != nil {
-			_ = sub.Close()
-		}
-		c.send(Response{Op: "ok", ID: req.ID})
-	case "query":
-		if req.Query == nil {
-			c.send(Response{Op: "error", ID: req.ID, Message: "query missing"})
-			return
-		}
-		docs, err := c.g.srv.Query(*req.Query)
-		if err != nil {
-			c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
-			return
-		}
-		c.send(Response{Op: "result", ID: req.ID, Docs: docs})
-	case "insert":
-		c.reply(req, c.g.srv.Insert(req.Collection, req.Doc))
-	case "update":
-		c.reply(req, c.g.srv.Update(req.Collection, req.Key, req.Update))
-	case "delete":
-		c.reply(req, c.g.srv.Delete(req.Collection, req.Key))
-	default:
-		c.send(Response{Op: "error", ID: req.ID, Message: fmt.Sprintf("unknown op %q", req.Op)})
-	}
-}
-
-func (c *conn) reply(req *Request, err error) {
-	if err != nil {
-		c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
-		return
-	}
-	c.send(Response{Op: "ok", ID: req.ID})
-}
-
-func (c *conn) handleSubscribe(req *Request) {
-	if req.Query == nil || req.ID == "" {
-		c.send(Response{Op: "error", ID: req.ID, Message: "subscribe needs id and query"})
-		return
-	}
-	c.mu.Lock()
-	if _, dup := c.subs[req.ID]; dup {
-		c.mu.Unlock()
-		c.send(Response{Op: "error", ID: req.ID, Message: "duplicate subscription id"})
-		return
-	}
+	c.tenant = tenant
+	c.admitted = ok
 	c.mu.Unlock()
-	sub, err := c.g.srv.Subscribe(*req.Query)
-	if err != nil {
-		c.send(Response{Op: "error", ID: req.ID, Message: err.Error()})
-		return
+	if !ok {
+		g.mRejected.Inc()
+		g.opts.Logf("gateway: tenant %q connection rejected by quota", tenant)
+		c.sendError(reqID, "tenant connection quota exceeded")
+		c.closeWhenDrained()
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		_ = sub.Close()
-		return
-	}
-	c.subs[req.ID] = sub
-	c.mu.Unlock()
-	c.send(Response{Op: "ok", ID: req.ID})
-	c.g.wg.Add(1)
-	go c.pump(req.ID, sub)
+	return ok
 }
 
-// pump forwards subscription events to the client, tagged with the client's
-// subscription id.
-func (c *conn) pump(id string, sub *appserver.Subscription) {
-	defer c.g.wg.Done()
-	for ev := range sub.C() {
-		r := Response{Op: "event", ID: id, Type: ev.Type.String(), Key: ev.Key, Doc: ev.Doc, Index: ev.Index}
-		if ev.Type == appserver.EventInitial {
-			r.Docs = ev.Docs
-		}
-		if ev.Type == appserver.EventError && ev.Err != nil {
-			r.Message = ev.Err.Error()
-		}
-		c.send(r)
+// admitSub reserves one subscription slot for the connection's tenant.
+func (g *Server) admitSub(c *conn) bool {
+	g.mu.Lock()
+	ts := g.tenantFor(c.tenant)
+	ok := ts.q.MaxSubs <= 0 || ts.subs < ts.q.MaxSubs
+	if ok && ts.subBucket != nil && !ts.subBucket.TryTake(1) {
+		ok = false
 	}
+	if ok {
+		ts.subs++
+	} else {
+		ts.rejected++
+	}
+	g.mu.Unlock()
+	if ok {
+		g.subsTotal.Add(1)
+	} else {
+		g.mRejected.Inc()
+	}
+	return ok
+}
+
+// releaseSub returns a subscription slot.
+func (g *Server) releaseSub(tenant string) {
+	g.mu.Lock()
+	if ts := g.tenants[tenant]; ts != nil && ts.subs > 0 {
+		ts.subs--
+	}
+	g.mu.Unlock()
+	g.subsTotal.Add(-1)
+}
+
+// dropConn unregisters a closed connection.
+func (g *Server) dropConn(c *conn, tenant string, admitted bool) {
+	g.mu.Lock()
+	delete(g.conns, c)
+	if admitted {
+		if ts := g.tenants[tenant]; ts != nil && ts.conns > 0 {
+			ts.conns--
+		}
+	}
+	g.mu.Unlock()
+	g.clients.Add(-1)
 }

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MemListener is an in-process net.Listener whose connections are pure
+// byte pipes: no sockets, no file descriptors, no kernel buffers. It
+// exists so the fan-out experiment can hold 100k+ concurrent clients on
+// one box — real TCP would exhaust the fd limit and the ephemeral port
+// range three orders of magnitude earlier. The pipes apply backpressure
+// (a bounded buffer per direction), so slow-consumer behavior is
+// faithful to a socket with a small send buffer.
+type MemListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+	// BufSize is the per-direction pipe buffer in bytes; set before the
+	// first Dial. Default 16 KiB.
+	BufSize int
+}
+
+// NewMemListener creates an in-memory listener.
+func NewMemListener() *MemListener {
+	return &MemListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Accept waits for the next Dial.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener. Established connections stay open.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr returns a placeholder address.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }
+
+// Dial opens a new connection to the listener, blocking until accepted.
+func (l *MemListener) Dial() (net.Conn, error) {
+	size := l.BufSize
+	if size <= 0 {
+		size = 16 << 10
+	}
+	a2b := newMemHalf(size)
+	b2a := newMemHalf(size)
+	client := &memConn{rd: b2a, wr: a2b}
+	server := &memConn{rd: a2b, wr: b2a}
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// memHalf is one direction of a connection: a bounded byte buffer with
+// blocking reads and writes.
+type memHalf struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	buf    []byte
+	off    int
+	max    int
+	closed bool
+}
+
+func newMemHalf(max int) *memHalf {
+	h := &memHalf{max: max}
+	h.cond.L = &h.mu
+	return h
+}
+
+func (h *memHalf) write(p []byte) (int, error) {
+	n := 0
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(p) > 0 {
+		if h.closed {
+			return n, io.ErrClosedPipe
+		}
+		avail := h.max - (len(h.buf) - h.off)
+		if avail == 0 {
+			h.cond.Wait()
+			continue
+		}
+		if h.off > 0 && len(h.buf)+min(avail, len(p)) > h.max {
+			// Compact so the append below stays within the budget.
+			h.buf = h.buf[:copy(h.buf, h.buf[h.off:])]
+			h.off = 0
+		}
+		chunk := min(avail, len(p))
+		h.buf = append(h.buf, p[:chunk]...)
+		p = p[chunk:]
+		n += chunk
+		h.cond.Broadcast()
+	}
+	return n, nil
+}
+
+func (h *memHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == h.off {
+		if h.closed {
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+	n := copy(p, h.buf[h.off:])
+	h.off += n
+	if h.off == len(h.buf) {
+		h.buf = h.buf[:0]
+		h.off = 0
+	}
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *memHalf) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// memConn is one endpoint of an in-memory connection. Closing it tears
+// down both directions: the peer's pending reads drain the buffered bytes
+// and then see io.EOF, writes fail immediately. Deadlines are not
+// implemented (the gateway and swarm never set them).
+type memConn struct {
+	rd, wr *memHalf
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+func (c *memConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr                { return memAddr{} }
+func (c *memConn) RemoteAddr() net.Addr               { return memAddr{} }
+func (c *memConn) SetDeadline(time.Time) error        { return nil }
+func (c *memConn) SetReadDeadline(time.Time) error    { return nil }
+func (c *memConn) SetWriteDeadline(time.Time) error   { return nil }

@@ -1,0 +1,290 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invalidb/internal/metrics"
+)
+
+// SwarmOptions configures a mock-client swarm.
+type SwarmOptions struct {
+	// Clients is the number of concurrent connections to hold.
+	Clients int
+	// Queries is the number of distinct matching queries the clients are
+	// spread across round-robin: Clients/Queries clients share each query,
+	// which is the dedup ratio the gateway should achieve.
+	Queries int
+	// Tenant, when set, is announced with a hello frame before
+	// subscribing.
+	Tenant string
+	// ConnectParallel bounds concurrent dial+subscribe attempts.
+	// Default 512.
+	ConnectParallel int
+	// ReadBuffer is the per-client read buffer. Default 2 KiB — at 100k
+	// clients this is the dominant per-client cost, so it stays small.
+	ReadBuffer int
+	// SampleEvery records delivery latency on every n-th client (default
+	// 16): sampling keeps recorder contention off the measurement at
+	// 100k-goroutine scale while still yielding tens of thousands of
+	// samples.
+	SampleEvery int
+}
+
+func (o SwarmOptions) withDefaults() SwarmOptions {
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.Queries <= 0 {
+		o.Queries = 1
+	}
+	if o.ConnectParallel <= 0 {
+		o.ConnectParallel = 512
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 2 << 10
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 16
+	}
+	return o
+}
+
+// Swarm is a horde of deliberately cheap mock clients: each client is one
+// connection, one goroutine, and one small read buffer. Clients speak just
+// enough of the gateway protocol to subscribe and tally what arrives —
+// event frames are scanned as raw bytes, never decoded — so the swarm's
+// own footprint stays far below the system under test and 100k+ clients
+// fit in one process.
+type Swarm struct {
+	dial func() (net.Conn, error)
+	w    *Workload
+	opts SwarmOptions
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+
+	subscribed atomic.Int64
+	rejected   atomic.Int64
+	dialErrs   atomic.Int64
+	events     atomic.Uint64
+	resyncs    atomic.Uint64
+	terminals  atomic.Int64
+
+	lat *metrics.LatencyRecorder
+}
+
+// NewSwarm creates a swarm that dials through dial (e.g. a gateway
+// MemListener's Dial, or a TCP dialer) and subscribes to w's matching
+// queries.
+func NewSwarm(dial func() (net.Conn, error), w *Workload, opts SwarmOptions) *Swarm {
+	return &Swarm{dial: dial, w: w, opts: opts.withDefaults(), lat: metrics.NewLatencyRecorder()}
+}
+
+// subscribeFrames precomputes the identical hello+subscribe byte prefix
+// for each distinct query, so connecting a client is a dial plus one
+// buffered write — no per-client encoding.
+func (s *Swarm) subscribeFrames() ([][]byte, error) {
+	frames := make([][]byte, s.opts.Queries)
+	for q := range frames {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		if s.opts.Tenant != "" {
+			if err := enc.Encode(map[string]string{"op": "hello", "id": "h", "tenant": s.opts.Tenant}); err != nil {
+				return nil, err
+			}
+		}
+		spec := s.w.MatchingQuery(q)
+		if err := enc.Encode(map[string]any{"op": "subscribe", "id": "s", "query": spec}); err != nil {
+			return nil, err
+		}
+		frames[q] = buf.Bytes()
+	}
+	return frames, nil
+}
+
+// Connect dials every client and fires its subscribe. It returns once all
+// dial attempts finished; use WaitSubscribed to wait for acks. Quota
+// rejections and dial failures are tallied, not fatal — the noisy-tenant
+// experiment depends on rejected clients being survivable.
+func (s *Swarm) Connect() error {
+	frames, err := s.subscribeFrames()
+	if err != nil {
+		return err
+	}
+	sem := make(chan struct{}, s.opts.ConnectParallel)
+	var dialWG sync.WaitGroup
+	for i := 0; i < s.opts.Clients; i++ {
+		sem <- struct{}{}
+		dialWG.Add(1)
+		s.wg.Add(1)
+		go func(i int) {
+			// dialWG covers only the dial+write handshake: the goroutine
+			// then becomes the client's read loop for the swarm's lifetime.
+			nc, err := s.dial()
+			if err != nil {
+				s.dialErrs.Add(1)
+				s.wg.Done()
+				dialWG.Done()
+				<-sem
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, nc)
+			s.mu.Unlock()
+			if _, err := nc.Write(frames[i%s.opts.Queries]); err != nil {
+				s.dialErrs.Add(1)
+				_ = nc.Close()
+				s.wg.Done()
+				dialWG.Done()
+				<-sem
+				return
+			}
+			dialWG.Done()
+			<-sem
+			s.readLoop(nc, i%s.opts.SampleEvery == 0)
+		}(i)
+	}
+	dialWG.Wait()
+	return nil
+}
+
+// WaitSubscribed blocks until n clients were acked (or rejected clients
+// make n unreachable), returning the subscribed count.
+func (s *Swarm) WaitSubscribed(n int, timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		subs := s.subscribed.Load()
+		if subs >= int64(n) || time.Now().After(deadline) {
+			return subs
+		}
+		unreachable := s.rejected.Load() + s.dialErrs.Load()
+		if subs+unreachable >= int64(s.opts.Clients) && subs >= int64(n)-unreachable {
+			return subs
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close tears down every connection and waits for the client goroutines.
+func (s *Swarm) Close() {
+	s.mu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	s.wg.Wait()
+}
+
+// Subscribed reports clients whose subscribe was acked.
+func (s *Swarm) Subscribed() int64 { return s.subscribed.Load() }
+
+// Rejected reports clients refused by the gateway (quota errors).
+func (s *Swarm) Rejected() int64 { return s.rejected.Load() }
+
+// DialErrors reports clients that failed before reaching the protocol.
+func (s *Swarm) DialErrors() int64 { return s.dialErrs.Load() }
+
+// Events reports event frames received across all clients.
+func (s *Swarm) Events() uint64 { return s.events.Load() }
+
+// Resyncs reports resync markers received (shed events on slow clients).
+func (s *Swarm) Resyncs() uint64 { return s.resyncs.Load() }
+
+// TerminalSeen reports clients that received the terminal event.
+func (s *Swarm) TerminalSeen() int64 { return s.terminals.Load() }
+
+// Latency summarizes sampled write-to-delivery latency, measured from the
+// sentNs the writer stamped into each document.
+func (s *Swarm) Latency() metrics.Summary { return s.lat.Snapshot() }
+
+// Wire tokens scanned for in raw frames. Matching on bytes instead of
+// decoding JSON keeps a 100k-client swarm's CPU footprint negligible.
+var (
+	tokOK       = []byte(`"op":"ok"`)
+	tokErr      = []byte(`"op":"error"`)
+	tokResync   = []byte(`"op":"resync"`)
+	tokEvent    = []byte(`"op":"event"`)
+	tokTerminal = []byte(`"terminal":true`)
+	tokSentNs   = []byte(`"sentNs":`)
+)
+
+// readLoop scans newline-delimited frames. Lines longer than the read
+// buffer (large initial results) are classified from their first chunk
+// and skipped to the newline.
+func (s *Swarm) readLoop(nc net.Conn, sampled bool) {
+	defer s.wg.Done()
+	r := bufio.NewReaderSize(nc, s.opts.ReadBuffer)
+	subscribed, terminal := false, false
+	for {
+		line, err := r.ReadSlice('\n')
+		s.scan(line, sampled, &subscribed, &terminal)
+		for err == bufio.ErrBufferFull {
+			_, err = r.ReadSlice('\n')
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Swarm) scan(line []byte, sampled bool, subscribed, terminal *bool) {
+	switch {
+	case bytes.Contains(line, tokEvent):
+		s.events.Add(1)
+		if !*terminal && bytes.Contains(line, tokTerminal) {
+			*terminal = true
+			s.terminals.Add(1)
+		}
+		if sampled {
+			if i := bytes.Index(line, tokSentNs); i >= 0 {
+				if ns, ok := parseInt(line[i+len(tokSentNs):]); ok {
+					//invalidb:allow coarseclock delivery latency is measured against the wall-clock send stamp
+					s.lat.Record(time.Duration(time.Now().UnixNano() - ns))
+				}
+			}
+		}
+	case bytes.Contains(line, tokResync):
+		s.resyncs.Add(1)
+	case bytes.Contains(line, tokOK):
+		if !*subscribed && bytes.Contains(line, []byte(`"id":"s"`)) {
+			*subscribed = true
+			s.subscribed.Add(1)
+		}
+	case bytes.Contains(line, tokErr):
+		if !*subscribed {
+			s.rejected.Add(1)
+		}
+	}
+}
+
+// parseInt reads a leading (possibly negative) integer.
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		v = v*10 + int64(b[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

@@ -48,6 +48,28 @@ func (b *Bucket) Rate() float64 { return b.rate }
 // Burst returns the effective burst ceiling in tokens.
 func (b *Bucket) Burst() float64 { return b.burst }
 
+// TryTake removes n tokens only if the current balance covers them and
+// reports whether they were taken. Unlike Take it never blocks and never
+// lets the balance go negative: admission-control callers (the gateway's
+// per-tenant quotas) reject over-rate work outright instead of queueing
+// it, so one tenant's burst cannot convoy behind another tenant's sleep.
+func (b *Bucket) TryTake(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//invalidb:allow coarseclock token accrual is defined against wall time; admission control cannot run on the tick clock
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
 // Take removes n tokens, blocking until the balance owed has accrued. The
 // wait is computed under the lock but slept outside it, so concurrent
 // callers serialize only on the balance update, not on each other's

@@ -138,3 +138,39 @@ func TestNegativeBalanceCarries(t *testing.T) {
 		t.Fatalf("two overdrawing takes finished in %v, want >=150ms of metering", elapsed)
 	}
 }
+
+// TestTryTakeNeverOverdraws: TryTake admits while tokens last and then
+// refuses without blocking or borrowing — the admission-control contract the
+// gateway's tenant quotas rely on.
+func TestTryTakeNeverOverdraws(t *testing.T) {
+	b := New(1, 5) // 5 tokens of burst, trickle refill
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if b.TryTake(1) {
+			admitted++
+		}
+	}
+	if admitted < 5 || admitted > 6 { // refill may add ~1 during the loop
+		t.Fatalf("admitted %d of 100 with a 5-token burst", admitted)
+	}
+	start := time.Now()
+	b.TryTake(1)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("TryTake blocked; it must refuse immediately")
+	}
+}
+
+// TestTryTakeRefills: refused callers are admitted again once the bucket
+// accrues tokens at its configured rate.
+func TestTryTakeRefills(t *testing.T) {
+	b := New(100, 1)
+	for b.TryTake(1) {
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.TryTake(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled for TryTake")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,62 @@
+package smoke
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"invalidb/internal/experiments"
+)
+
+// TestFanoutSmoke is `make fanout-smoke`: a scaled-down run of the
+// `-exp fanout` scenario (DESIGN.md §14) under the race detector. It proves
+// the CI-checkable core of the fan-out claims: client subscriptions dedupe
+// onto one upstream subscription per distinct query, every subscribed
+// client receives the terminal event (zero lost terminal events), and a
+// quota-capped noisy tenant is bounded without disturbing the measured
+// swarm. The 100k-client figure itself comes from the full
+// `invalidb-bench -exp fanout` run recorded in EXPERIMENTS.md.
+func TestFanoutSmoke(t *testing.T) {
+	if os.Getenv("FANOUT_SMOKE") == "" {
+		t.Skip("set FANOUT_SMOKE=1 (or run `make fanout-smoke`) to run the fan-out smoke")
+	}
+
+	cfg := experiments.Config{Measure: 2 * time.Second}
+	fc := experiments.FanoutConfig{
+		Clients:       2000,
+		Queries:       40,
+		EventRate:     100,
+		Noisy:         true,
+		NoisyClients:  200,
+		NoisyMaxConns: 32,
+		NoisyMaxSubs:  32,
+	}
+	p, err := experiments.RunFanoutPoint(cfg, fc, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + experiments.RenderFanout(p))
+
+	if p.Subscribed != int64(fc.Clients) {
+		t.Fatalf("subscribed %d of %d clients", p.Subscribed, fc.Clients)
+	}
+	if p.Upstream != fc.Queries {
+		t.Fatalf("%d upstream subscriptions for %d distinct queries; dedup broken", p.Upstream, fc.Queries)
+	}
+	wantDedup := float64(fc.Clients) / float64(fc.Queries)
+	if p.DedupRatio < wantDedup {
+		t.Fatalf("dedup ratio %.1f below the %.0f floor", p.DedupRatio, wantDedup)
+	}
+	if p.TerminalSeen != p.TerminalWant {
+		t.Fatalf("lost terminal events: %d/%d clients saw the terminal", p.TerminalSeen, p.TerminalWant)
+	}
+	if p.Encoded <= 0 || p.Fanned < p.Encoded*int64(wantDedup)/2 {
+		t.Fatalf("encode-once counters implausible: %d encoded, %d fanned", p.Encoded, p.Fanned)
+	}
+	if p.NoisyAdmitted > int64(fc.NoisyMaxConns) {
+		t.Fatalf("noisy tenant got %d conns past a %d cap", p.NoisyAdmitted, fc.NoisyMaxConns)
+	}
+	if p.NoisyRejected == 0 {
+		t.Fatal("noisy tenant saw no quota rejections despite overflowing its cap")
+	}
+}

@@ -146,10 +146,22 @@ type Gateway = gateway.Server
 // GatewayClient is the device-side connection to a Gateway.
 type GatewayClient = gateway.Client
 
+// GatewayOptions tunes a gateway: metrics registry, per-client outbound
+// byte budget, fan-out sharding, and per-tenant quotas (DESIGN.md §14).
+type GatewayOptions = gateway.Options
+
+// GatewayQuota bounds one tenant's connections and subscriptions.
+type GatewayQuota = gateway.Quota
+
 // ServeGateway exposes an application server to end-user clients (paper
 // Figure 1's end-user path).
 func ServeGateway(srv *Server, addr string) (*Gateway, error) {
 	return gateway.Serve(srv, addr)
+}
+
+// ServeGatewayOptions is ServeGateway with explicit options.
+func ServeGatewayOptions(srv *Server, addr string, opts GatewayOptions) (*Gateway, error) {
+	return gateway.ServeOptions(srv, addr, opts)
 }
 
 // DialGateway connects an end-user client to a gateway.
